@@ -1,0 +1,179 @@
+// Package repro reproduces "Performance of MPI Sends of Non-Contiguous
+// Data" (Victor Eijkhout; arXiv:1809.10778) as a self-contained Go
+// library: a from-scratch MPI-like runtime over a simulated cluster
+// fabric, a derived-datatype engine, the paper's eight send schemes,
+// and the measurement harness and experiments that regenerate every
+// figure of the evaluation.
+//
+// This root package is the public facade: it re-exports the stable
+// surface of the internal packages so applications program against one
+// import. The examples/ directory shows the API on the three workloads
+// the paper's introduction motivates — multigrid coarsening transfers,
+// FEM boundary exchanges, and sending the real parts of a complex
+// array — plus a quickstart and an auto-tuning demo.
+//
+// Quick start:
+//
+//	prof, _ := repro.ProfileByName("skx-impi")
+//	m, err := repro.Measure(prof, repro.PackVector, repro.WorkloadForBytes(1<<20), repro.DefaultOptions())
+//	fmt.Println(m.Time(), m.Bandwidth())
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/datatype"
+	"repro/internal/figures"
+	"repro/internal/harness"
+	"repro/internal/mpi"
+	"repro/internal/perfmodel"
+)
+
+// Scheme identifies one of the paper's eight send schemes.
+type Scheme = core.Scheme
+
+// The schemes, in the order of the paper's figure legends.
+const (
+	Reference   = core.Reference
+	Copying     = core.Copying
+	Buffered    = core.Buffered
+	VectorType  = core.VectorType
+	Subarray    = core.Subarray
+	OneSided    = core.OneSided
+	PackElement = core.PackElement
+	PackVector  = core.PackVector
+)
+
+// Schemes lists all schemes in legend order.
+func Schemes() []Scheme { return core.Schemes() }
+
+// SchemeByName resolves a legend label like "packing(v)".
+func SchemeByName(name string) (Scheme, error) { return core.SchemeByName(name) }
+
+// Workload describes a strided payload; WorkloadForBytes builds the
+// paper's canonical every-other-element case.
+type Workload = core.Workload
+
+// WorkloadForBytes builds the canonical workload for an n-byte
+// payload.
+func WorkloadForBytes(n int64) Workload { return core.ForBytes(n) }
+
+// Profile is a simulated installation (hardware + MPI implementation).
+type Profile = perfmodel.Profile
+
+// ProfileByName returns a fresh copy of a named installation profile:
+// skx-impi, skx-mvapich, ls5-cray, knl-impi, or generic.
+func ProfileByName(name string) (*Profile, error) { return perfmodel.ByName(name) }
+
+// ProfileNames lists the registered installations.
+func ProfileNames() []string { return perfmodel.Names() }
+
+// Options configures the measurement harness; DefaultOptions is the
+// paper's protocol (20 ping-pongs, cache flushing, 1-σ dismissal).
+type Options = harness.Options
+
+// DefaultOptions returns the paper's measurement protocol.
+func DefaultOptions() Options { return harness.DefaultOptions() }
+
+// Measurement is one (scheme, size) result.
+type Measurement = harness.Measurement
+
+// Measure runs one scheme at one workload on a fresh simulated pair.
+func Measure(p *Profile, s Scheme, w Workload, opt Options) (Measurement, error) {
+	return harness.Measure(p, s, w, opt)
+}
+
+// MeasureSweep measures one scheme across several workloads.
+func MeasureSweep(p *Profile, s Scheme, ws []Workload, opt Options) ([]Measurement, error) {
+	return harness.MeasureSweep(p, s, ws, opt)
+}
+
+// Figure is one installation's full three-panel sweep (paper Figures
+// 1–4).
+type Figure = figures.Figure
+
+// BuildFigure measures all eight schemes for one installation.
+func BuildFigure(profileName string, sizes []int64, opt Options) (*Figure, error) {
+	return figures.Build(profileName, sizes, opt)
+}
+
+// FigureSizes returns the paper's 10³…10⁹-byte x axis with the given
+// resolution.
+func FigureSizes(perDecade int) []int64 { return figures.DefaultSizes(perDecade) }
+
+// Goal selects what Recommend optimises for.
+type Goal = core.Goal
+
+// Recommendation goals.
+const (
+	GoalBalanced = core.GoalBalanced
+	GoalFastest  = core.GoalFastest
+)
+
+// Recommendation is scheme advice with its reasoning.
+type Recommendation = core.Recommendation
+
+// Recommend operationalises the paper's conclusion for an n-byte
+// payload.
+func Recommend(n int64, contiguous bool, goal Goal, p *Profile) Recommendation {
+	return core.Recommend(n, contiguous, goal, p)
+}
+
+// Comm is one rank's communicator handle in the MPI-like runtime; Run
+// starts a world of rank goroutines. See internal/mpi for the full
+// point-to-point, one-sided and collective surface.
+type Comm = mpi.Comm
+
+// RunOptions configures the runtime directly (profile, real-time
+// mode, watchdog).
+type RunOptions = mpi.Options
+
+// Run starts size rank goroutines on a simulated fabric.
+func Run(size int, opts RunOptions, body func(*Comm) error) error {
+	return mpi.Run(size, opts, body)
+}
+
+// Cart is a Cartesian process topology over a communicator, with
+// Coords/Rank/Shift in the style of MPI_Cart_*; ProcNull marks an
+// off-grid neighbour. DimsCreate factors a size into balanced grid
+// dimensions like MPI_Dims_create.
+type Cart = mpi.Cart
+
+// ProcNull is the off-grid neighbour marker of Cart.Shift.
+const ProcNull = mpi.ProcNull
+
+// DimsCreate factors size into ndims balanced dimensions.
+func DimsCreate(size, ndims int) ([]int, error) { return mpi.DimsCreate(size, ndims) }
+
+// Datatype is an MPI-style derived datatype; the constructors below
+// mirror the MPI type-constructor surface.
+type Datatype = datatype.Type
+
+// Basic datatypes.
+var (
+	TypeByte       = datatype.Byte
+	TypeInt32      = datatype.Int32
+	TypeInt64      = datatype.Int64
+	TypeFloat32    = datatype.Float32
+	TypeFloat64    = datatype.Float64
+	TypeComplex128 = datatype.Complex128
+)
+
+// TypeVector mirrors MPI_Type_vector over a base type.
+func TypeVector(count, blocklen, stride int, base *Datatype) (*Datatype, error) {
+	return datatype.Vector(count, blocklen, stride, base)
+}
+
+// TypeContiguous mirrors MPI_Type_contiguous.
+func TypeContiguous(count int, base *Datatype) (*Datatype, error) {
+	return datatype.Contiguous(count, base)
+}
+
+// TypeIndexed mirrors MPI_Type_indexed.
+func TypeIndexed(blocklens, displs []int, base *Datatype) (*Datatype, error) {
+	return datatype.Indexed(blocklens, displs, base)
+}
+
+// TypeSubarray mirrors MPI_Type_create_subarray (C order).
+func TypeSubarray(sizes, subsizes, starts []int, base *Datatype) (*Datatype, error) {
+	return datatype.Subarray(sizes, subsizes, starts, datatype.OrderC, base)
+}

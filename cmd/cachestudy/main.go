@@ -1,0 +1,40 @@
+// Command cachestudy runs the E6 cache-flushing ablation (paper
+// §4.6): intermediate message sizes measured with the between-ping-pong
+// 50 M-array rewrite and without it. The paper reports that skipping
+// the flush "had a clear positive effect on intermediate size
+// messages".
+//
+// Usage:
+//
+//	cachestudy [-profile skx-impi] [-reps 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/figures"
+	"repro/internal/harness"
+)
+
+func main() {
+	profile := flag.String("profile", "skx-impi", "installation profile")
+	reps := flag.Int("reps", 20, "ping-pongs per size")
+	flag.Parse()
+
+	opt := harness.DefaultOptions()
+	opt.Reps = *reps
+	st, err := figures.BuildCacheStudy(*profile, opt)
+	if err != nil {
+		fatal(err)
+	}
+	if err := st.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cachestudy:", err)
+	os.Exit(1)
+}

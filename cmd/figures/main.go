@@ -1,0 +1,99 @@
+// Command figures regenerates the paper's Figures 1–4: time,
+// bandwidth and slowdown panels for all eight send schemes on each
+// simulated installation.
+//
+// Usage:
+//
+//	figures [-profile skx-impi|skx-mvapich|ls5-cray|knl-impi|all]
+//	        [-per-decade 4] [-reps 20] [-max-real 16777216]
+//	        [-csv dir] [-check]
+//
+// -csv writes one CSV file per figure into the directory; -check also
+// prints the E10 cost-model factor table per profile.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/figures"
+	"repro/internal/harness"
+	"repro/internal/perfmodel"
+)
+
+func main() {
+	profile := flag.String("profile", "all", "installation profile, or 'all'")
+	perDecade := flag.Int("per-decade", 4, "sweep points per decade of message size")
+	reps := flag.Int("reps", 20, "ping-pongs per measurement (paper: 20)")
+	maxReal := flag.Int64("max-real", 16<<20, "largest materialised payload in bytes; larger runs are virtual")
+	csvDir := flag.String("csv", "", "directory to write per-figure CSV files")
+	check := flag.Bool("check", false, "also print the E10 cost-model factor table")
+	whatIf := flag.Bool("what-if", false, "also print the E11 NIC-pipelining ablation (paper ref [2])")
+	flag.Parse()
+
+	profiles := []string{"skx-impi", "skx-mvapich", "ls5-cray", "knl-impi"}
+	if *profile != "all" {
+		profiles = []string{*profile}
+	}
+	opt := harness.DefaultOptions()
+	opt.Reps = *reps
+	opt.MaxRealBytes = *maxReal
+	sizes := figures.DefaultSizes(*perDecade)
+
+	for _, name := range profiles {
+		if _, err := perfmodel.ByName(name); err != nil {
+			fatal(err)
+		}
+		fig, err := figures.Build(name, sizes, opt)
+		if err != nil {
+			fatal(err)
+		}
+		if err := fig.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*csvDir, name+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := fig.WriteCSV(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		if *check {
+			ck, err := figures.BuildCostModelCheck(name, 100_000_000, opt)
+			if err != nil {
+				fatal(err)
+			}
+			if err := ck.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+		if *whatIf {
+			st, err := figures.BuildPipeliningStudy(name, sizes, opt)
+			if err != nil {
+				fatal(err)
+			}
+			if err := st.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("pipelining would recover %.1fx at the largest size (§2.3, ref [2])\n\n", st.LargeGain())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

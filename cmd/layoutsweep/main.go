@@ -1,0 +1,59 @@
+// Command layoutsweep runs the §4.7 layout-sensitivity studies:
+//
+//	-mode stride  (E7): fixed payload with increasingly irregular gap
+//	               jitter — "types with less regular spacing may give
+//	               worse performance due to decreased use of prefetch
+//	               streams";
+//	-mode block   (E8): fixed payload at constant density with growing
+//	               block length — "types with larger block sizes may
+//	               perform better due to higher cache line utilization".
+//
+// Usage:
+//
+//	layoutsweep [-profile skx-impi] [-mode stride|block|both]
+//	            [-bytes 8388608] [-reps 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/figures"
+	"repro/internal/harness"
+)
+
+func main() {
+	profile := flag.String("profile", "skx-impi", "installation profile")
+	mode := flag.String("mode", "both", "stride, block, or both")
+	bytes := flag.Int64("bytes", 8<<20, "payload size")
+	reps := flag.Int("reps", 20, "ping-pongs per point")
+	flag.Parse()
+
+	opt := harness.DefaultOptions()
+	opt.Reps = *reps
+	if *mode == "stride" || *mode == "both" {
+		st, err := figures.BuildSpacingStudy(*profile, *bytes, opt)
+		if err != nil {
+			fatal(err)
+		}
+		if err := st.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	if *mode == "block" || *mode == "both" {
+		st, err := figures.BuildBlockSizeStudy(*profile, *bytes, opt)
+		if err != nil {
+			fatal(err)
+		}
+		if err := st.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "layoutsweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,39 @@
+// Command nodescaling runs the E9 all-processes-per-node test (paper
+// §4.7): 1…N ping-pong pairs communicating simultaneously on split
+// communicators. The paper reports "no performance degradation
+// results from having all processes on a node communicate".
+//
+// Usage:
+//
+//	nodescaling [-profile skx-impi] [-pairs 8] [-bytes 1048576] [-reps 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/figures"
+)
+
+func main() {
+	profile := flag.String("profile", "skx-impi", "installation profile")
+	pairs := flag.Int("pairs", 8, "maximum concurrent communicating pairs")
+	bytes := flag.Int64("bytes", 1<<20, "payload per pair")
+	reps := flag.Int("reps", 10, "ping-pongs per configuration")
+	flag.Parse()
+
+	st, err := figures.BuildNodeScalingStudy(*profile, *pairs, *bytes, *reps)
+	if err != nil {
+		fatal(err)
+	}
+	if err := st.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nworst pair-0 degradation across configurations: %.2f%% (paper: none)\n", st.MaxDegradation()*100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nodescaling:", err)
+	os.Exit(1)
+}

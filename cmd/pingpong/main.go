@@ -1,0 +1,91 @@
+// Command pingpong measures one send scheme at chosen message sizes
+// on a simulated installation and prints a result table: the unit
+// measurement of the whole study (paper §3.2).
+//
+// Usage:
+//
+//	pingpong [-profile skx-impi] [-scheme "vector type"] \
+//	         [-sizes 1000,100000,10000000] [-reps 20] [-no-flush]
+//	         [-blocklen 1] [-stride 2] [-real-time]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/perfmodel"
+)
+
+func main() {
+	profile := flag.String("profile", "skx-impi", "installation profile")
+	schemeName := flag.String("scheme", "vector type", "send scheme (see core.Schemes)")
+	sizesArg := flag.String("sizes", "1000,10000,100000,1000000,10000000,100000000,1000000000", "comma-separated payload sizes in bytes")
+	reps := flag.Int("reps", 20, "ping-pongs per size")
+	noFlush := flag.Bool("no-flush", false, "skip the cache flush between ping-pongs (§4.6)")
+	blocklen := flag.Int("blocklen", 1, "elements per block")
+	stride := flag.Int("stride", 2, "element stride between blocks")
+	maxReal := flag.Int64("max-real", 16<<20, "largest materialised payload")
+	realTime := flag.Bool("real-time", false, "measure Go wall time instead of model time")
+	flag.Parse()
+
+	prof, err := perfmodel.ByName(*profile)
+	if err != nil {
+		fatal(err)
+	}
+	scheme, err := core.SchemeByName(*schemeName)
+	if err != nil {
+		fatal(err)
+	}
+	var sizes []int64
+	for _, tok := range strings.Split(*sizesArg, ",") {
+		n, err := strconv.ParseInt(strings.TrimSpace(tok), 10, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad size %q: %w", tok, err))
+		}
+		sizes = append(sizes, n)
+	}
+	opt := harness.DefaultOptions()
+	opt.Reps = *reps
+	opt.FlushCache = !*noFlush
+	opt.MaxRealBytes = *maxReal
+	opt.RealTime = *realTime
+
+	workloads := make([]core.Workload, len(sizes))
+	for i, n := range sizes {
+		elems := int(n / core.ElemSize)
+		if elems < 1 {
+			elems = 1
+		}
+		w := core.Workload{
+			Count:    elems / *blocklen,
+			BlockLen: *blocklen,
+			Stride:   *stride,
+		}
+		if w.Stride < w.BlockLen {
+			w.Stride = w.BlockLen
+		}
+		w.Virtual = n > opt.MaxRealBytes
+		workloads[i] = w
+	}
+	ms, err := harness.MeasureSweep(prof, scheme, workloads, opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("# profile=%s scheme=%s reps=%d flush=%v blocklen=%d stride=%d\n",
+		prof.Name, scheme, opt.Reps, opt.FlushCache, *blocklen, *stride)
+	fmt.Printf("%14s %14s %14s %12s %10s %9s\n", "bytes", "time(s)", "min(s)", "bw(GB/s)", "dismissed", "verified")
+	for _, m := range ms {
+		fmt.Printf("%14d %14.6g %14.6g %12.3f %10d %9v\n",
+			m.Bytes, m.Time(), m.Summary.Min, m.Bandwidth()/1e9, m.Dismissed, m.Verified)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pingpong:", err)
+	os.Exit(1)
+}

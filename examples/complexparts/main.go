@@ -1,0 +1,108 @@
+// Complex-parts transfer: the paper's first motivating workload (§1)
+// — "the real parts of a complex array".
+//
+// A complex128 is laid out as (real, imag) float64 pairs, so "the real
+// parts" is exactly the every-other-element vector type the whole
+// study benchmarks: block length one float64, stride two. Rank 0 holds
+// a signal of complex samples and ships only the real parts to rank 1,
+// once with a derived datatype and once with MPI_Pack on that type —
+// the scheme the paper crowns (§5) — and reports both costs.
+//
+// Run with:
+//
+//	go run ./examples/complexparts
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"repro"
+	"repro/internal/buf"
+	"repro/internal/elem"
+)
+
+const samples = 1 << 15
+
+func main() {
+	prof, err := repro.ProfileByName("skx-mvapich")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := repro.Run(2, repro.RunOptions{Profile: prof, WallLimit: time.Minute}, run); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(c *repro.Comm) error {
+	// complex128 = 2 float64s; the real parts are every other float64.
+	realParts, err := repro.TypeVector(samples, 1, 2, repro.TypeFloat64)
+	if err != nil {
+		return err
+	}
+	if err := realParts.Commit(); err != nil {
+		return err
+	}
+
+	if c.Rank() == 0 {
+		signal := buf.AllocAligned(samples * 16)
+		for i := 0; i < samples; i++ {
+			phase := 2 * math.Pi * float64(i) / 256
+			elem.PutComplex128(signal, i, complex(math.Cos(phase), math.Sin(phase)))
+		}
+
+		// Scheme A: derived datatype, sent directly. Flush the cache
+		// first so both schemes start cold, like the paper's protocol.
+		c.Cache().Flush()
+		t0 := c.Wtime()
+		if err := c.SendType(signal, 1, realParts, 1, 0); err != nil {
+			return err
+		}
+		if _, err := c.Recv(buf.Alloc(0), 1, 100); err != nil {
+			return err
+		}
+		direct := c.Wtime() - t0
+
+		// Scheme B: one MPI_Pack call on the type, send the packed
+		// buffer (packing(v), the paper's winner).
+		packed := buf.AllocAligned(samples * 8)
+		c.Cache().Flush()
+		t0 = c.Wtime()
+		var pos int64
+		if err := c.Pack(signal, 1, realParts, packed, &pos); err != nil {
+			return err
+		}
+		if err := c.SendPacked(packed, 1, 1); err != nil {
+			return err
+		}
+		if _, err := c.Recv(buf.Alloc(0), 1, 101); err != nil {
+			return err
+		}
+		packedT := c.Wtime() - t0
+
+		fmt.Printf("sending %d real parts (%d bytes) on %s:\n", samples, samples*8, c.Profile().Name)
+		fmt.Printf("  vector datatype direct: %8.1f us\n", direct*1e6)
+		fmt.Printf("  packing(v) + send:      %8.1f us\n", packedT*1e6)
+		return nil
+	}
+
+	// Rank 1: receive and verify both transfers.
+	for round := 0; round < 2; round++ {
+		re := buf.AllocAligned(samples * 8)
+		if _, err := c.Recv(re, 0, round); err != nil {
+			return err
+		}
+		for i := 0; i < samples; i++ {
+			want := math.Cos(2 * math.Pi * float64(i) / 256)
+			if got := elem.Float64(re, i); math.Abs(got-want) > 1e-12 {
+				return fmt.Errorf("round %d: real[%d] = %v, want %v", round, i, got, want)
+			}
+		}
+		if err := c.Send(buf.Alloc(0), 0, 100+round); err != nil {
+			return err
+		}
+	}
+	return nil
+}

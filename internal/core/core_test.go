@@ -1,0 +1,181 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/layout"
+	"repro/internal/perfmodel"
+)
+
+func TestSchemeNames(t *testing.T) {
+	want := []string{"reference", "copying", "buffered", "vector type", "subarray", "onesided", "packing(e)", "packing(v)"}
+	for i, s := range Schemes() {
+		if s.String() != want[i] {
+			t.Errorf("scheme %d = %q, want %q", i, s, want[i])
+		}
+	}
+	if Scheme(99).String() == "" {
+		t.Error("unknown scheme renders empty")
+	}
+}
+
+func TestSchemeByName(t *testing.T) {
+	for _, s := range Schemes() {
+		got, err := SchemeByName(s.String())
+		if err != nil || got != s {
+			t.Errorf("round trip %v: got %v, %v", s, got, err)
+		}
+	}
+	if _, err := SchemeByName("warp drive"); err == nil {
+		t.Error("unknown name accepted")
+	}
+	if s, err := SchemeByName("bsend"); err != nil || s != Buffered {
+		t.Errorf("alias bsend: %v, %v", s, err)
+	}
+}
+
+func TestNonContiguous(t *testing.T) {
+	if Reference.NonContiguous() {
+		t.Error("reference marked non-contiguous")
+	}
+	if !PackVector.NonContiguous() {
+		t.Error("packing(v) marked contiguous")
+	}
+}
+
+func TestWorkloadGeometry(t *testing.T) {
+	w := ForBytes(1 << 20)
+	if w.BlockLen != 1 || w.Stride != 2 {
+		t.Fatalf("canonical workload = %+v", w)
+	}
+	if w.Bytes() != 1<<20 {
+		t.Fatalf("bytes = %d", w.Bytes())
+	}
+	if w.SrcBytes() != 2<<20 {
+		t.Fatalf("src bytes = %d", w.SrcBytes())
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	bad := []Workload{
+		{Count: -1, BlockLen: 1, Stride: 2},
+		{Count: 1, BlockLen: 0, Stride: 2},
+		{Count: 1, BlockLen: 4, Stride: 2},
+		{Count: 1, BlockLen: 1, Stride: 2, Jitter: 1.5},
+	}
+	for i, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Errorf("bad workload %d validated: %+v", i, w)
+		}
+	}
+}
+
+func TestWorkloadTypesAgreeWithLayout(t *testing.T) {
+	w := Workload{Count: 50, BlockLen: 3, Stride: 7}
+	vt, err := w.VectorType()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := w.SubarrayType()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vt.Size() != w.Bytes() || st.Size() != w.Bytes() {
+		t.Fatalf("type sizes %d/%d, want %d", vt.Size(), st.Size(), w.Bytes())
+	}
+	// Both types must select exactly the workload's layout bytes.
+	want := layout.Segments(w.Layout())
+	for name, ty := range map[string]interface {
+		ForEach(func(layout.Segment) bool)
+	}{"vector": vt.Layout(1), "subarray": st.Layout(1)} {
+		var got []layout.Segment
+		ty.ForEach(func(s layout.Segment) bool { got = append(got, s); return true })
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d segments, want %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s segment %d = %+v, want %+v", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestJitteredWorkloadType(t *testing.T) {
+	w := Workload{Count: 100, BlockLen: 1, Stride: 8, Jitter: 0.8}
+	ty, err := w.VectorType()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ty.Size() != w.Bytes() {
+		t.Fatalf("jittered type size %d, want %d", ty.Size(), w.Bytes())
+	}
+	if _, err := w.SubarrayType(); err == nil {
+		t.Fatal("subarray accepted a jittered workload")
+	}
+	if w.SrcBytes() < w.Layout().Extent() {
+		t.Fatal("source allocation smaller than jittered extent")
+	}
+}
+
+// Property: payload size is invariant under jitter.
+func TestQuickJitterPreservesPayload(t *testing.T) {
+	f := func(cnt uint8, j float64) bool {
+		if j < 0 {
+			j = -j
+		}
+		for j > 1 {
+			j /= 2
+		}
+		w := Workload{Count: int(cnt)%100 + 1, BlockLen: 1, Stride: 8, Jitter: j}
+		return w.Layout().Size() == w.Bytes()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRunnerAllSchemes(t *testing.T) {
+	for _, s := range Schemes() {
+		r, err := NewRunner(s)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if r.Scheme() != s {
+			t.Fatalf("runner for %v reports %v", s, r.Scheme())
+		}
+	}
+	if _, err := NewRunner(Scheme(42)); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestRecommendConclusion(t *testing.T) {
+	prof := perfmodel.Generic()
+	small := Recommend(1<<20, false, GoalBalanced, prof)
+	if small.Scheme != VectorType {
+		t.Errorf("balanced small: %v", small.Scheme)
+	}
+	large := Recommend(5e8, false, GoalBalanced, prof)
+	if large.Scheme != PackVector {
+		t.Errorf("balanced large: %v", large.Scheme)
+	}
+	fast := Recommend(1<<20, false, GoalFastest, prof)
+	if fast.Scheme != PackVector {
+		t.Errorf("fastest: %v", fast.Scheme)
+	}
+	contig := Recommend(1<<20, true, GoalBalanced, prof)
+	if contig.Scheme != Reference {
+		t.Errorf("contiguous: %v", contig.Scheme)
+	}
+	for _, r := range []Recommendation{small, large, fast, contig} {
+		if strings.TrimSpace(r.Reason) == "" {
+			t.Error("recommendation without a reason")
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/perfmodel"
+)
+
+// Goal selects what the recommendation optimises for.
+type Goal int
+
+// Recommendation goals.
+const (
+	// GoalBalanced follows the paper's conclusion literally: derived
+	// datatypes are the most user-friendly and cost nothing extra up
+	// to large sizes; beyond that, pack the datatype explicitly.
+	GoalBalanced Goal = iota
+	// GoalFastest always picks the consistently fastest scheme.
+	GoalFastest
+)
+
+// Recommendation is the advice for one transfer.
+type Recommendation struct {
+	Scheme Scheme
+	Reason string
+}
+
+// LargeMessageBytes is the paper's threshold for "large" messages,
+// where MPI's internal buffering starts to hurt direct derived-type
+// sends: "over 10⁸ bytes" (§5).
+const LargeMessageBytes = int64(1e8)
+
+// Recommend operationalises the paper's conclusion (§5) for a payload
+// of n bytes on the given installation:
+//
+//   - Contiguous data: just send it (reference).
+//   - Up to large sizes, "there should be no reason not to use derived
+//     datatypes, these being the most user-friendly".
+//   - "The scheme that consistently performs best applies MPI_Pack to
+//     a derived datatype" — so that is the fastest choice everywhere,
+//     and the balanced choice for large messages.
+//   - Buffered sends are "at a disadvantage" and one-sided "may behave
+//     worse depending on the architecture"; they are never
+//     recommended.
+func Recommend(n int64, contiguous bool, goal Goal, p *perfmodel.Profile) Recommendation {
+	if contiguous {
+		return Recommendation{
+			Scheme: Reference,
+			Reason: "payload is contiguous; a plain send attains the hardware rate",
+		}
+	}
+	if goal == GoalFastest {
+		return Recommendation{
+			Scheme: PackVector,
+			Reason: "MPI_Pack of a derived datatype consistently matches the manual copy and avoids MPI-internal buffering (§5)",
+		}
+	}
+	if n > LargeMessageBytes {
+		return Recommendation{
+			Scheme: PackVector,
+			Reason: fmt.Sprintf("payload %d B exceeds the %d B large-message threshold where direct derived-type sends degrade on %s (§4.1, §5)",
+				n, LargeMessageBytes, p.Name),
+		}
+	}
+	return Recommendation{
+		Scheme: VectorType,
+		Reason: "below the large-message range all schemes perform similarly, so the most user-friendly derived datatype wins (§5)",
+	}
+}

@@ -1,0 +1,437 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/buf"
+	"repro/internal/datatype"
+	"repro/internal/layout"
+	"repro/internal/mpi"
+)
+
+// Tags of the ping-pong protocol.
+const (
+	pingTag = 0
+	pongTag = 1
+)
+
+// srcSeed is the deterministic fill pattern of the source payload;
+// receivers regenerate it to verify transfers byte for byte.
+const srcSeed byte = 0xA5
+
+// Runner drives one scheme on one rank of a ping-pong pair. The
+// measurement protocol is the paper's (§3.2): the ping is the
+// non-contiguous send, the receiver receives into a contiguous
+// buffer, the pong is a zero-byte reply (two-sided) or the epoch
+// fences themselves (one-sided).
+//
+// Buffer allocation, pattern fills (page instantiation) and datatype
+// commits all happen in Setup, outside any timing loop, exactly like
+// the paper's protocol.
+type Runner interface {
+	// Scheme identifies the send scheme.
+	Scheme() Scheme
+	// Setup allocates buffers and communication objects for the
+	// workload. peer is the other rank of the pair.
+	Setup(c *mpi.Comm, w Workload, peer int) error
+	// Ping performs the timed non-contiguous transfer plus the pong
+	// wait on the origin rank.
+	Ping() error
+	// Pong performs the receiver side of one ping-pong.
+	Pong() error
+	// Check verifies the last received payload byte-for-byte on the
+	// receiver rank (no-op for virtual payloads).
+	Check() error
+	// Teardown releases communication objects (windows, attached
+	// buffers). Buffers are garbage collected.
+	Teardown() error
+}
+
+// NewRunner builds the Runner for a scheme.
+func NewRunner(s Scheme) (Runner, error) {
+	switch s {
+	case Reference:
+		return &referenceRunner{}, nil
+	case Copying:
+		return &copyingRunner{}, nil
+	case Buffered:
+		return &bufferedRunner{}, nil
+	case VectorType:
+		return &typedRunner{scheme: VectorType}, nil
+	case Subarray:
+		return &typedRunner{scheme: Subarray}, nil
+	case OneSided:
+		return &oneSidedRunner{}, nil
+	case PackElement:
+		return &packRunner{scheme: PackElement}, nil
+	case PackVector:
+		return &packRunner{scheme: PackVector}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown scheme %v", s)
+	}
+}
+
+// pairState carries what every scheme needs.
+type pairState struct {
+	c    *mpi.Comm
+	w    Workload
+	peer int
+
+	src     buf.Block // strided source payload (sender)
+	recvbuf buf.Block // contiguous destination (receiver)
+	pong    buf.Block // zero-byte reply
+}
+
+func (ps *pairState) init(c *mpi.Comm, w Workload, peer int) error {
+	if err := w.Validate(); err != nil {
+		return err
+	}
+	ps.c, ps.w, ps.peer = c, w, peer
+	alloc := func(n int64) buf.Block {
+		if w.Virtual {
+			return buf.Virtual(int(n))
+		}
+		// 64-byte aligned, zeroed at allocation: pages are instantiated
+		// here, outside the timing loop (§3.2).
+		return buf.AllocAligned(int(n))
+	}
+	ps.src = alloc(w.SrcBytes())
+	ps.src.FillPattern(srcSeed)
+	ps.recvbuf = alloc(w.Bytes())
+	ps.pong = buf.Alloc(0)
+	return nil
+}
+
+// pongTwoSided is the shared receiver side of all two-sided schemes:
+// contiguous receive, zero-byte reply.
+func (ps *pairState) pongTwoSided() error {
+	if _, err := ps.c.Recv(ps.recvbuf, ps.peer, pingTag); err != nil {
+		return err
+	}
+	return ps.c.Send(ps.pong, ps.peer, pongTag)
+}
+
+// waitPong is the shared sender-side completion of the two-sided
+// ping-pong.
+func (ps *pairState) waitPong() error {
+	_, err := ps.c.Recv(ps.pong, ps.peer, pongTag)
+	return err
+}
+
+// check verifies the receive buffer against a locally regenerated
+// packed payload.
+func (ps *pairState) check() error {
+	if ps.w.Virtual {
+		return nil
+	}
+	ty, err := ps.w.VectorType()
+	if err != nil {
+		return err
+	}
+	want := buf.Alloc(int(ty.Size()))
+	src := buf.Alloc(int(ps.w.SrcBytes()))
+	src.FillPattern(srcSeed)
+	if _, err := ty.Pack(src, 1, want); err != nil {
+		return err
+	}
+	if !buf.Equal(ps.recvbuf, want) {
+		return fmt.Errorf("core: received payload differs from expected pack (%d bytes)", want.Len())
+	}
+	return nil
+}
+
+// gatherLoop is the user-space manual copy: the paper's "copying"
+// scheme inner loop. It moves the bytes (for real payloads) and
+// charges the gather cost on the virtual clock.
+func (ps *pairState) gatherLoop(dst buf.Block) {
+	lay := ps.w.Layout()
+	st := layout.Describe(lay)
+	ps.c.Charge(ps.c.Cache().GatherCost(ps.src.Region(), dst.Region(), st))
+	if ps.src.IsVirtual() || dst.IsVirtual() {
+		return
+	}
+	off := 0
+	lay.ForEach(func(s layout.Segment) bool {
+		buf.CopyAt(dst, off, ps.src, int(s.Off), int(s.Len))
+		off += int(s.Len)
+		return true
+	})
+}
+
+// referenceRunner sends a contiguous buffer of the same byte count:
+// the attainable rate of the installation (§2.1).
+type referenceRunner struct {
+	pairState
+	contig buf.Block
+}
+
+func (r *referenceRunner) Scheme() Scheme { return Reference }
+
+func (r *referenceRunner) Setup(c *mpi.Comm, w Workload, peer int) error {
+	if err := r.init(c, w, peer); err != nil {
+		return err
+	}
+	if w.Virtual {
+		r.contig = buf.Virtual(int(w.Bytes()))
+	} else {
+		r.contig = buf.AllocAligned(int(w.Bytes()))
+		// The reference payload is the packed pattern so receivers can
+		// verify it with the same check as every other scheme.
+		ty, err := w.VectorType()
+		if err != nil {
+			return err
+		}
+		if _, err := ty.Pack(r.src, 1, r.contig); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *referenceRunner) Ping() error {
+	if err := r.c.Send(r.contig, r.peer, pingTag); err != nil {
+		return err
+	}
+	return r.waitPong()
+}
+
+func (r *referenceRunner) Pong() error     { return r.pongTwoSided() }
+func (r *referenceRunner) Check() error    { return r.check() }
+func (r *referenceRunner) Teardown() error { return nil }
+
+// copyingRunner is §2.2: gather into a reusable contiguous buffer with
+// a user loop, then send the buffer.
+type copyingRunner struct {
+	pairState
+	sendbuf buf.Block
+}
+
+func (r *copyingRunner) Scheme() Scheme { return Copying }
+
+func (r *copyingRunner) Setup(c *mpi.Comm, w Workload, peer int) error {
+	if err := r.init(c, w, peer); err != nil {
+		return err
+	}
+	if w.Virtual {
+		r.sendbuf = buf.Virtual(int(w.Bytes()))
+	} else {
+		r.sendbuf = buf.AllocAligned(int(w.Bytes()))
+	}
+	return nil
+}
+
+func (r *copyingRunner) Ping() error {
+	r.gatherLoop(r.sendbuf)
+	if err := r.c.SendPacked(r.sendbuf, r.peer, pingTag); err != nil {
+		return err
+	}
+	return r.waitPong()
+}
+
+func (r *copyingRunner) Pong() error     { return r.pongTwoSided() }
+func (r *copyingRunner) Check() error    { return r.check() }
+func (r *copyingRunner) Teardown() error { return nil }
+
+// typedRunner is §2.3: send the derived datatype directly (vector or
+// subarray variant).
+type typedRunner struct {
+	pairState
+	scheme Scheme
+	ty     *datatype.Type
+}
+
+func (r *typedRunner) Scheme() Scheme { return r.scheme }
+
+func (r *typedRunner) Setup(c *mpi.Comm, w Workload, peer int) error {
+	if err := r.init(c, w, peer); err != nil {
+		return err
+	}
+	var err error
+	if r.scheme == Subarray {
+		r.ty, err = w.SubarrayType()
+	} else {
+		r.ty, err = w.VectorType()
+	}
+	return err
+}
+
+func (r *typedRunner) Ping() error {
+	if err := r.c.SendType(r.src, 1, r.ty, r.peer, pingTag); err != nil {
+		return err
+	}
+	return r.waitPong()
+}
+
+func (r *typedRunner) Pong() error     { return r.pongTwoSided() }
+func (r *typedRunner) Check() error    { return r.check() }
+func (r *typedRunner) Teardown() error { return nil }
+
+// bufferedRunner is §2.4: attach a user buffer, MPI_Bsend the derived
+// type.
+type bufferedRunner struct {
+	pairState
+	ty       *datatype.Type
+	attached bool
+}
+
+func (r *bufferedRunner) Scheme() Scheme { return Buffered }
+
+func (r *bufferedRunner) Setup(c *mpi.Comm, w Workload, peer int) error {
+	if err := r.init(c, w, peer); err != nil {
+		return err
+	}
+	var err error
+	if r.ty, err = w.VectorType(); err != nil {
+		return err
+	}
+	// The sender attaches a buffer big enough for one in-flight
+	// message, like the paper's MPI_Buffer_attach before MPI_Bsend.
+	if c.Rank() == 0 {
+		size := w.Bytes() + mpi.BsendOverheadBytes + 64
+		var backing buf.Block
+		if w.Virtual {
+			backing = buf.Virtual(int(size))
+		} else {
+			backing = buf.AllocAligned(int(size))
+		}
+		if err := c.BufferAttach(backing); err != nil {
+			return err
+		}
+		r.attached = true
+	}
+	return nil
+}
+
+func (r *bufferedRunner) Ping() error {
+	if err := r.c.BsendType(r.src, 1, r.ty, r.peer, pingTag); err != nil {
+		return err
+	}
+	return r.waitPong()
+}
+
+func (r *bufferedRunner) Pong() error  { return r.pongTwoSided() }
+func (r *bufferedRunner) Check() error { return r.check() }
+
+func (r *bufferedRunner) Teardown() error {
+	if r.attached {
+		r.attached = false
+		_, err := r.c.BufferDetach()
+		return err
+	}
+	return nil
+}
+
+// oneSidedRunner is §2.5: MPI_Put of the derived type surrounded by
+// active-target fences; the timers surround the fences.
+type oneSidedRunner struct {
+	pairState
+	ty  *datatype.Type
+	win *mpi.Win
+}
+
+func (r *oneSidedRunner) Scheme() Scheme { return OneSided }
+
+func (r *oneSidedRunner) Setup(c *mpi.Comm, w Workload, peer int) error {
+	if err := r.init(c, w, peer); err != nil {
+		return err
+	}
+	var err error
+	if r.ty, err = w.VectorType(); err != nil {
+		return err
+	}
+	// Both ranks expose their contiguous receive buffer; only the
+	// target's is written.
+	r.win, err = c.WinCreate(r.recvbuf)
+	return err
+}
+
+func (r *oneSidedRunner) Ping() error {
+	if err := r.win.Fence(); err != nil {
+		return err
+	}
+	if err := r.win.Put(r.src, 1, r.ty, r.peer, 0); err != nil {
+		return err
+	}
+	return r.win.Fence()
+}
+
+func (r *oneSidedRunner) Pong() error {
+	if err := r.win.Fence(); err != nil {
+		return err
+	}
+	return r.win.Fence()
+}
+
+func (r *oneSidedRunner) Check() error { return r.check() }
+
+func (r *oneSidedRunner) Teardown() error {
+	if r.win == nil {
+		return nil
+	}
+	err := r.win.Free()
+	r.win = nil
+	return err
+}
+
+// packRunner covers §2.6: explicit MPI_Pack into a user buffer, then a
+// contiguous send of the packed bytes. PackVector issues one pack call
+// on the whole vector datatype; PackElement pays one pack call per
+// element — the scheme the paper predicts to perform "very badly".
+type packRunner struct {
+	pairState
+	scheme  Scheme
+	ty      *datatype.Type
+	sendbuf buf.Block
+}
+
+func (r *packRunner) Scheme() Scheme { return r.scheme }
+
+func (r *packRunner) Setup(c *mpi.Comm, w Workload, peer int) error {
+	if err := r.init(c, w, peer); err != nil {
+		return err
+	}
+	var err error
+	if r.ty, err = w.VectorType(); err != nil {
+		return err
+	}
+	if w.Virtual {
+		r.sendbuf = buf.Virtual(int(w.Bytes()))
+	} else {
+		r.sendbuf = buf.AllocAligned(int(w.Bytes()))
+	}
+	return nil
+}
+
+func (r *packRunner) Ping() error {
+	var pos int64
+	switch r.scheme {
+	case PackVector:
+		// One MPI_Pack call on the whole derived type (§4.3: as
+		// efficient as the user copy loop).
+		if err := r.c.Pack(r.src, 1, r.ty, r.sendbuf, &pos); err != nil {
+			return err
+		}
+	case PackElement:
+		// One MPI_Pack call per element: the per-call overhead
+		// dominates. The calls are priced individually and the data
+		// moves through the same pack engine.
+		elems := r.w.Elems()
+		r.c.Charge(float64(elems) * r.c.Profile().CallOverhead)
+		st := layout.Describe(r.w.Layout())
+		r.c.Charge(r.c.Cache().GatherCost(r.src.Region(), r.sendbuf.Region(), st))
+		if !r.w.Virtual {
+			if _, err := r.ty.Pack(r.src, 1, r.sendbuf); err != nil {
+				return err
+			}
+		}
+		pos = r.w.Bytes()
+	}
+	if err := r.c.SendPacked(r.sendbuf.Slice(0, int(pos)), r.peer, pingTag); err != nil {
+		return err
+	}
+	return r.waitPong()
+}
+
+func (r *packRunner) Pong() error     { return r.pongTwoSided() }
+func (r *packRunner) Check() error    { return r.check() }
+func (r *packRunner) Teardown() error { return nil }

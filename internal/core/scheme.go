@@ -1,0 +1,92 @@
+// Package core implements the paper's contribution as a reusable
+// library: the eight schemes for sending non-contiguous data that the
+// study compares (§2), behind one Runner interface driven by the
+// ping-pong harness, plus the recommendation engine that
+// operationalises the paper's conclusion (§5).
+//
+// Scheme ↔ paper legend mapping:
+//
+//	Reference    "reference"   contiguous MPI_Send baseline
+//	Copying      "copying"     manual gather loop + MPI_Send
+//	Buffered     "buffered"    MPI_Buffer_attach + MPI_Bsend of a derived type
+//	VectorType   "vector type" MPI_Type_vector sent directly
+//	Subarray     "subarray"    MPI_Type_create_subarray sent directly
+//	OneSided     "onesided"    MPI_Put of a derived type between MPI_Win_fence pairs
+//	PackElement  "packing(e)"  one MPI_Pack call per element, send the buffer
+//	PackVector   "packing(v)"  one MPI_Pack call on a vector type, send the buffer
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Scheme identifies one of the paper's send schemes.
+type Scheme int
+
+// The eight schemes of the study, in the order of the figures' legend.
+const (
+	Reference Scheme = iota
+	Copying
+	Buffered
+	VectorType
+	Subarray
+	OneSided
+	PackElement
+	PackVector
+)
+
+var schemeNames = map[Scheme]string{
+	Reference:   "reference",
+	Copying:     "copying",
+	Buffered:    "buffered",
+	VectorType:  "vector type",
+	Subarray:    "subarray",
+	OneSided:    "onesided",
+	PackElement: "packing(e)",
+	PackVector:  "packing(v)",
+}
+
+// String returns the paper's legend label for the scheme.
+func (s Scheme) String() string {
+	if n, ok := schemeNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// Schemes lists all schemes in legend order.
+func Schemes() []Scheme {
+	return []Scheme{Reference, Copying, Buffered, VectorType, Subarray, OneSided, PackElement, PackVector}
+}
+
+// SchemeByName resolves a legend label (or a few aliases) to a Scheme.
+func SchemeByName(name string) (Scheme, error) {
+	aliases := map[string]Scheme{
+		"reference":   Reference,
+		"copying":     Copying,
+		"copy":        Copying,
+		"buffered":    Buffered,
+		"bsend":       Buffered,
+		"vector type": VectorType,
+		"vector":      VectorType,
+		"subarray":    Subarray,
+		"onesided":    OneSided,
+		"one-sided":   OneSided,
+		"packing(e)":  PackElement,
+		"packing(v)":  PackVector,
+	}
+	if s, ok := aliases[name]; ok {
+		return s, nil
+	}
+	known := make([]string, 0, len(aliases))
+	for k := range aliases {
+		known = append(known, k)
+	}
+	sort.Strings(known)
+	return 0, fmt.Errorf("core: unknown scheme %q (known: %v)", name, known)
+}
+
+// NonContiguous reports whether the scheme actually transfers a
+// non-contiguous layout (everything except the reference baseline).
+func (s Scheme) NonContiguous() bool { return s != Reference }

@@ -1,0 +1,127 @@
+package datatype
+
+import (
+	"testing"
+
+	"repro/internal/buf"
+)
+
+func benchVector(b *testing.B, count, blocklen, stride int) (*Type, buf.Block, buf.Block) {
+	b.Helper()
+	ty, err := Vector(count, blocklen, stride, Float64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ty.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	src := buf.Alloc(int(ty.Extent()))
+	src.FillPattern(1)
+	dst := buf.Alloc(int(ty.Size()))
+	return ty, src, dst
+}
+
+func BenchmarkPackEveryOther1MB(b *testing.B) {
+	ty, src, dst := benchVector(b, 1<<17, 1, 2)
+	b.SetBytes(ty.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ty.Pack(src, 1, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPackBlocked1MB(b *testing.B) {
+	ty, src, dst := benchVector(b, 1<<11, 64, 128)
+	b.SetBytes(ty.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ty.Pack(src, 1, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnpackEveryOther1MB(b *testing.B) {
+	ty, src, dst := benchVector(b, 1<<17, 1, 2)
+	if _, err := ty.Pack(src, 1, dst); err != nil {
+		b.Fatal(err)
+	}
+	back := buf.Alloc(int(ty.Extent()))
+	b.SetBytes(ty.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ty.Unpack(dst, 1, back); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChunkedPacker(b *testing.B) {
+	ty, src, _ := benchVector(b, 1<<17, 1, 2)
+	chunk := buf.Alloc(64 << 10)
+	b.SetBytes(ty.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := ty.NewPacker(src, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for p.Remaining() > 0 {
+			if _, err := p.Pack(chunk); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkVectorConstructHuge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ty, err := Vector(100_000_000, 1, 2, Float64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ty.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStatsClosedForm(b *testing.B) {
+	ty, err := Vector(100_000_000, 1, 2, Float64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = ty.Commit()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := ty.Stats(1)
+		if st.Segments == 0 {
+			b.Fatal("empty stats")
+		}
+	}
+}
+
+func BenchmarkVirtualPackHuge(b *testing.B) {
+	ty, err := Vector(100_000_000, 1, 2, Float64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = ty.Commit()
+	src := buf.Virtual(int(ty.Extent()))
+	chunk := buf.Virtual(512 << 10)
+	b.SetBytes(ty.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := ty.NewPacker(src, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for p.Remaining() > 0 {
+			if _, err := p.Pack(chunk); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

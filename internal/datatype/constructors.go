@@ -1,0 +1,446 @@
+package datatype
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+)
+
+// Basic predeclared types, mirroring the MPI basic datatypes the
+// benchmark uses. They are committed at package initialisation.
+var (
+	Byte       = newBasic("MPI_BYTE", 1)
+	Char       = newBasic("MPI_CHAR", 1)
+	Int32      = newBasic("MPI_INT32", 4)
+	Int64      = newBasic("MPI_INT64", 8)
+	Float32    = newBasic("MPI_FLOAT", 4)
+	Float64    = newBasic("MPI_DOUBLE", 8)
+	Complex128 = newBasic("MPI_DOUBLE_COMPLEX", 16)
+)
+
+func newBasic(name string, size int64) *Type {
+	return &Type{
+		kind:      KindBasic,
+		name:      name,
+		committed: true,
+		size:      size,
+		lb:        0,
+		ub:        size,
+		alignment: size,
+		r:         regularRuns(0, size, 0, 1),
+	}
+}
+
+// Packed is the analogue of MPI_PACKED: a committed byte type used as
+// the element type of explicitly packed buffers.
+var Packed = newBasic("MPI_PACKED", 1)
+
+// Contiguous builds a type of count consecutive copies of base
+// (MPI_Type_contiguous).
+func Contiguous(count int, base *Type) (*Type, error) {
+	if err := checkBase(base); err != nil {
+		return nil, err
+	}
+	if count < 0 {
+		return nil, fmt.Errorf("%w: contiguous count %d", ErrArgument, count)
+	}
+	r, err := replicate(base.r, base.Extent(), int64(count))
+	if err != nil {
+		return nil, err
+	}
+	t := &Type{
+		kind:      KindContiguous,
+		size:      int64(count) * base.size,
+		lb:        base.lb,
+		ub:        base.lb + int64(count)*base.Extent(),
+		alignment: base.alignment,
+		r:         r,
+	}
+	if count == 0 {
+		t.lb, t.ub = 0, 0
+	}
+	return t, nil
+}
+
+// Vector builds count blocks of blocklen base elements whose starts
+// are stride base-extents apart (MPI_Type_vector). stride may exceed
+// blocklen (gaps) or equal it (contiguous); negative strides are not
+// supported because our buffers are addressed from offset zero.
+func Vector(count, blocklen, stride int, base *Type) (*Type, error) {
+	if err := checkBase(base); err != nil {
+		return nil, err
+	}
+	return hvector(KindVector, count, blocklen, int64(stride)*base.Extent(), base)
+}
+
+// Hvector is Vector with the stride given in bytes
+// (MPI_Type_create_hvector).
+func Hvector(count, blocklen int, strideBytes int64, base *Type) (*Type, error) {
+	if err := checkBase(base); err != nil {
+		return nil, err
+	}
+	return hvector(KindHvector, count, blocklen, strideBytes, base)
+}
+
+func hvector(kind Kind, count, blocklen int, strideBytes int64, base *Type) (*Type, error) {
+	if count < 0 || blocklen < 0 {
+		return nil, fmt.Errorf("%w: vector count %d blocklen %d", ErrArgument, count, blocklen)
+	}
+	if count > 0 && blocklen > 0 && strideBytes < 0 {
+		return nil, fmt.Errorf("%w: negative stride %d not supported", ErrArgument, strideBytes)
+	}
+	// One block: blocklen contiguous copies of base.
+	block, err := replicate(base.r, base.Extent(), int64(blocklen))
+	if err != nil {
+		return nil, err
+	}
+	blockExtent := int64(blocklen) * base.Extent()
+	if count > 0 && blocklen > 0 && strideBytes < blockExtent {
+		return nil, fmt.Errorf("%w: stride %d bytes under block extent %d", ErrOverlap, strideBytes, blockExtent)
+	}
+	var r runs
+	if block.regular && block.n == 1 {
+		// The common dense-block case: a pure regular pattern.
+		r = regularRuns(block.start, block.runLen, strideBytes-block.runLen, int64(count))
+	} else {
+		r, err = replicate(block, strideBytes, int64(count))
+		if err != nil {
+			return nil, err
+		}
+	}
+	var ub int64
+	if count > 0 && blocklen > 0 {
+		ub = base.lb + int64(count-1)*strideBytes + blockExtent
+	}
+	t := &Type{
+		kind:      kind,
+		size:      int64(count) * int64(blocklen) * base.size,
+		lb:        base.lb,
+		ub:        ub,
+		alignment: base.alignment,
+		r:         r,
+	}
+	if t.size == 0 {
+		t.lb, t.ub = 0, 0
+	}
+	return t, nil
+}
+
+// Indexed builds blocks of blocklens[i] base elements displaced by
+// displs[i] base-extents (MPI_Type_indexed).
+func Indexed(blocklens, displs []int, base *Type) (*Type, error) {
+	if err := checkBase(base); err != nil {
+		return nil, err
+	}
+	if len(blocklens) != len(displs) {
+		return nil, fmt.Errorf("%w: %d blocklens but %d displacements", ErrArgument, len(blocklens), len(displs))
+	}
+	bdispls := make([]int64, len(displs))
+	for i, d := range displs {
+		bdispls[i] = int64(d) * base.Extent()
+	}
+	blens := append([]int(nil), blocklens...)
+	return hindexed(KindIndexed, blens, bdispls, base)
+}
+
+// Hindexed is Indexed with byte displacements
+// (MPI_Type_create_hindexed).
+func Hindexed(blocklens []int, displsBytes []int64, base *Type) (*Type, error) {
+	if err := checkBase(base); err != nil {
+		return nil, err
+	}
+	if len(blocklens) != len(displsBytes) {
+		return nil, fmt.Errorf("%w: %d blocklens but %d displacements", ErrArgument, len(blocklens), len(displsBytes))
+	}
+	return hindexed(KindHindexed, append([]int(nil), blocklens...), append([]int64(nil), displsBytes...), base)
+}
+
+// IndexedBlock builds equally sized blocks at the given base-extent
+// displacements (MPI_Type_create_indexed_block).
+func IndexedBlock(blocklen int, displs []int, base *Type) (*Type, error) {
+	if err := checkBase(base); err != nil {
+		return nil, err
+	}
+	blocklens := make([]int, len(displs))
+	bdispls := make([]int64, len(displs))
+	for i, d := range displs {
+		blocklens[i] = blocklen
+		bdispls[i] = int64(d) * base.Extent()
+	}
+	return hindexed(KindIndexedBlock, blocklens, bdispls, base)
+}
+
+func hindexed(kind Kind, blocklens []int, displs []int64, base *Type) (*Type, error) {
+	var segs []layout.Segment
+	var size int64
+	lb, ub := int64(0), int64(0)
+	first := true
+	for i, bl := range blocklens {
+		if bl < 0 {
+			return nil, fmt.Errorf("%w: blocklen %d", ErrArgument, bl)
+		}
+		if bl == 0 {
+			continue
+		}
+		block, err := replicate(base.r, base.Extent(), int64(bl))
+		if err != nil {
+			return nil, err
+		}
+		block = block.shifted(displs[i])
+		if !block.forEach(0, func(s layout.Segment) bool {
+			segs = append(segs, s)
+			return int64(len(segs)) <= maxMaterialize
+		}) {
+			return nil, errTooManySegments(int64(len(segs)))
+		}
+		size += int64(bl) * base.size
+		blb := displs[i] + base.lb
+		bub := displs[i] + base.lb + int64(bl)*base.Extent()
+		if first || blb < lb {
+			lb = blb
+		}
+		if first || bub > ub {
+			ub = bub
+		}
+		first = false
+	}
+	r, err := irregularRuns(segs)
+	if err != nil {
+		return nil, err
+	}
+	return &Type{
+		kind:      kind,
+		size:      size,
+		lb:        lb,
+		ub:        ub,
+		alignment: base.alignment,
+		r:         r,
+	}, nil
+}
+
+// Struct builds a heterogeneous type: blocklens[i] copies of types[i]
+// at byte displacement displs[i] (MPI_Type_create_struct). The extent
+// is padded to the alignment of the largest basic component, the
+// "epsilon" of the MPI standard.
+func Struct(blocklens []int, displs []int64, types []*Type) (*Type, error) {
+	if len(blocklens) != len(displs) || len(blocklens) != len(types) {
+		return nil, fmt.Errorf("%w: struct arrays disagree: %d/%d/%d", ErrArgument, len(blocklens), len(displs), len(types))
+	}
+	if len(types) == 0 {
+		return nil, fmt.Errorf("%w: empty struct", ErrArgument)
+	}
+	var segs []layout.Segment
+	var size int64
+	var align int64 = 1
+	lb, ub := int64(0), int64(0)
+	first := true
+	for i, ft := range types {
+		if err := checkBase(ft); err != nil {
+			return nil, fmt.Errorf("struct field %d: %w", i, err)
+		}
+		if blocklens[i] < 0 {
+			return nil, fmt.Errorf("%w: struct field %d blocklen %d", ErrArgument, i, blocklens[i])
+		}
+		if ft.alignment > align {
+			align = ft.alignment
+		}
+		if blocklens[i] == 0 {
+			continue
+		}
+		block, err := replicate(ft.r, ft.Extent(), int64(blocklens[i]))
+		if err != nil {
+			return nil, err
+		}
+		block = block.shifted(displs[i])
+		if !block.forEach(0, func(s layout.Segment) bool {
+			segs = append(segs, s)
+			return int64(len(segs)) <= maxMaterialize
+		}) {
+			return nil, errTooManySegments(int64(len(segs)))
+		}
+		size += int64(blocklens[i]) * ft.size
+		flb := displs[i] + ft.lb
+		fub := displs[i] + ft.lb + int64(blocklens[i])*ft.Extent()
+		if first || flb < lb {
+			lb = flb
+		}
+		if first || fub > ub {
+			ub = fub
+		}
+		first = false
+	}
+	// Pad the upper bound to the strictest member alignment.
+	if span := ub - lb; span%align != 0 {
+		ub += align - span%align
+	}
+	r, err := irregularRuns(segs)
+	if err != nil {
+		return nil, err
+	}
+	return &Type{
+		kind:      KindStruct,
+		size:      size,
+		lb:        lb,
+		ub:        ub,
+		alignment: align,
+		r:         r,
+	}, nil
+}
+
+// Order selects array storage order for Subarray.
+type Order int
+
+// Storage orders, mirroring MPI_ORDER_C and MPI_ORDER_FORTRAN.
+const (
+	OrderC Order = iota
+	OrderFortran
+)
+
+// Subarray selects a rectangular region of an N-dimensional array
+// (MPI_Type_create_subarray): sizes is the full array shape, subsizes
+// the selected block, starts its origin, all in elements of base.
+// Like MPI, the extent of the resulting type is the extent of the
+// whole parent array.
+func Subarray(sizes, subsizes, starts []int, order Order, base *Type) (*Type, error) {
+	if err := checkBase(base); err != nil {
+		return nil, err
+	}
+	nd := len(sizes)
+	if nd == 0 || len(subsizes) != nd || len(starts) != nd {
+		return nil, fmt.Errorf("%w: subarray dims disagree: %d/%d/%d", ErrArgument, nd, len(subsizes), len(starts))
+	}
+	for d := 0; d < nd; d++ {
+		if sizes[d] <= 0 || subsizes[d] < 0 || starts[d] < 0 || starts[d]+subsizes[d] > sizes[d] {
+			return nil, fmt.Errorf("%w: subarray dim %d: size %d subsize %d start %d", ErrArgument, d, sizes[d], subsizes[d], starts[d])
+		}
+	}
+	// Normalise to C order: dimension 0 slowest.
+	csizes := append([]int(nil), sizes...)
+	csub := append([]int(nil), subsizes...)
+	cstart := append([]int(nil), starts...)
+	if order == OrderFortran {
+		reverse(csizes)
+		reverse(csub)
+		reverse(cstart)
+	}
+	ext := base.Extent()
+	// Row length in elements of the fastest dimension.
+	rowElems := int64(csub[nd-1])
+	parentRow := int64(csizes[nd-1])
+	// Build the runs: iterate all outer index tuples, emit one run per
+	// innermost row. The run count is the product of outer subsizes.
+	nrows := int64(1)
+	for d := 0; d < nd-1; d++ {
+		nrows *= int64(csub[d])
+	}
+	var totalElems int64 = nrows * rowElems
+	var r runs
+	switch {
+	case totalElems == 0:
+		r = emptyRuns()
+	case nd == 1 || nrows == 1:
+		off := int64(0)
+		stride := int64(1)
+		for d := nd - 1; d >= 0; d-- {
+			off += int64(cstart[d]) * stride
+			stride *= int64(csizes[d])
+		}
+		r = regularRuns(off*ext, rowElems*ext, 0, 1)
+	case nd == 2:
+		off := (int64(cstart[0])*parentRow + int64(cstart[1])) * ext
+		r = regularRuns(off, rowElems*ext, (parentRow-rowElems)*ext, int64(csub[0]))
+	default:
+		// General N-d: materialise one run per row.
+		if nrows > maxMaterialize {
+			return nil, errTooManySegments(nrows)
+		}
+		strides := make([]int64, nd) // element stride of each dim in the parent
+		strides[nd-1] = 1
+		for d := nd - 2; d >= 0; d-- {
+			strides[d] = strides[d+1] * int64(csizes[d+1])
+		}
+		idx := make([]int, nd-1)
+		segs := make([]layout.Segment, 0, nrows)
+		for {
+			off := int64(cstart[nd-1])
+			for d := 0; d < nd-1; d++ {
+				off += int64(cstart[d]+idx[d]) * strides[d]
+			}
+			segs = append(segs, layout.Segment{Off: off * ext, Len: rowElems * ext})
+			// Odometer increment over the outer dimensions.
+			d := nd - 2
+			for ; d >= 0; d-- {
+				idx[d]++
+				if idx[d] < csub[d] {
+					break
+				}
+				idx[d] = 0
+			}
+			if d < 0 {
+				break
+			}
+		}
+		var err error
+		r, err = irregularRuns(segs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	parentElems := int64(1)
+	for _, s := range csizes {
+		parentElems *= int64(s)
+	}
+	return &Type{
+		kind:      KindSubarray,
+		size:      totalElems * base.size,
+		lb:        0,
+		ub:        parentElems * ext, // MPI: extent of the whole parent array
+		alignment: base.alignment,
+		r:         r,
+	}, nil
+}
+
+func reverse(xs []int) {
+	for i, j := 0, len(xs)-1; i < j; i, j = i+1, j-1 {
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// Resized overrides lb and extent without moving data
+// (MPI_Type_create_resized).
+func Resized(base *Type, lb, extent int64) (*Type, error) {
+	if err := checkBase(base); err != nil {
+		return nil, err
+	}
+	if extent < 0 {
+		return nil, fmt.Errorf("%w: negative extent %d", ErrArgument, extent)
+	}
+	return &Type{
+		kind:      KindResized,
+		size:      base.size,
+		lb:        lb,
+		ub:        lb + extent,
+		alignment: base.alignment,
+		r:         base.r,
+	}, nil
+}
+
+// Dup clones a type (MPI_Type_dup). The clone starts uncommitted
+// unless the source is basic.
+func Dup(base *Type) (*Type, error) {
+	if err := checkBase(base); err != nil {
+		return nil, err
+	}
+	t := *base
+	t.kind = KindDup
+	t.committed = base.kind == KindBasic
+	t.name = ""
+	return &t, nil
+}
+
+func checkBase(base *Type) error {
+	if base == nil {
+		return fmt.Errorf("%w: nil base type", ErrArgument)
+	}
+	return nil
+}

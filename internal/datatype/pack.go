@@ -1,0 +1,270 @@
+package datatype
+
+import (
+	"fmt"
+
+	"repro/internal/buf"
+	"repro/internal/layout"
+)
+
+// PackSize returns the number of bytes count instances pack to
+// (MPI_Pack_size without the implementation slack).
+func (t *Type) PackSize(count int) int64 {
+	if count <= 0 {
+		return 0
+	}
+	return int64(count) * t.size
+}
+
+// checkUse validates a communication/pack use of the type against a
+// buffer of bufLen bytes.
+func (t *Type) checkUse(count int, bufLen int) error {
+	if !t.committed {
+		return ErrNotCommitted
+	}
+	if count < 0 {
+		return fmt.Errorf("%w: negative count %d", ErrArgument, count)
+	}
+	if count == 0 || t.size == 0 {
+		return nil
+	}
+	if t.r.first() < 0 {
+		return fmt.Errorf("%w: type touches offset %d before buffer start", ErrBounds, t.r.first())
+	}
+	last := int64(count-1)*t.Extent() + t.r.last()
+	if last > int64(bufLen) {
+		return fmt.Errorf("%w: type needs %d bytes, buffer has %d", ErrBounds, last, bufLen)
+	}
+	return nil
+}
+
+// Pack gathers count instances of the type from src into dst,
+// returning the bytes written (MPI_Pack of the full message). dst must
+// hold at least PackSize(count) bytes.
+func (t *Type) Pack(src buf.Block, count int, dst buf.Block) (int64, error) {
+	need := t.PackSize(count)
+	if int64(dst.Len()) < need {
+		return 0, fmt.Errorf("%w: need %d bytes, destination has %d", ErrTruncate, need, dst.Len())
+	}
+	p, err := t.NewPacker(src, count)
+	if err != nil {
+		return 0, err
+	}
+	return p.Pack(dst)
+}
+
+// Unpack scatters packed bytes from src into count instances of the
+// type laid out in dst (MPI_Unpack of the full message).
+func (t *Type) Unpack(src buf.Block, count int, dst buf.Block) (int64, error) {
+	need := t.PackSize(count)
+	if int64(src.Len()) < need {
+		return 0, fmt.Errorf("%w: need %d packed bytes, source has %d", ErrTruncate, need, src.Len())
+	}
+	u, err := t.NewUnpacker(dst, count)
+	if err != nil {
+		return 0, err
+	}
+	return u.Unpack(src)
+}
+
+// Packer streams the packed byte sequence of (count × type) out of a
+// user buffer in arbitrary-sized pieces. The MPI-internal chunked
+// sends of internal/simnet drain one chunk at a time; packing(v)
+// drains everything at once. Random access into regular runs is O(1),
+// so a packer never materialises segment lists.
+type Packer struct {
+	c cursor
+}
+
+// NewPacker validates the (buffer, count, type) triple and returns a
+// streaming packer.
+func (t *Type) NewPacker(src buf.Block, count int) (*Packer, error) {
+	if err := t.checkUse(count, src.Len()); err != nil {
+		return nil, err
+	}
+	return &Packer{c: newCursor(t, src, count)}, nil
+}
+
+// Remaining returns the unpacked bytes left in the stream.
+func (p *Packer) Remaining() int64 { return p.c.remaining() }
+
+// Pack fills dst with the next min(dst.Len(), Remaining()) bytes of
+// the packed stream and returns how many were produced.
+func (p *Packer) Pack(dst buf.Block) (int64, error) {
+	return p.c.transfer(dst, packDirection)
+}
+
+// Unpacker is the inverse stream: packed bytes in, scattered layout
+// out.
+type Unpacker struct {
+	c cursor
+}
+
+// NewUnpacker validates the triple and returns a streaming unpacker
+// writing into dst.
+func (t *Type) NewUnpacker(dst buf.Block, count int) (*Unpacker, error) {
+	if err := t.checkUse(count, dst.Len()); err != nil {
+		return nil, err
+	}
+	return &Unpacker{c: newCursor(t, dst, count)}, nil
+}
+
+// Remaining returns the packed bytes still expected.
+func (u *Unpacker) Remaining() int64 { return u.c.remaining() }
+
+// Unpack consumes src and scatters it into the user buffer, returning
+// the bytes consumed.
+func (u *Unpacker) Unpack(src buf.Block) (int64, error) {
+	return u.c.transfer(src, unpackDirection)
+}
+
+type direction int
+
+const (
+	packDirection direction = iota
+	unpackDirection
+)
+
+// cursor tracks a position in the packed byte stream of (count×type)
+// over a user buffer.
+type cursor struct {
+	t     *Type
+	user  buf.Block
+	count int64
+
+	inst   int64 // current instance
+	segIdx int64 // segment index within instance
+	segOff int64 // bytes consumed within current segment
+	done   int64 // total bytes transferred
+}
+
+func newCursor(t *Type, user buf.Block, count int) cursor {
+	return cursor{t: t, user: user, count: int64(count)}
+}
+
+func (c *cursor) total() int64     { return c.count * c.t.size }
+func (c *cursor) remaining() int64 { return c.total() - c.done }
+
+// transfer moves up to other.Len() bytes between the packed stream
+// (other) and the user buffer, in the given direction.
+func (c *cursor) transfer(other buf.Block, dir direction) (int64, error) {
+	want := int64(other.Len())
+	if r := c.remaining(); want > r {
+		want = r
+	}
+	if want == 0 {
+		return 0, nil
+	}
+	// Virtual fast path: no byte movement, just cursor arithmetic.
+	if c.user.IsVirtual() || other.IsVirtual() {
+		c.skip(want)
+		return want, nil
+	}
+	var moved int64
+	ext := c.t.Extent()
+	for moved < want {
+		seg := c.t.r.seg(c.segIdx)
+		segBase := c.inst*ext + seg.Off
+		n := seg.Len - c.segOff
+		if n > want-moved {
+			n = want - moved
+		}
+		userOff := segBase + c.segOff
+		switch dir {
+		case packDirection:
+			buf.CopyAt(other, int(moved), c.user, int(userOff), int(n))
+		case unpackDirection:
+			buf.CopyAt(c.user, int(userOff), other, int(moved), int(n))
+		}
+		moved += n
+		c.advance(n)
+	}
+	return moved, nil
+}
+
+// advance moves the cursor n bytes forward within the current segment,
+// rolling over segments and instances.
+func (c *cursor) advance(n int64) {
+	c.segOff += n
+	c.done += n
+	for c.segOff >= c.t.r.seg(c.segIdx).Len && c.done < c.total() {
+		c.segOff = 0
+		c.segIdx++
+		if c.segIdx >= c.t.r.n {
+			c.segIdx = 0
+			c.inst++
+		}
+	}
+}
+
+// skip advances the cursor by n stream bytes without touching data.
+func (c *cursor) skip(n int64) {
+	if c.t.size == 0 {
+		return
+	}
+	pos := c.done + n
+	c.done = pos
+	if pos >= c.total() {
+		return
+	}
+	c.inst = pos / c.t.size
+	rem := pos % c.t.size
+	if c.t.r.regular {
+		c.segIdx = rem / c.t.r.runLen
+		c.segOff = rem % c.t.r.runLen
+		return
+	}
+	c.segIdx = 0
+	for rem >= c.t.r.segs[c.segIdx].Len {
+		rem -= c.t.r.segs[c.segIdx].Len
+		c.segIdx++
+	}
+	c.segOff = rem
+}
+
+// typeLayout adapts (count × type) to the layout.Layout interface.
+type typeLayout struct {
+	t     *Type
+	count int64
+}
+
+// Layout exposes count instances of the type as a geometric layout for
+// the memory model and the harness. Iteration is lazy; nothing is
+// materialised.
+func (t *Type) Layout(count int) layout.Layout {
+	return typeLayout{t: t, count: int64(count)}
+}
+
+// Size implements layout.Layout.
+func (l typeLayout) Size() int64 { return l.count * l.t.size }
+
+// Extent implements layout.Layout: the highest byte offset one past
+// the last touched byte.
+func (l typeLayout) Extent() int64 {
+	if l.count == 0 || l.t.r.n == 0 {
+		return 0
+	}
+	return (l.count-1)*l.t.Extent() + l.t.r.last()
+}
+
+// SegmentCount implements layout.Layout (cross-instance coalescing is
+// not counted).
+func (l typeLayout) SegmentCount() int { return int(l.count * l.t.r.n) }
+
+// ForEach implements layout.Layout.
+func (l typeLayout) ForEach(fn func(layout.Segment) bool) {
+	ext := l.t.Extent()
+	for i := int64(0); i < l.count; i++ {
+		if !l.t.r.forEach(i*ext, fn) {
+			return
+		}
+	}
+}
+
+// Name implements layout.Layout.
+func (l typeLayout) Name() string { return l.t.kind.String() }
+
+// DescribeFast lets layout.Describe use the closed-form statistics.
+func (l typeLayout) DescribeFast() (layout.Stats, bool) {
+	return l.t.Stats(int(l.count)), true
+}

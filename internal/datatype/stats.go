@@ -1,0 +1,126 @@
+package datatype
+
+import (
+	"math"
+
+	"repro/internal/layout"
+)
+
+// Stats returns the layout statistics of count instances in closed
+// form: regular runs never iterate, and irregular runs iterate one
+// instance only, combining across instances analytically. The memory
+// model prices gather loops from these numbers, so this must stay O(1)
+// in the payload size.
+func (t *Type) Stats(count int) layout.Stats {
+	c := int64(count)
+	if c <= 0 || t.r.n == 0 || t.size == 0 {
+		return layout.Stats{}
+	}
+	ext := t.Extent()
+	span := t.r.last() - t.r.first()
+	st := layout.Stats{
+		Segments: int(c * t.r.n),
+		Bytes:    c * t.size,
+		Extent:   (c-1)*ext + t.r.last(),
+	}
+
+	// Per-instance block statistics.
+	var blockMin, blockMax, blockSum int64
+	var gapAcc gapAccumulator
+	if t.r.regular {
+		blockMin, blockMax = t.r.runLen, t.r.runLen
+		blockSum = t.r.n * t.r.runLen
+		if t.r.n > 1 {
+			gapAcc.add(t.r.gap, t.r.n-1)
+		}
+	} else {
+		blockMin = math.MaxInt64
+		var prevEnd int64 = -1
+		for _, s := range t.r.segs {
+			blockSum += s.Len
+			if s.Len < blockMin {
+				blockMin = s.Len
+			}
+			if s.Len > blockMax {
+				blockMax = s.Len
+			}
+			if prevEnd >= 0 {
+				gapAcc.add(s.Off-prevEnd, 1)
+			}
+			prevEnd = s.End()
+		}
+	}
+	st.MinBlock, st.MaxBlock = blockMin, blockMax
+	st.AvgBlock = float64(blockSum) / float64(t.r.n)
+
+	// Scale intra-instance gaps by the instance count and add the
+	// cross-instance gaps.
+	gapAcc.scale(c)
+	if c > 1 {
+		// Instance i ends at i*ext+first+span; instance i+1's first run
+		// starts at (i+1)*ext+first, so the cross-instance gap is
+		// ext-span (span includes the final run's length).
+		cross := ext - span
+		if cross < 0 {
+			cross = 0
+		}
+		gapAcc.add(cross, c-1)
+	}
+	st.MinGap, st.MaxGap, st.AvgGap, st.GapJitter = gapAcc.summary()
+	if st.Extent > 0 {
+		st.Density = float64(st.Bytes) / float64(st.Extent)
+	}
+	return st
+}
+
+// gapAccumulator combines gap populations (value, multiplicity) into
+// min/max/mean/jitter without enumerating them.
+type gapAccumulator struct {
+	n     int64
+	sum   float64
+	sumSq float64
+	min   int64
+	max   int64
+	any   bool
+}
+
+func (g *gapAccumulator) add(gap, times int64) {
+	if times <= 0 {
+		return
+	}
+	if !g.any || gap < g.min {
+		g.min = gap
+	}
+	if !g.any || gap > g.max {
+		g.max = gap
+	}
+	g.any = true
+	g.n += times
+	g.sum += float64(gap) * float64(times)
+	g.sumSq += float64(gap) * float64(gap) * float64(times)
+}
+
+// scale multiplies every recorded population count by k (instances).
+func (g *gapAccumulator) scale(k int64) {
+	if k <= 1 {
+		return
+	}
+	g.n *= k
+	g.sum *= float64(k)
+	g.sumSq *= float64(k)
+}
+
+func (g *gapAccumulator) summary() (min, max int64, mean, jitter float64) {
+	if g.n == 0 {
+		return 0, 0, 0, 0
+	}
+	mean = g.sum / float64(g.n)
+	variance := g.sumSq/float64(g.n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	if mean > 0 {
+		jitter = math.Sqrt(variance) / mean
+	}
+	return g.min, g.max, mean, jitter
+}

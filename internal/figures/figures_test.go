@@ -1,0 +1,285 @@
+package figures
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+)
+
+// shapeOpts runs everything virtual and with few reps: shape tests
+// assert relationships between model times, which are deterministic,
+// so speed matters more than sample counts.
+func shapeOpts() harness.Options {
+	o := harness.DefaultOptions()
+	o.Reps = 2
+	o.MaxRealBytes = 1 // everything virtual
+	o.Verify = false
+	return o
+}
+
+// buildFig caches one figure per profile for all shape tests.
+var figCache = map[string]*Figure{}
+
+func figureFor(t *testing.T, profile string) *Figure {
+	t.Helper()
+	if f, ok := figCache[profile]; ok {
+		return f
+	}
+	sizes := []int64{1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000, 1_000_000_000}
+	f, err := Build(profile, sizes, shapeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	figCache[profile] = f
+	return f
+}
+
+func slowdown(t *testing.T, f *Figure, s core.Scheme, n int64) float64 {
+	t.Helper()
+	v, err := f.SchemeSlowdownAt(s, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// E1/§2.2: manual copying costs ≈3× the reference for large messages.
+func TestShapeCopyingFactorThree(t *testing.T) {
+	f := figureFor(t, "skx-impi")
+	for _, n := range []int64{10_000_000, 100_000_000, 1_000_000_000} {
+		sd := slowdown(t, f, core.Copying, n)
+		if sd < 2.3 || sd > 4.2 {
+			t.Errorf("copying slowdown at %d = %.2f, paper expects ≈3", n, sd)
+		}
+	}
+}
+
+// §4.3: packing a vector datatype performs the same as manual copying,
+// everywhere.
+func TestShapePackVectorTracksCopying(t *testing.T) {
+	for _, prof := range []string{"skx-impi", "skx-mvapich", "ls5-cray", "knl-impi"} {
+		f := figureFor(t, prof)
+		for _, n := range f.Sizes {
+			pv := slowdown(t, f, core.PackVector, n)
+			cp := slowdown(t, f, core.Copying, n)
+			// At tiny sizes the single extra MPI_Pack call is visible
+			// (≈1 µs on KNL), so the tolerance is looser there.
+			tol := 0.07
+			if n < 100_000 {
+				tol = 0.16
+			}
+			if pv < cp*(1-tol) || pv > cp*(1+tol) {
+				t.Errorf("%s at %d: packing(v) %.3f vs copying %.3f — must track within %d%%", prof, n, pv, cp, int(tol*100))
+			}
+		}
+	}
+}
+
+// §4.1: derived-type sends track copying up to tens of MB, then
+// degrade; packing(v) does not degrade.
+func TestShapeDerivedTypeDegradesAtLarge(t *testing.T) {
+	f := figureFor(t, "skx-impi")
+	mid := slowdown(t, f, core.VectorType, 10_000_000)
+	cpMid := slowdown(t, f, core.Copying, 10_000_000)
+	if mid > cpMid*1.15 {
+		t.Errorf("vector type at 10 MB (%.2f) should track copying (%.2f)", mid, cpMid)
+	}
+	big := slowdown(t, f, core.VectorType, 1_000_000_000)
+	cpBig := slowdown(t, f, core.Copying, 1_000_000_000)
+	if big < cpBig*1.3 {
+		t.Errorf("vector type at 1 GB (%.2f) should degrade well past copying (%.2f)", big, cpBig)
+	}
+	pvBig := slowdown(t, f, core.PackVector, 1_000_000_000)
+	if pvBig > cpBig*1.07 {
+		t.Errorf("packing(v) at 1 GB (%.2f) must not degrade (copying %.2f)", pvBig, cpBig)
+	}
+}
+
+// §2.3: vector and subarray construct the same layout and perform the
+// same.
+func TestShapeSubarrayMatchesVector(t *testing.T) {
+	f := figureFor(t, "skx-impi")
+	for _, n := range f.Sizes {
+		v := slowdown(t, f, core.VectorType, n)
+		s := slowdown(t, f, core.Subarray, n)
+		if s < v*0.95 || s > v*1.05 {
+			t.Errorf("at %d: subarray %.3f vs vector %.3f", n, s, v)
+		}
+	}
+}
+
+// §4.2: buffered sends perform worse than plain ones even at
+// intermediate sizes, and raising a fully allocated user buffer does
+// not rescue large messages.
+func TestShapeBufferedWorse(t *testing.T) {
+	for _, prof := range []string{"skx-impi", "skx-mvapich", "ls5-cray", "knl-impi"} {
+		f := figureFor(t, prof)
+		for _, n := range []int64{1_000_000, 10_000_000, 1_000_000_000} {
+			bs := slowdown(t, f, core.Buffered, n)
+			cp := slowdown(t, f, core.Copying, n)
+			if bs <= cp {
+				t.Errorf("%s at %d: buffered (%.2f) not worse than copying (%.2f)", prof, n, bs, cp)
+			}
+		}
+	}
+}
+
+// §4.4: one-sided transfer is slow for small messages (fence
+// overhead), competitive at intermediate sizes on Intel MPI, and
+// rarely competitive at large sizes.
+func TestShapeOneSidedSmallSlow(t *testing.T) {
+	f := figureFor(t, "skx-impi")
+	small := slowdown(t, f, core.OneSided, 1_000)
+	if small < 1.8 {
+		t.Errorf("one-sided at 1 KB = %.2f, expect ≥1.8 (fence overhead)", small)
+	}
+	mid := slowdown(t, f, core.OneSided, 1_000_000)
+	cp := slowdown(t, f, core.Copying, 1_000_000)
+	if mid > cp*1.6 {
+		t.Errorf("one-sided at 1 MB (%.2f) should be competitive on impi (copying %.2f)", mid, cp)
+	}
+	big := slowdown(t, f, core.OneSided, 1_000_000_000)
+	vec := slowdown(t, f, core.VectorType, 1_000_000_000)
+	if big < vec {
+		t.Errorf("one-sided at 1 GB (%.2f) should not beat the derived type (%.2f) on impi", big, vec)
+	}
+}
+
+// §4.4: under MVAPICH2 one-sided is "several factors slower" at
+// intermediate sizes.
+func TestShapeMvapichOneSidedPenalty(t *testing.T) {
+	impi := figureFor(t, "skx-impi")
+	mva := figureFor(t, "skx-mvapich")
+	n := int64(1_000_000)
+	a := slowdown(t, impi, core.OneSided, n)
+	b := slowdown(t, mva, core.OneSided, n)
+	if b < a*1.5 {
+		t.Errorf("mvapich one-sided at 1 MB (%.2f) should be well above impi (%.2f)", b, a)
+	}
+	if b < 2*slowdown(t, mva, core.Copying, n) {
+		t.Errorf("mvapich one-sided (%.2f) should be several factors over copying (%.2f)",
+			b, slowdown(t, mva, core.Copying, n))
+	}
+}
+
+// §4.8: on Cray, large one-sided is on par with the derived types.
+func TestShapeCrayOneSidedParity(t *testing.T) {
+	f := figureFor(t, "ls5-cray")
+	n := int64(1_000_000_000)
+	os := slowdown(t, f, core.OneSided, n)
+	vec := slowdown(t, f, core.VectorType, n)
+	if os < vec*0.8 || os > vec*1.25 {
+		t.Errorf("cray one-sided at 1 GB (%.2f) should be at parity with vector (%.2f)", os, vec)
+	}
+}
+
+// §2.6: element-wise packing performs predictably very badly.
+func TestShapePackElementWorst(t *testing.T) {
+	for _, prof := range []string{"skx-impi", "knl-impi"} {
+		f := figureFor(t, prof)
+		for _, n := range []int64{1_000_000, 100_000_000} {
+			pe := slowdown(t, f, core.PackElement, n)
+			for _, other := range []core.Scheme{core.Copying, core.VectorType, core.PackVector, core.Buffered} {
+				if o := slowdown(t, f, other, n); pe <= o {
+					t.Errorf("%s at %d: packing(e) (%.2f) not worse than %v (%.2f)", prof, n, pe, other, o)
+				}
+			}
+		}
+	}
+}
+
+// §4.8: KNL has the same network peak but weak cores hamper buffer
+// construction.
+func TestShapeKnlCoreBound(t *testing.T) {
+	skx := figureFor(t, "skx-impi")
+	knl := figureFor(t, "knl-impi")
+	n := int64(1_000_000_000)
+	// Reference peak bandwidth within ~25%: the paper's "same peak
+	// network performance". Peak = max over the sweep, since the very
+	// largest KNL points pay the memory-bound injection.
+	peak := func(f *Figure) float64 {
+		best := 0.0
+		for _, y := range f.Bandwidth[0].Y {
+			if y > best {
+				best = y
+			}
+		}
+		return best
+	}
+	skxBW, knlBW := peak(skx), peak(knl)
+	if knlBW < skxBW*0.7 || knlBW > skxBW*1.2 {
+		t.Errorf("KNL reference peak %.1f GB/s vs SKX %.1f GB/s — paper: same peak", knlBW, skxBW)
+	}
+	// Copying slowdown at least twice as bad.
+	if k, s := slowdown(t, knl, core.Copying, n), slowdown(t, skx, core.Copying, n); k < 2*s {
+		t.Errorf("KNL copying slowdown (%.2f) should dwarf SKX (%.2f)", k, s)
+	}
+}
+
+// §5: conclusion — packing(v) is the consistently best non-contiguous
+// scheme at the largest sizes, on every installation.
+func TestShapePackVectorWinsLarge(t *testing.T) {
+	for _, prof := range []string{"skx-impi", "skx-mvapich", "ls5-cray", "knl-impi"} {
+		f := figureFor(t, prof)
+		n := int64(1_000_000_000)
+		pv := slowdown(t, f, core.PackVector, n)
+		for _, other := range []core.Scheme{core.Buffered, core.VectorType, core.Subarray, core.OneSided, core.PackElement} {
+			if o := slowdown(t, f, other, n); pv > o*1.02 {
+				t.Errorf("%s: packing(v) (%.2f) beaten by %v (%.2f) at 1 GB", prof, pv, other, o)
+			}
+		}
+	}
+}
+
+// Bandwidth panel: the reference plateau must sit near the profile's
+// injection bandwidth for every installation, and Cray's must be
+// distinctly lower than SKX's (8 vs 12.5 GB/s panels in the paper).
+func TestShapeBandwidthPlateaus(t *testing.T) {
+	plateau := func(profile string) float64 {
+		f := figureFor(t, profile)
+		ref := f.Bandwidth[0]
+		return ref.Y[ref.Len()-1] // GB/s at the largest size
+	}
+	skx := plateau("skx-impi")
+	cray := plateau("ls5-cray")
+	if skx < 10 || skx > 13 {
+		t.Errorf("SKX reference plateau = %.1f GB/s, want ≈12.5", skx)
+	}
+	if cray < 6.5 || cray > 9 {
+		t.Errorf("Cray reference plateau = %.1f GB/s, want ≈8", cray)
+	}
+	if cray >= skx {
+		t.Error("Cray plateau should sit below SKX")
+	}
+}
+
+func TestFigureRenderAndCSV(t *testing.T) {
+	f := figureFor(t, "skx-impi")
+	var out bytes.Buffer
+	if err := f.Render(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"Time (sec)", "bwidth", "slowdown", "reference", "packing(v)"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	out.Reset()
+	if err := f.WriteCSV(&out); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(out.String(), "\n"); lines < 3*len(f.Sizes) {
+		t.Errorf("CSV too short: %d lines", lines)
+	}
+}
+
+func TestSchemeSlowdownAtUnknownScheme(t *testing.T) {
+	f := figureFor(t, "skx-impi")
+	if _, err := f.SchemeSlowdownAt(core.Scheme(77), 1000); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}

@@ -1,0 +1,67 @@
+package figures
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/perfmodel"
+)
+
+func TestPipeliningStudyRecoversReference(t *testing.T) {
+	sizes := []int64{1_000_000, 100_000_000, 1_000_000_000}
+	st, err := BuildPipeliningStudy("skx-impi", sizes, shapeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §2.3 / ref [2]: with NIC pipelining a derived-type send would
+	// perform "similarly to the reference case" — slowdown must
+	// approach 1–2 at large sizes, far below the measured ≈6.
+	last := len(sizes) - 1
+	base := st.Baseline.Y[last]
+	piped := st.Pipelined.Y[last]
+	if base < 4 {
+		t.Fatalf("baseline vector-type slowdown at 1 GB = %.2f, expected the degraded ≈6", base)
+	}
+	if piped > 2.2 {
+		t.Fatalf("pipelined vector-type slowdown at 1 GB = %.2f, expected ≈1–2 (ref [2])", piped)
+	}
+	if g := st.LargeGain(); g < 2 {
+		t.Fatalf("pipelining gain at 1 GB = %.2fx, expected ≥2x", g)
+	}
+}
+
+func TestPipeliningDoesNotChangeBaselineProfiles(t *testing.T) {
+	// All measured installations must keep pipelining off (§2.3: "in
+	// practice we don't see this performance").
+	for _, name := range []string{"skx-impi", "skx-mvapich", "ls5-cray", "knl-impi"} {
+		p, err := perfmodel.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.NICPipelining {
+			t.Errorf("%s ships with pipelining enabled", name)
+		}
+		q := p.WithPipelining()
+		if !q.NICPipelining || p.NICPipelining {
+			t.Errorf("WithPipelining mutated the original or failed to set the copy")
+		}
+		if !strings.Contains(q.Name, name) {
+			t.Errorf("derived profile name %q should reference %q", q.Name, name)
+		}
+	}
+}
+
+func TestPipeliningStudyRender(t *testing.T) {
+	st, err := BuildPipeliningStudy("skx-impi", []int64{1_000_000, 1_000_000_000}, shapeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := st.Render(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "E11") {
+		t.Error("render missing study id")
+	}
+}

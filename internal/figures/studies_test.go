@@ -1,0 +1,138 @@
+package figures
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestEagerStudyShape(t *testing.T) {
+	st, err := BuildEagerStudy("skx-impi", shapeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §4.5: raising the limit must not appreciably change large
+	// messages.
+	if d := st.LargeUnchangedByRaisedLimit(); d > 0.05 {
+		t.Errorf("raised limit changed the largest size by %.1f%%", d*100)
+	}
+	// The per-byte reference curve must show a bump just over the
+	// limit relative to just under it (the protocol-switch drop).
+	ref := st.Default[0]
+	limit := float64(st.Profile.EagerLimit)
+	var under, over float64
+	for i, x := range ref.X {
+		if x <= limit {
+			under = ref.Y[i]
+		}
+		if x > limit && over == 0 {
+			over = ref.Y[i]
+		}
+	}
+	if over <= under {
+		t.Errorf("no eager drop: %.3f ns/B under vs %.3f ns/B over the limit", under, over)
+	}
+	var out bytes.Buffer
+	if err := st.Render(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "E5") {
+		t.Error("render missing study id")
+	}
+}
+
+func TestCacheStudyShape(t *testing.T) {
+	st, err := BuildCacheStudy("skx-impi", shapeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §4.6: warm caches help at intermediate sizes — the copying
+	// scheme must be faster somewhere without the flush.
+	best := 0.0
+	for _, y := range st.Speedup.Y {
+		if y > best {
+			best = y
+		}
+	}
+	if best < 1.1 {
+		t.Errorf("peak warm-cache speedup = %.2fx, want > 1.1x", best)
+	}
+	// And never slower.
+	for i, y := range st.Speedup.Y {
+		if y < 0.99 {
+			t.Errorf("warm run slower at %g bytes: %.2fx", st.Speedup.X[i], y)
+		}
+	}
+}
+
+func TestSpacingStudyMonotone(t *testing.T) {
+	st, err := BuildSpacingStudy("skx-impi", 2<<20, shapeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []core.Scheme{core.Copying, core.VectorType} {
+		ts := st.Times[s]
+		if ts[len(ts)-1] <= ts[0] {
+			t.Errorf("%v: full jitter (%g) not slower than regular (%g)", s, ts[len(ts)-1], ts[0])
+		}
+		for i := 1; i < len(ts); i++ {
+			if ts[i] < ts[i-1]*0.999 {
+				t.Errorf("%v: time fell from %g to %g at jitter %g", s, ts[i-1], ts[i], st.Jitters[i])
+			}
+		}
+	}
+}
+
+func TestBlockSizeStudyMonotone(t *testing.T) {
+	st, err := BuildBlockSizeStudy("skx-impi", 2<<20, shapeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []core.Scheme{core.Copying, core.VectorType} {
+		ts := st.Times[s]
+		if ts[len(ts)-1] >= ts[0] {
+			t.Errorf("%v: 64-element blocks (%g) not faster than single elements (%g)", s, ts[len(ts)-1], ts[0])
+		}
+	}
+}
+
+func TestNodeScalingNoDegradation(t *testing.T) {
+	st, err := BuildNodeScalingStudy("skx-impi", 4, 1<<20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := st.MaxDegradation(); d > 0.01 {
+		t.Errorf("pair-0 degraded %.2f%% with concurrent pairs (paper: none)", d*100)
+	}
+}
+
+func TestCostModelCheckFactors(t *testing.T) {
+	ck, err := BuildCostModelCheck("skx-impi", 100_000_000, shapeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.CopyingSlowdown < 2.3 || ck.CopyingSlowdown > 4.2 {
+		t.Errorf("copying/reference = %.2f, want ≈3", ck.CopyingSlowdown)
+	}
+	if ck.PackVsCopy < 0.95 || ck.PackVsCopy > 1.05 {
+		t.Errorf("packing(v)/copying = %.2f, want ≈1", ck.PackVsCopy)
+	}
+	if ck.VectorDegraded <= 1 {
+		t.Errorf("vector/copying = %.2f, want >1", ck.VectorDegraded)
+	}
+	if ck.BufferedPenalty <= 1 {
+		t.Errorf("buffered/copying = %.2f, want >1", ck.BufferedPenalty)
+	}
+	if ck.PackElementRatio < 2 {
+		t.Errorf("packing(e)/copying = %.2f, want ≫1", ck.PackElementRatio)
+	}
+	var out bytes.Buffer
+	if err := ck.Render(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "E10") {
+		t.Error("render missing study id")
+	}
+}

@@ -1,0 +1,183 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/perfmodel"
+)
+
+func fastOpts() Options {
+	o := DefaultOptions()
+	o.Reps = 4
+	o.MaxRealBytes = 1 << 20
+	return o
+}
+
+func TestMeasureAllSchemesReal(t *testing.T) {
+	prof := perfmodel.Generic()
+	opt := fastOpts()
+	w := core.ForBytes(64 << 10)
+	for _, s := range core.Schemes() {
+		m, err := Measure(prof, s, w, opt)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if m.Time() <= 0 {
+			t.Errorf("%v: non-positive time", s)
+		}
+		if !m.Verified {
+			t.Errorf("%v: payload not verified", s)
+		}
+		if m.Bytes != w.Bytes() {
+			t.Errorf("%v: bytes = %d", s, m.Bytes)
+		}
+	}
+}
+
+func TestMeasureDeterministic(t *testing.T) {
+	prof := perfmodel.Generic()
+	opt := fastOpts()
+	w := core.ForBytes(1 << 16)
+	a, err := Measure(prof, core.VectorType, w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Measure(prof, core.VectorType, w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Time() != b.Time() {
+		t.Fatalf("model times differ across runs: %g vs %g", a.Time(), b.Time())
+	}
+}
+
+func TestVirtualAndRealAgree(t *testing.T) {
+	// The virtual-payload fast path must not change the model's time;
+	// it only skips the byte movement.
+	prof := perfmodel.Generic()
+	opt := fastOpts()
+	w := core.ForBytes(1 << 18)
+	real, err := Measure(prof, core.PackVector, w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wv := w
+	wv.Virtual = true
+	virt, err := Measure(prof, core.PackVector, wv, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if real.Time() != virt.Time() {
+		t.Fatalf("virtual (%g) and real (%g) times diverge", virt.Time(), real.Time())
+	}
+}
+
+func TestNoFlushHelpsIntermediate(t *testing.T) {
+	// §4.6: skipping the inter-ping-pong cache flush helps
+	// intermediate sizes.
+	prof := perfmodel.Generic()
+	opt := fastOpts()
+	w := core.ForBytes(1 << 20)
+	flushed, err := Measure(prof, core.Copying, w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2 := opt
+	o2.FlushCache = false
+	warm, err := Measure(prof, core.Copying, w, o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Time() >= flushed.Time() {
+		t.Fatalf("warm caches (%g) not faster than flushed (%g)", warm.Time(), flushed.Time())
+	}
+}
+
+func TestEagerLimitOverride(t *testing.T) {
+	// §4.5: raising the eager limit above the message size turns a
+	// rendezvous send into an eager one and must not slow it down at
+	// large sizes.
+	prof := perfmodel.Generic()
+	opt := fastOpts()
+	w := core.ForBytes(100 << 20)
+	w.Virtual = true
+	def, err := Measure(prof, core.Reference, w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2 := opt
+	o2.EagerLimitOverride = 1 << 30
+	raised, err := Measure(prof, core.Reference, w, o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := (raised.Time() - def.Time()) / def.Time()
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel > 0.1 {
+		t.Fatalf("raising the limit changed the large-message time by %.1f%% (paper: not appreciable)", rel*100)
+	}
+}
+
+func TestWorkloadsVirtualCap(t *testing.T) {
+	opt := fastOpts()
+	ws := Workloads([]int64{1 << 10, 1 << 25}, opt)
+	if ws[0].Virtual {
+		t.Error("small workload marked virtual")
+	}
+	if !ws[1].Virtual {
+		t.Error("over-cap workload not virtual")
+	}
+}
+
+func TestLogSizes(t *testing.T) {
+	sizes := LogSizes(1_000, 1_000_000, 3)
+	if len(sizes) < 9 {
+		t.Fatalf("too few points: %v", sizes)
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] <= sizes[i-1] {
+			t.Fatalf("sizes not strictly increasing: %v", sizes)
+		}
+		if sizes[i]%core.ElemSize != 0 {
+			t.Fatalf("size %d not element aligned", sizes[i])
+		}
+	}
+	if sizes[0] > 1_000 || sizes[len(sizes)-1] < 999_000 {
+		t.Fatalf("range not covered: %v", sizes)
+	}
+}
+
+func TestRealTimeModeRuns(t *testing.T) {
+	prof := perfmodel.Generic()
+	opt := fastOpts()
+	opt.RealTime = true
+	opt.Reps = 2
+	m, err := Measure(prof, core.Reference, core.ForBytes(4096), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Time() <= 0 {
+		t.Fatal("real-time measurement non-positive")
+	}
+}
+
+func TestDismissalNeverNeededInModel(t *testing.T) {
+	// §3.2: "in practice this test is never needed" — deterministic
+	// virtual timing must never trigger the 1-σ dismissal.
+	prof := perfmodel.Generic()
+	opt := fastOpts()
+	opt.Reps = 10
+	for _, n := range []int64{1 << 10, 1 << 18, 1 << 24} {
+		ws := Workloads([]int64{n}, opt)
+		ms, err := MeasureSweep(prof, core.VectorType, ws, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ms[0].Dismissed != 0 {
+			t.Errorf("size %d: %d measurements dismissed", n, ms[0].Dismissed)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package layout
+
+import "math"
+
+// Stats summarises the geometry of a layout. The memory model uses
+// these numbers to price gather/scatter loops: many small segments cost
+// per-segment overhead, irregular gaps defeat prefetch streams (§4.7
+// of the paper), and high density means good cache-line utilisation.
+type Stats struct {
+	Segments int   // number of contiguous runs
+	Bytes    int64 // payload size
+	Extent   int64 // span covered in the buffer
+
+	MinBlock int64 // smallest segment length
+	MaxBlock int64 // largest segment length
+	AvgBlock float64
+
+	MinGap int64 // smallest inter-segment gap (bytes between runs)
+	MaxGap int64
+	AvgGap float64
+	// GapJitter is the coefficient of variation of the gaps
+	// (stddev/mean); zero for perfectly regular strides. The prefetch
+	// model in internal/memsim degrades with jitter.
+	GapJitter float64
+
+	// Density is Bytes/Extent in (0,1]; 1 means contiguous.
+	Density float64
+}
+
+// Fast is implemented by layouts that can report their statistics in
+// closed form. Describe prefers it: the benchmark's largest layouts
+// have 10⁸ segments, and the cost model must not iterate them.
+type Fast interface {
+	DescribeFast() (Stats, bool)
+}
+
+// Describe computes layout statistics, in closed form when the layout
+// supports it and by a single iteration pass otherwise.
+func Describe(l Layout) Stats {
+	if f, ok := l.(Fast); ok {
+		if st, ok := f.DescribeFast(); ok {
+			return st
+		}
+	}
+	return describeSlow(l)
+}
+
+func describeSlow(l Layout) Stats {
+	st := Stats{
+		Bytes:    l.Size(),
+		Extent:   l.Extent(),
+		MinBlock: math.MaxInt64,
+		MinGap:   math.MaxInt64,
+	}
+	var (
+		prevEnd    int64 = -1
+		sumBlock   int64
+		sumGap     int64
+		sumGapSq   float64
+		gapSamples int64
+	)
+	l.ForEach(func(s Segment) bool {
+		st.Segments++
+		sumBlock += s.Len
+		if s.Len < st.MinBlock {
+			st.MinBlock = s.Len
+		}
+		if s.Len > st.MaxBlock {
+			st.MaxBlock = s.Len
+		}
+		if prevEnd >= 0 {
+			gap := s.Off - prevEnd
+			gapSamples++
+			sumGap += gap
+			sumGapSq += float64(gap) * float64(gap)
+			if gap < st.MinGap {
+				st.MinGap = gap
+			}
+			if gap > st.MaxGap {
+				st.MaxGap = gap
+			}
+		}
+		prevEnd = s.End()
+		return true
+	})
+	if st.Segments == 0 {
+		st.MinBlock, st.MinGap = 0, 0
+		return st
+	}
+	st.AvgBlock = float64(sumBlock) / float64(st.Segments)
+	if gapSamples > 0 {
+		st.AvgGap = float64(sumGap) / float64(gapSamples)
+		mean := st.AvgGap
+		variance := sumGapSq/float64(gapSamples) - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		if mean > 0 {
+			st.GapJitter = math.Sqrt(variance) / mean
+		}
+	} else {
+		st.MinGap = 0
+	}
+	if st.Extent > 0 {
+		st.Density = float64(st.Bytes) / float64(st.Extent)
+	}
+	return st
+}
+
+// Jittered builds an irregular variant of a strided layout for the
+// §4.7 spacing study: Count blocks of BlockLen bytes whose gaps vary
+// deterministically around the nominal stride by up to ±Jitter times
+// the gap. Jitter 0 reproduces the regular strided layout exactly.
+// The pseudo-random sequence is a fixed xorshift so runs are
+// reproducible without seeding.
+func Jittered(count, blockLen, stride int64, jitter float64) *Indexed {
+	if jitter < 0 {
+		jitter = 0
+	}
+	if jitter > 1 {
+		jitter = 1
+	}
+	gap := stride - blockLen
+	if gap < 0 {
+		gap = 0
+	}
+	segs := make([]Segment, 0, count)
+	var off int64
+	state := uint64(0x9e3779b97f4a7c15)
+	for i := int64(0); i < count; i++ {
+		segs = append(segs, Segment{Off: off, Len: blockLen})
+		// xorshift64* for a deterministic jitter in [-1, 1).
+		state ^= state >> 12
+		state ^= state << 25
+		state ^= state >> 27
+		u := float64((state*0x2545f4914f6cdd1d)>>11) / float64(1<<53) // [0,1)
+		delta := int64(float64(gap) * jitter * (2*u - 1))
+		off += blockLen + gap + delta
+	}
+	return MustIndexed(segs)
+}

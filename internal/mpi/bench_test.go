@@ -1,0 +1,147 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/buf"
+	"repro/internal/datatype"
+)
+
+// benchPingPong runs b.N ping-pongs of n bytes inside one world.
+func benchPingPong(b *testing.B, n int, typed bool) {
+	b.Helper()
+	err := Run(2, Options{WallLimit: 5 * time.Minute}, func(c *Comm) error {
+		var ty *datatype.Type
+		var src buf.Block
+		if typed {
+			var err error
+			ty, err = datatype.Vector(n/8, 1, 2, datatype.Float64)
+			if err != nil {
+				return err
+			}
+			if err := ty.Commit(); err != nil {
+				return err
+			}
+			src = buf.Alloc(int(ty.Extent()))
+		} else {
+			src = buf.Alloc(n)
+		}
+		dst := buf.Alloc(n)
+		pong := buf.Alloc(0)
+		c.Barrier()
+		if c.Rank() == 0 {
+			b.SetBytes(int64(n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if typed {
+					if err := c.SendType(src, 1, ty, 1, 0); err != nil {
+						return err
+					}
+				} else {
+					if err := c.Send(src, 1, 0); err != nil {
+						return err
+					}
+				}
+				if _, err := c.Recv(pong, 1, 1); err != nil {
+					return err
+				}
+			}
+			b.StopTimer()
+			return nil
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Recv(dst, 0, 0); err != nil {
+				return err
+			}
+			if err := c.Send(pong, 0, 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkPingPongEager(b *testing.B)      { benchPingPong(b, 4<<10, false) }
+func BenchmarkPingPongRendezvous(b *testing.B) { benchPingPong(b, 1<<20, false) }
+func BenchmarkPingPongTyped(b *testing.B)      { benchPingPong(b, 1<<20, true) }
+
+func BenchmarkBarrier8(b *testing.B) {
+	err := Run(8, Options{WallLimit: 5 * time.Minute}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			b.ResetTimer()
+		}
+		for i := 0; i < b.N; i++ {
+			c.Barrier()
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkAllreduce8(b *testing.B) {
+	err := Run(8, Options{WallLimit: 5 * time.Minute}, func(c *Comm) error {
+		send := buf.Alloc(8 * 128)
+		recv := buf.Alloc(8 * 128)
+		c.Barrier()
+		if c.Rank() == 0 {
+			b.ResetTimer()
+		}
+		for i := 0; i < b.N; i++ {
+			if err := c.Allreduce(send, recv, 128, OpSum); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkOneSidedPutFence(b *testing.B) {
+	err := Run(2, Options{WallLimit: 5 * time.Minute}, func(c *Comm) error {
+		const n = 64 << 10
+		ty, err := datatype.Vector(n/8, 1, 2, datatype.Float64)
+		if err != nil {
+			return err
+		}
+		if err := ty.Commit(); err != nil {
+			return err
+		}
+		src := buf.Alloc(int(ty.Extent()))
+		w, err := c.WinCreate(buf.Alloc(n))
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			b.SetBytes(n)
+			b.ResetTimer()
+		}
+		for i := 0; i < b.N; i++ {
+			if err := w.Fence(); err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				if err := w.Put(src, 1, ty, 1, 0); err != nil {
+					return err
+				}
+			}
+			if err := w.Fence(); err != nil {
+				return err
+			}
+		}
+		if c.Rank() == 0 {
+			b.StopTimer()
+		}
+		return w.Free()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,376 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/buf"
+	"repro/internal/elem"
+	"repro/internal/vclock"
+)
+
+// collTag is the reserved tag for collective-internal traffic. User
+// tags are non-negative, so collective messages can never be matched
+// by user receives; MPI's same-order-on-all-ranks rule for collectives
+// makes a single tag sufficient.
+const collTag = -2
+
+// csend/crecv are the unvalidated internal p2p used by collective
+// algorithms.
+func (c *Comm) csend(b buf.Block, dest int) error {
+	return c.sendContig(b, dest, collTag, sendFlags{})
+}
+
+func (c *Comm) crecv(b buf.Block, src int) error {
+	_, err := c.recvContig(b, src, collTag)
+	return err
+}
+
+// Barrier blocks until all ranks of the communicator arrive, like
+// MPI_Barrier. Virtual time resumes at the latest arrival plus a
+// dissemination-pattern cost of ⌈log₂ n⌉ latencies.
+func (c *Comm) Barrier() {
+	c.groupSync()
+	if c.size > 1 {
+		rounds := math.Ceil(math.Log2(float64(c.size)))
+		c.clock.Advance(vclock.FromSeconds(rounds * (c.prof.NetLatency + c.prof.SendOverhead)))
+	}
+}
+
+// Bcast broadcasts root's buffer to all ranks over a binomial tree,
+// like MPI_Bcast.
+func (c *Comm) Bcast(b buf.Block, root int) error {
+	if err := c.checkRank(root); err != nil {
+		return err
+	}
+	if c.size == 1 {
+		return nil
+	}
+	rel := (c.rank - root + c.size) % c.size
+	abs := func(r int) int { return (r + root) % c.size }
+	mask := 1
+	for mask < c.size {
+		if rel&mask != 0 {
+			if err := c.crecv(b, abs(rel-mask)); err != nil {
+				return err
+			}
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if rel&mask == 0 && rel+mask < c.size {
+			if err := c.csend(b, abs(rel+mask)); err != nil {
+				return err
+			}
+		}
+		mask >>= 1
+	}
+	return nil
+}
+
+// Op is a reduction operator over float64 element slices: it folds in
+// into acc element-wise.
+type Op func(acc, in []float64)
+
+// Predefined reduction operators, the analogues of MPI_SUM, MPI_MAX,
+// MPI_MIN and MPI_PROD over MPI_DOUBLE.
+var (
+	OpSum Op = func(acc, in []float64) {
+		for i := range acc {
+			acc[i] += in[i]
+		}
+	}
+	OpMax Op = func(acc, in []float64) {
+		for i := range acc {
+			if in[i] > acc[i] {
+				acc[i] = in[i]
+			}
+		}
+	}
+	OpMin Op = func(acc, in []float64) {
+		for i := range acc {
+			if in[i] < acc[i] {
+				acc[i] = in[i]
+			}
+		}
+	}
+	OpProd Op = func(acc, in []float64) {
+		for i := range acc {
+			acc[i] *= in[i]
+		}
+	}
+)
+
+// Reduce folds every rank's send buffer of count float64s into recv at
+// the root over a binomial tree, like MPI_Reduce on MPI_DOUBLE.
+func (c *Comm) Reduce(send, recv buf.Block, count int, op Op, root int) error {
+	if err := c.checkRank(root); err != nil {
+		return err
+	}
+	if count < 0 {
+		return fmt.Errorf("%w: %d", ErrCount, count)
+	}
+	n := count * elem.Float64Size
+	acc := elem.ToFloat64s(send.Slice(0, n))
+	tmpBlock := buf.Alloc(n)
+	rel := (c.rank - root + c.size) % c.size
+	abs := func(r int) int { return (r + root) % c.size }
+	// Charge the local combine: one pass over the operands per merge.
+	combineCost := func() float64 {
+		return float64(n) / c.prof.Mem.CopyBW
+	}
+	for mask := 1; mask < c.size; mask <<= 1 {
+		if rel&mask != 0 {
+			peer := abs(rel - mask)
+			out := elem.Float64s(acc)
+			if err := c.csend(out, peer); err != nil {
+				return err
+			}
+			return nil // contributed and done
+		}
+		peer := rel | mask
+		if peer < c.size {
+			if err := c.crecv(tmpBlock, abs(peer)); err != nil {
+				return err
+			}
+			op(acc, elem.ToFloat64s(tmpBlock))
+			c.clock.Advance(vclock.FromSeconds(combineCost()))
+		}
+	}
+	if c.rank == root {
+		for i, v := range acc {
+			elem.PutFloat64(recv, i, v)
+		}
+	}
+	return nil
+}
+
+// Allreduce is Reduce to rank 0 followed by Bcast, like a simple
+// MPI_Allreduce.
+func (c *Comm) Allreduce(send, recv buf.Block, count int, op Op) error {
+	if err := c.Reduce(send, recv, count, op, 0); err != nil {
+		return err
+	}
+	return c.Bcast(recv.Slice(0, count*elem.Float64Size), 0)
+}
+
+// Gather concentrates equal-sized contributions at the root in rank
+// order, like MPI_Gather. recv is only read at the root and must hold
+// size*send.Len() bytes.
+func (c *Comm) Gather(send buf.Block, recv buf.Block, root int) error {
+	if err := c.checkRank(root); err != nil {
+		return err
+	}
+	n := send.Len()
+	if c.rank != root {
+		return c.csend(send, root)
+	}
+	if recv.Len() < n*c.size {
+		return fmt.Errorf("%w: gather needs %d bytes at root, have %d", ErrTruncate, n*c.size, recv.Len())
+	}
+	for r := 0; r < c.size; r++ {
+		dst := recv.Slice(r*n, n)
+		if r == root {
+			buf.Copy(dst, send)
+			c.clock.Advance(vclock.FromSeconds(c.cache.CopyCost(send.Region(), recv.Region(), int64(n))))
+			continue
+		}
+		if err := c.crecv(dst, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scatter distributes equal slices of the root's buffer, like
+// MPI_Scatter. send is only read at the root; each rank receives
+// recv.Len() bytes.
+func (c *Comm) Scatter(send buf.Block, recv buf.Block, root int) error {
+	if err := c.checkRank(root); err != nil {
+		return err
+	}
+	n := recv.Len()
+	if c.rank != root {
+		return c.crecv(recv, root)
+	}
+	if send.Len() < n*c.size {
+		return fmt.Errorf("%w: scatter needs %d bytes at root, have %d", ErrTruncate, n*c.size, send.Len())
+	}
+	for r := 0; r < c.size; r++ {
+		src := send.Slice(r*n, n)
+		if r == root {
+			buf.Copy(recv, src)
+			c.clock.Advance(vclock.FromSeconds(c.cache.CopyCost(send.Region(), recv.Region(), int64(n))))
+			continue
+		}
+		if err := c.csend(src, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Allgather concentrates every rank's contribution at every rank using
+// the ring algorithm, like MPI_Allgather. recv must hold
+// size*send.Len() bytes; slot r receives rank r's contribution.
+func (c *Comm) Allgather(send buf.Block, recv buf.Block) error {
+	n := send.Len()
+	if recv.Len() < n*c.size {
+		return fmt.Errorf("%w: allgather needs %d bytes, have %d", ErrTruncate, n*c.size, recv.Len())
+	}
+	buf.Copy(recv.Slice(c.rank*n, n), send)
+	right := (c.rank + 1) % c.size
+	left := (c.rank - 1 + c.size) % c.size
+	// Step k: forward the block that originated k hops upstream.
+	blk := c.rank
+	for k := 0; k < c.size-1; k++ {
+		req, err := c.Isend(recv.Slice(blk*n, n), right, 0)
+		if err != nil {
+			return err
+		}
+		// Internal ring traffic uses the collective tag via Isend on
+		// tag 0 — fine, since Allgather is a collective called in the
+		// same order everywhere and tags match pairwise.
+		blk = (blk - 1 + c.size) % c.size
+		if _, err := c.Recv(recv.Slice(blk*n, n), left, 0); err != nil {
+			return err
+		}
+		if _, err := req.Wait(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Alltoall exchanges the r-th slice of send with rank r, like
+// MPI_Alltoall with equal block sizes. send and recv hold size blocks
+// of blockLen bytes each.
+func (c *Comm) Alltoall(send, recv buf.Block, blockLen int) error {
+	need := blockLen * c.size
+	if send.Len() < need || recv.Len() < need {
+		return fmt.Errorf("%w: alltoall needs %d bytes each way, have %d/%d",
+			ErrTruncate, need, send.Len(), recv.Len())
+	}
+	buf.Copy(recv.Slice(c.rank*blockLen, blockLen), send.Slice(c.rank*blockLen, blockLen))
+	for step := 1; step < c.size; step++ {
+		dst := (c.rank + step) % c.size
+		src := (c.rank - step + c.size) % c.size
+		if _, err := c.Sendrecv(
+			send.Slice(dst*blockLen, blockLen), dst, 0,
+			recv.Slice(src*blockLen, blockLen), src, 0,
+		); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scan computes the inclusive prefix reduction over ranks, like
+// MPI_Scan on MPI_DOUBLE: rank r receives op-fold of ranks 0..r.
+func (c *Comm) Scan(send, recv buf.Block, count int, op Op) error {
+	if count < 0 {
+		return fmt.Errorf("%w: %d", ErrCount, count)
+	}
+	n := count * elem.Float64Size
+	acc := elem.ToFloat64s(send.Slice(0, n))
+	if c.rank > 0 {
+		prev := buf.Alloc(n)
+		if err := c.crecv(prev, c.rank-1); err != nil {
+			return err
+		}
+		upstream := elem.ToFloat64s(prev)
+		op(upstream, acc)
+		acc = upstream
+	}
+	if c.rank < c.size-1 {
+		if err := c.csend(elem.Float64s(acc), c.rank+1); err != nil {
+			return err
+		}
+	}
+	for i, v := range acc {
+		elem.PutFloat64(recv, i, v)
+	}
+	return nil
+}
+
+// Split partitions the communicator by color, ordering ranks within
+// each new communicator by key then by old rank, like MPI_Comm_split.
+// It is collective over the parent communicator.
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	// Exchange (color, key) pairs via Allgather.
+	mine := buf.Alloc(16)
+	elem.PutInt64(mine, 0, int64(color))
+	elem.PutInt64(mine, 1, int64(key))
+	all := buf.Alloc(16 * c.size)
+	if err := c.Allgather(mine, all); err != nil {
+		return nil, err
+	}
+	type member struct{ color, key, rank int }
+	members := make([]member, c.size)
+	colors := map[int]bool{}
+	for r := 0; r < c.size; r++ {
+		members[r] = member{
+			color: int(elem.Int64(all.Slice(16*r, 16), 0)),
+			key:   int(elem.Int64(all.Slice(16*r, 16), 1)),
+			rank:  r,
+		}
+		colors[members[r].color] = true
+	}
+	// Rank 0 allocates a contiguous ctx block, one per distinct color,
+	// and broadcasts the base.
+	distinct := make([]int, 0, len(colors))
+	for col := range colors {
+		distinct = append(distinct, col)
+	}
+	sort.Ints(distinct)
+	base := buf.Alloc(8)
+	if c.rank == 0 {
+		elem.PutInt64(base, 0, int64(c.fabric.AllocCtxBlock(len(distinct))))
+	}
+	if err := c.Bcast(base, 0); err != nil {
+		return nil, err
+	}
+	ctxBase := int(elem.Int64(base, 0))
+	colorIdx := sort.SearchInts(distinct, color)
+
+	// My group, ordered by (key, old rank).
+	var group []member
+	for _, m := range members {
+		if m.color == color {
+			group = append(group, m)
+		}
+	}
+	sort.Slice(group, func(i, j int) bool {
+		if group[i].key != group[j].key {
+			return group[i].key < group[j].key
+		}
+		return group[i].rank < group[j].rank
+	})
+	newMembers := make([]int, len(group))
+	newRank := -1
+	for i, m := range group {
+		newMembers[i] = c.endpoint(m.rank)
+		if m.rank == c.rank {
+			newRank = i
+		}
+	}
+	nc := &Comm{
+		rank:     newRank,
+		size:     len(group),
+		ctx:      ctxBase + colorIdx,
+		members:  newMembers,
+		fabric:   c.fabric,
+		prof:     c.prof,
+		clock:    c.clock,
+		cache:    c.cache,
+		realTime: c.realTime,
+		start:    c.start,
+		internal: c.internal,
+	}
+	// Materialise the group's sync object before anyone uses it.
+	c.fabric.GroupFor(nc.ctx, nc.size)
+	return nc, nil
+}

@@ -1,0 +1,239 @@
+// Package mpi is a from-scratch, in-process message-passing runtime
+// with the MPI semantics the paper's benchmark exercises: blocking and
+// non-blocking two-sided sends under eager/rendezvous protocols,
+// buffered sends with user-attached buffers, derived-datatype sends
+// through chunked internal pack buffers, explicit Pack/Unpack,
+// one-sided windows with active-target fences, and the usual
+// collectives.
+//
+// Ranks are goroutines; the interconnect is internal/simnet; costs come
+// from internal/perfmodel and internal/memsim and advance per-rank
+// virtual clocks (internal/vclock), so measured times reproduce the
+// paper's cluster behaviour deterministically. A real-time mode
+// measures Go wall time instead, for sanity checks.
+//
+// The public API mirrors MPI closely enough that the translation is
+// mechanical: Comm.Send ↔ MPI_Send, Comm.SendType ↔ MPI_Send with a
+// derived datatype argument, Comm.Bsend ↔ MPI_Bsend, Win.Fence ↔
+// MPI_Win_fence, and so on.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/buf"
+	"repro/internal/memsim"
+	"repro/internal/perfmodel"
+	"repro/internal/simnet"
+	"repro/internal/vclock"
+)
+
+// Wildcards, re-exported from the fabric.
+const (
+	AnySource = simnet.AnySource
+	AnyTag    = simnet.AnyTag
+)
+
+// Errors of the runtime.
+var (
+	// ErrTruncate mirrors MPI_ERR_TRUNCATE: message longer than the
+	// posted receive buffer.
+	ErrTruncate = errors.New("mpi: message truncated")
+	// ErrRank mirrors MPI_ERR_RANK.
+	ErrRank = errors.New("mpi: rank out of range")
+	// ErrTag mirrors MPI_ERR_TAG (user tags must be non-negative).
+	ErrTag = errors.New("mpi: invalid tag")
+	// ErrBsendBuffer mirrors MPI_ERR_BUFFER: no attached buffer or not
+	// enough space left in it.
+	ErrBsendBuffer = errors.New("mpi: buffered send has no buffer space")
+	// ErrWin reports misuse of a one-sided window.
+	ErrWin = errors.New("mpi: window misuse")
+	// ErrCount reports a negative element count.
+	ErrCount = errors.New("mpi: invalid count")
+	// ErrDeadlock is returned by Run when the wall-clock watchdog
+	// fires before all ranks finish.
+	ErrDeadlock = errors.New("mpi: ranks did not finish before the watchdog deadline")
+)
+
+// Options configures a Run.
+type Options struct {
+	// Profile selects the simulated installation; nil means
+	// perfmodel.Generic().
+	Profile *perfmodel.Profile
+	// RealTime switches Wtime to wall-clock measurement of the Go
+	// process instead of the virtual clock. Virtual costs are still
+	// tracked; they simply stop being the reported time.
+	RealTime bool
+	// ColdCaches disables cache-warmth tracking so every memory read
+	// is priced at DRAM bandwidth.
+	ColdCaches bool
+	// WallLimit bounds the real duration of the whole Run as a
+	// deadlock watchdog; 0 means no limit.
+	WallLimit time.Duration
+}
+
+// Run starts size rank goroutines connected by one fabric and waits
+// for all of them. Each rank receives its own Comm. The first
+// non-nil error (or recovered panic) per rank is collected into the
+// returned error.
+func Run(size int, opts Options, body func(*Comm) error) error {
+	if size <= 0 {
+		return fmt.Errorf("%w: world size %d", ErrRank, size)
+	}
+	prof := opts.Profile
+	if prof == nil {
+		prof = perfmodel.Generic()
+	}
+	if err := prof.Validate(); err != nil {
+		return err
+	}
+	fabric := simnet.New(size)
+	start := time.Now()
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v\n%s", rank, p, debug.Stack())
+				}
+			}()
+			c := &Comm{
+				rank:     rank,
+				size:     size,
+				ctx:      0,
+				members:  nil, // world: identity mapping
+				fabric:   fabric,
+				prof:     prof,
+				clock:    &vclock.Clock{},
+				cache:    memsim.NewState(&prof.Mem),
+				realTime: opts.RealTime,
+				start:    start,
+			}
+			c.cache.SetDisabled(opts.ColdCaches)
+			c.internal = buf.Alloc(1) // identity for MPI-internal buffer warmth
+			errs[rank] = body(c)
+		}(r)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	if opts.WallLimit > 0 {
+		select {
+		case <-done:
+		case <-time.After(opts.WallLimit):
+			return fmt.Errorf("%w (after %v)", ErrDeadlock, opts.WallLimit)
+		}
+	} else {
+		<-done
+	}
+	return errors.Join(errs...)
+}
+
+// Comm is one rank's view of a communicator. All methods must be
+// called from the rank's own goroutine (like an MPI process); a Comm
+// is not safe for concurrent use.
+type Comm struct {
+	rank    int   // rank within this communicator
+	size    int   // communicator size
+	ctx     int   // communicator context id (0 = world)
+	members []int // local rank -> fabric endpoint; nil = identity
+
+	fabric   *simnet.Fabric
+	prof     *perfmodel.Profile
+	clock    *vclock.Clock
+	cache    *memsim.State
+	realTime bool
+	start    time.Time
+
+	attach *bsendPool // Bsend attached buffer, nil when detached
+
+	internal buf.Block // region identity for MPI-internal staging
+
+	reqSeq int // request numbering for diagnostics
+	winSeq int // window numbering; identical across ranks (collective)
+}
+
+// groupSync deposits the local clock at the communicator's
+// synchronisation group and resumes at the group maximum.
+func (c *Comm) groupSync() {
+	g := c.fabric.GroupFor(c.ctx, c.size)
+	c.clock.AdvanceTo(g.Sync(c.clock.Now()))
+}
+
+// Rank returns the calling process's rank in the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return c.size }
+
+// endpoint maps a communicator rank to its fabric endpoint.
+func (c *Comm) endpoint(rank int) int {
+	if c.members == nil {
+		return rank
+	}
+	return c.members[rank]
+}
+
+// Wtime returns the elapsed time in seconds: virtual time in model
+// mode (the default), wall time in real-time mode — the exact analogue
+// of MPI_Wtime in each.
+func (c *Comm) Wtime() float64 {
+	if c.realTime {
+		return time.Since(c.start).Seconds()
+	}
+	return c.clock.Now().Seconds()
+}
+
+// Clock exposes the rank's virtual clock to the measurement harness.
+func (c *Comm) Clock() *vclock.Clock { return c.clock }
+
+// Cache exposes the rank's cache-warmth state; the harness flushes it
+// between ping-pongs the way the paper rewrites a 50 M array.
+func (c *Comm) Cache() *memsim.State { return c.cache }
+
+// Profile returns the installation profile of the run.
+func (c *Comm) Profile() *perfmodel.Profile { return c.prof }
+
+// Charge advances the rank's virtual clock by a user-space cost in
+// seconds. The benchmark schemes charge their own gather loops and
+// per-element pack calls through this; MPI-internal costs are charged
+// by the runtime itself.
+func (c *Comm) Charge(seconds float64) {
+	c.clock.Advance(vclock.FromSeconds(seconds))
+}
+
+// Counters returns this rank's fabric traffic counters.
+func (c *Comm) Counters() simnet.Counters {
+	return c.fabric.CountersFor(c.endpoint(c.rank))
+}
+
+// checkRank validates a peer rank.
+func (c *Comm) checkRank(r int) error {
+	if r < 0 || r >= c.size {
+		return fmt.Errorf("%w: %d not in [0,%d)", ErrRank, r, c.size)
+	}
+	return nil
+}
+
+// checkTag validates a user tag (internal operations use negative
+// tags, which user code must not).
+func checkTag(tag int) error {
+	if tag < 0 {
+		return fmt.Errorf("%w: %d", ErrTag, tag)
+	}
+	return nil
+}
+
+// Status describes a completed receive, like MPI_Status.
+type Status struct {
+	Source int
+	Tag    int
+	// Count is the received byte count.
+	Count int64
+}

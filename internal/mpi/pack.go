@@ -1,0 +1,62 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/buf"
+	"repro/internal/datatype"
+	"repro/internal/vclock"
+)
+
+// Pack gathers count instances of a datatype from b into outbuf
+// starting at *position, advancing *position — the signature shape of
+// MPI_Pack. One call costs one PackCallOverhead plus the gather loop,
+// which is why packing a whole vector datatype (packing(v)) costs the
+// same as a manual copy (§4.3) while packing element by element
+// (packing(e)) drowns in call overhead (§2.6).
+func (c *Comm) Pack(b buf.Block, count int, ty *datatype.Type, outbuf buf.Block, position *int64) error {
+	if count < 0 {
+		return fmt.Errorf("%w: %d", ErrCount, count)
+	}
+	need := ty.PackSize(count)
+	if *position < 0 || *position+need > int64(outbuf.Len()) {
+		return fmt.Errorf("%w: pack of %d bytes at position %d into %d-byte buffer",
+			datatype.ErrTruncate, need, *position, outbuf.Len())
+	}
+	dst := outbuf.Slice(int(*position), int(need))
+	st := ty.Stats(count)
+	cost := c.prof.PackCallOverhead + c.cache.GatherCost(b.Region(), outbuf.Region(), st)
+	c.clock.Advance(vclock.FromSeconds(cost))
+	if _, err := ty.Pack(b, count, dst); err != nil {
+		return err
+	}
+	*position += need
+	return nil
+}
+
+// Unpack is the inverse of Pack, like MPI_Unpack.
+func (c *Comm) Unpack(inbuf buf.Block, position *int64, b buf.Block, count int, ty *datatype.Type) error {
+	if count < 0 {
+		return fmt.Errorf("%w: %d", ErrCount, count)
+	}
+	need := ty.PackSize(count)
+	if *position < 0 || *position+need > int64(inbuf.Len()) {
+		return fmt.Errorf("%w: unpack of %d bytes at position %d from %d-byte buffer",
+			datatype.ErrTruncate, need, *position, inbuf.Len())
+	}
+	src := inbuf.Slice(int(*position), int(need))
+	st := ty.Stats(count)
+	cost := c.prof.PackCallOverhead + c.cache.ScatterCost(inbuf.Region(), b.Region(), st)
+	c.clock.Advance(vclock.FromSeconds(cost))
+	if _, err := ty.Unpack(src, count, b); err != nil {
+		return err
+	}
+	*position += need
+	return nil
+}
+
+// PackSize returns the buffer space needed to pack count instances,
+// like MPI_Pack_size (without implementation slack).
+func (c *Comm) PackSize(count int, ty *datatype.Type) int64 {
+	return ty.PackSize(count)
+}

@@ -1,0 +1,152 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/buf"
+	"repro/internal/datatype"
+)
+
+// PersistentRequest is a reusable communication request, the analogue
+// of MPI_Send_init / MPI_Recv_init. Start launches one instance;
+// Wait completes it; the request can then be started again. Real
+// ping-pong benchmarks (and the paper's public code base) often use
+// persistent requests to amortise setup, so the runtime supports them.
+type PersistentRequest struct {
+	owner  *Comm
+	start  func() (*Request, error)
+	active *Request
+}
+
+// SendInit creates a persistent contiguous send request.
+func (c *Comm) SendInit(b buf.Block, dest, tag int) (*PersistentRequest, error) {
+	if err := c.checkP2P(dest, tag); err != nil {
+		return nil, err
+	}
+	return &PersistentRequest{
+		owner: c,
+		start: func() (*Request, error) { return c.Isend(b, dest, tag) },
+	}, nil
+}
+
+// SendTypeInit creates a persistent derived-datatype send request.
+func (c *Comm) SendTypeInit(b buf.Block, count int, ty *datatype.Type, dest, tag int) (*PersistentRequest, error) {
+	if err := c.checkP2P(dest, tag); err != nil {
+		return nil, err
+	}
+	if count < 0 {
+		return nil, fmt.Errorf("%w: %d", ErrCount, count)
+	}
+	return &PersistentRequest{
+		owner: c,
+		start: func() (*Request, error) { return c.IsendType(b, count, ty, dest, tag) },
+	}, nil
+}
+
+// RecvInit creates a persistent receive request.
+func (c *Comm) RecvInit(b buf.Block, src, tag int) (*PersistentRequest, error) {
+	if err := c.checkRecvArgs(src, tag); err != nil {
+		return nil, err
+	}
+	return &PersistentRequest{
+		owner: c,
+		start: func() (*Request, error) { return c.Irecv(b, src, tag) },
+	}, nil
+}
+
+// Start launches one instance of the operation, like MPI_Start. It is
+// an error to start an already-active request.
+func (p *PersistentRequest) Start() error {
+	if p.active != nil {
+		return fmt.Errorf("mpi: persistent request started while active")
+	}
+	r, err := p.start()
+	if err != nil {
+		return err
+	}
+	p.active = r
+	return nil
+}
+
+// Wait completes the active instance, like MPI_Wait on a started
+// persistent request, and re-arms the request for the next Start.
+func (p *PersistentRequest) Wait() (Status, error) {
+	if p.active == nil {
+		return Status{}, fmt.Errorf("mpi: persistent request waited while inactive")
+	}
+	st, err := p.active.Wait()
+	p.active = nil
+	return st, err
+}
+
+// StartAll starts a set of persistent requests, like MPI_Startall.
+func StartAll(reqs ...*PersistentRequest) error {
+	for _, r := range reqs {
+		if err := r.Start(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Gatherv concentrates variable-sized contributions at the root in
+// rank order, like MPI_Gatherv: counts[i] bytes land at displs[i] in
+// recv. counts and displs are only read at the root.
+func (c *Comm) Gatherv(send buf.Block, recv buf.Block, counts, displs []int, root int) error {
+	if err := c.checkRank(root); err != nil {
+		return err
+	}
+	if c.rank != root {
+		return c.csend(send, root)
+	}
+	if len(counts) != c.size || len(displs) != c.size {
+		return fmt.Errorf("%w: gatherv needs %d counts/displs, have %d/%d", ErrCount, c.size, len(counts), len(displs))
+	}
+	for r := 0; r < c.size; r++ {
+		if counts[r] < 0 || displs[r] < 0 || displs[r]+counts[r] > recv.Len() {
+			return fmt.Errorf("%w: gatherv slot %d [%d,%d) outside %d-byte buffer",
+				ErrTruncate, r, displs[r], displs[r]+counts[r], recv.Len())
+		}
+		dst := recv.Slice(displs[r], counts[r])
+		if r == root {
+			buf.Copy(dst, send)
+			c.Charge(c.cache.CopyCost(send.Region(), recv.Region(), int64(counts[r])))
+			continue
+		}
+		if _, err := c.recvContig(dst, r, collTag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scatterv distributes variable-sized slices of the root's buffer,
+// like MPI_Scatterv.
+func (c *Comm) Scatterv(send buf.Block, counts, displs []int, recv buf.Block, root int) error {
+	if err := c.checkRank(root); err != nil {
+		return err
+	}
+	if c.rank != root {
+		_, err := c.recvContig(recv, root, collTag)
+		return err
+	}
+	if len(counts) != c.size || len(displs) != c.size {
+		return fmt.Errorf("%w: scatterv needs %d counts/displs, have %d/%d", ErrCount, c.size, len(counts), len(displs))
+	}
+	for r := 0; r < c.size; r++ {
+		if counts[r] < 0 || displs[r] < 0 || displs[r]+counts[r] > send.Len() {
+			return fmt.Errorf("%w: scatterv slot %d [%d,%d) outside %d-byte buffer",
+				ErrTruncate, r, displs[r], displs[r]+counts[r], send.Len())
+		}
+		src := send.Slice(displs[r], counts[r])
+		if r == root {
+			buf.Copy(recv, src)
+			c.Charge(c.cache.CopyCost(send.Region(), recv.Region(), int64(counts[r])))
+			continue
+		}
+		if err := c.csend(src, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,442 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/buf"
+	"repro/internal/datatype"
+	"repro/internal/simnet"
+	"repro/internal/vclock"
+)
+
+// sendFlags tunes the internal send paths.
+type sendFlags struct {
+	// packed marks a payload gathered in user space (manual copy or
+	// MPI_Pack output); it feeds the Cray packed-eager artefact.
+	packed bool
+	// forceRdv forces the rendezvous protocol (Ssend).
+	forceRdv bool
+	// onConsume runs when the receiver matches the message (Bsend
+	// buffer release).
+	onConsume func()
+	// wireBW overrides the wire bandwidth (Bsend penalty, one-sided);
+	// zero means the profile's nominal bandwidth.
+	wireBW float64
+	// asyncReturn makes the sender return right after local work with
+	// the message travelling behind its back (Bsend semantics). Only
+	// valid together with eager-style delivery.
+	asyncReturn bool
+	// delivered, when non-nil, is closed as soon as the envelope has
+	// entered the fabric; Isend uses it to pin program-order delivery.
+	delivered chan struct{}
+}
+
+// signalDelivered closes the delivery notification exactly once.
+func (fl *sendFlags) signalDelivered() {
+	if fl.delivered != nil {
+		close(fl.delivered)
+		fl.delivered = nil
+	}
+}
+
+// sendContig implements every contiguous-payload send: the reference
+// scheme, the manual-copy scheme, and packed sends. The payload block
+// is read as one stream.
+//
+// Timing: the sender pays SendOverhead, then its occupancy is the
+// maximum of reading the payload from memory and injecting it into the
+// wire (they pipeline); the payload lands NetLatency after injection
+// completes. Rendezvous adds the RTS/CTS round trip before the data
+// can flow and removes the receive-side bounce-buffer copy.
+func (c *Comm) sendContig(b buf.Block, dest, tag int, fl sendFlags) error {
+	n := int64(b.Len())
+	p := c.prof
+	wireBW := fl.wireBW
+	if wireBW == 0 {
+		wireBW = p.NetBandwidth
+	}
+	if !fl.forceRdv && p.Eager(n, fl.packed) {
+		// Eager: one shot, payload copied to a transit buffer.
+		streamCost := c.cache.StreamCost(b.Region(), n)
+		occupy := math.Max(streamCost, float64(n)/wireBW)
+		c.clock.Advance(vclock.FromSeconds(p.SendOverhead))
+		injectEnd := c.clock.Now() + dur(occupy)
+		if !fl.asyncReturn {
+			c.clock.AdvanceTo(injectEnd)
+		}
+		c.deliverEager(dest, tag, transitCopy(b), n, injectEnd, fl)
+		fl.signalDelivered()
+		return nil
+	}
+	// Rendezvous: RTS, wait for the matched receive, stream zero-copy.
+	c.clock.Advance(vclock.FromSeconds(p.SendOverhead))
+	m := c.newRdvMessage(dest, tag, n, fl)
+	c.fabric.Deliver(c.endpoint(dest), m)
+	fl.signalDelivered()
+	match := <-m.Match
+	ctsAt := match.MatchTime + dur(p.NetLatency)
+	c.clock.AdvanceTo(ctsAt)
+	streamCost := c.cache.StreamCost(b.Region(), n)
+	occupy := math.Max(streamCost, float64(n)/wireBW)
+	c.clock.Advance(vclock.FromSeconds(occupy))
+	nCopy := n
+	if int64(match.Dst.Len()) < nCopy {
+		nCopy = int64(match.Dst.Len())
+	}
+	if nCopy > 0 {
+		buf.CopyAt(match.Dst, 0, b, 0, int(nCopy))
+	}
+	m.Done <- simnet.RdvDone{
+		Arrival: c.clock.Now() + dur(p.NetLatency),
+		Bytes:   n,
+	}
+	return nil
+}
+
+// sendTyped implements the derived-datatype direct send: MPI packs the
+// payload through its internal chunk buffers and transmits, without
+// pack/inject overlap (§2.3), at the internally degraded bandwidth
+// (§4.1).
+func (c *Comm) sendTyped(b buf.Block, count int, ty *datatype.Type, dest, tag int, fl sendFlags) error {
+	p := c.prof
+	n := ty.PackSize(count)
+	packer, err := ty.NewPacker(b, count)
+	if err != nil {
+		return err
+	}
+	st := ty.Stats(count)
+	gather := c.cache.GatherCost(b.Region(), c.internal.Region(), st)
+	chunks := p.Chunks(n)
+	wireBW := fl.wireBW
+	if wireBW == 0 {
+		if p.NICPipelining {
+			// Reference [2]: the NIC reads user memory directly, so
+			// the internal buffer pool and its large-message
+			// bookkeeping degradation disappear.
+			wireBW = p.NetBandwidth
+		} else {
+			wireBW = p.InternalBW(n)
+		}
+	}
+	wire := 0.0
+	if n > 0 {
+		wire = float64(n) / wireBW
+	}
+	bookkeeping := float64(chunks) * p.ChunkOverhead
+	packWork := gather + bookkeeping
+	// transferSpan is how long pack+inject occupy the sender once the
+	// payload may flow: serialised in the measured installations
+	// (§2.3: no pipelining in practice). Under the reference-[2]
+	// what-if the NIC gathers straight from user memory, so the core
+	// pack loop disappears entirely: the span is the maximum of the
+	// wire time and the NIC's own line-granular memory traffic at
+	// streaming bandwidth, plus per-chunk registration bookkeeping
+	// exposed as pipeline fill.
+	transferSpan := packWork + wire
+	if p.NICPipelining {
+		h := c.cache.Hierarchy()
+		nicRead := float64(h.Traffic(st))/h.StreamBW + bookkeeping
+		packWork = nicRead
+		fill := nicRead
+		if chunks > 0 {
+			fill = nicRead / float64(chunks)
+		}
+		transferSpan = fill + wire
+		if nicRead > transferSpan {
+			transferSpan = nicRead
+		}
+	}
+
+	if !fl.forceRdv && p.Eager(n, fl.packed) {
+		transit := transitAlloc(b, n)
+		if _, err := packer.Pack(transit); err != nil {
+			return err
+		}
+		c.clock.Advance(vclock.FromSeconds(p.SendOverhead))
+		injectEnd := c.clock.Now() + dur(transferSpan)
+		if !fl.asyncReturn {
+			// Bsend returns after the local pack; everyone else waits
+			// for the injection too.
+			c.clock.AdvanceTo(injectEnd)
+		} else {
+			c.clock.Advance(vclock.FromSeconds(packWork))
+		}
+		c.deliverEager(dest, tag, transit, n, injectEnd, fl)
+		fl.signalDelivered()
+		return nil
+	}
+
+	c.clock.Advance(vclock.FromSeconds(p.SendOverhead))
+	sendStart := c.clock.Now()
+	m := c.newRdvMessage(dest, tag, n, fl)
+	c.fabric.Deliver(c.endpoint(dest), m)
+	fl.signalDelivered()
+	match := <-m.Match
+	ctsAt := match.MatchTime + dur(p.NetLatency)
+	// Cray MPICH hides the handshake of internally packed sends behind
+	// the first chunk's packing (§4.5: no visible eager drop for the
+	// derived-type schemes there).
+	var packFrom vclock.Time
+	if p.ContigOnlyEagerDrop {
+		packFrom = sendStart
+		if ctsAt > packFrom+dur(packWork) {
+			packFrom = ctsAt - dur(packWork)
+		}
+	} else {
+		packFrom = ctsAt
+	}
+	c.clock.AdvanceTo(packFrom)
+	// Chunk loop: pack a chunk, inject a chunk — serialised, or
+	// overlapped under NIC pipelining.
+	if err := c.drainPacker(packer, match.Dst, n); err != nil {
+		m.Done <- simnet.RdvDone{Err: err}
+		return err
+	}
+	c.clock.Advance(vclock.FromSeconds(transferSpan))
+	if end := ctsAt + dur(wire); c.clock.Now() < end {
+		// The wire cannot start before the CTS even when packing was
+		// prefetched.
+		c.clock.AdvanceTo(end)
+	}
+	m.Done <- simnet.RdvDone{
+		Arrival: c.clock.Now() + dur(p.NetLatency),
+		Bytes:   n,
+	}
+	return nil
+}
+
+// drainPacker streams the packed byte sequence into dst through
+// internal-chunk-sized pieces — the mechanical counterpart of the cost
+// charged in sendTyped.
+func (c *Comm) drainPacker(packer *datatype.Packer, dst buf.Block, n int64) error {
+	limit := int64(dst.Len())
+	if n < limit {
+		limit = n
+	}
+	chunk := c.prof.InternalChunk
+	var off int64
+	for off < limit {
+		sz := chunk
+		if off+sz > limit {
+			sz = limit - off
+		}
+		if _, err := packer.Pack(dst.Slice(int(off), int(sz))); err != nil {
+			return err
+		}
+		off += sz
+	}
+	return nil
+}
+
+// newRdvMessage builds a rendezvous envelope with its RTS arrival
+// stamped.
+func (c *Comm) newRdvMessage(dest, tag int, n int64, fl sendFlags) *simnet.Message {
+	return &simnet.Message{
+		Ctx:     c.ctx,
+		Src:     c.endpoint(c.rank),
+		Tag:     tag,
+		Kind:    simnet.KindRendezvous,
+		Bytes:   n,
+		Arrival: c.clock.Now() + dur(c.prof.NetLatency),
+		Packed:  fl.packed,
+		Match:   make(chan simnet.RdvMatch, 1),
+		Done:    make(chan simnet.RdvDone, 1),
+	}
+}
+
+// deliverEager ships a transit payload.
+func (c *Comm) deliverEager(dest, tag int, transit buf.Block, n int64, injectEnd vclock.Time, fl sendFlags) {
+	c.fabric.Deliver(c.endpoint(dest), &simnet.Message{
+		Ctx:       c.ctx,
+		Src:       c.endpoint(c.rank),
+		Tag:       tag,
+		Kind:      simnet.KindEager,
+		Payload:   transit,
+		Bytes:     n,
+		Arrival:   injectEnd + dur(c.prof.NetLatency),
+		Packed:    fl.packed,
+		OnConsume: fl.onConsume,
+	})
+}
+
+// transitCopy clones a payload into a fabric-owned transit block,
+// virtual when the source is virtual.
+func transitCopy(b buf.Block) buf.Block {
+	if b.IsVirtual() {
+		return buf.Virtual(b.Len())
+	}
+	t := buf.Alloc(b.Len())
+	buf.Copy(t, b)
+	return t
+}
+
+// transitAlloc allocates a transit block of n bytes matching the
+// reality of the user buffer.
+func transitAlloc(user buf.Block, n int64) buf.Block {
+	if user.IsVirtual() {
+		return buf.Virtual(int(n))
+	}
+	return buf.Alloc(int(n))
+}
+
+// recvContig receives into a contiguous buffer; src and tag may be
+// wildcards.
+func (c *Comm) recvContig(b buf.Block, src, tag int) (Status, error) {
+	post := c.clock.Now()
+	m := c.matchFrom(src, tag)
+	return c.completeRecvContig(b, m, post)
+}
+
+// completeRecvContig finishes a matched contiguous receive.
+func (c *Comm) completeRecvContig(b buf.Block, m *simnet.Message, post vclock.Time) (Status, error) {
+	p := c.prof
+	st := Status{Source: c.localRank(m.Src), Tag: m.Tag, Count: m.Bytes}
+	switch m.Kind {
+	case simnet.KindEager:
+		c.clock.AdvanceTo(maxTime(m.Arrival, post))
+		nCopy := m.Bytes
+		if int64(b.Len()) < nCopy {
+			nCopy = int64(b.Len())
+		}
+		// The bounce-buffer copy applies only to *unexpected* eager
+		// messages (arrival before the receive was posted); a posted
+		// receive takes delivery zero-copy. This is why raising the
+		// eager limit over the maximum size "did not appreciably
+		// change the results for large messages" (§4.5): a ping-pong
+		// receiver is always already waiting.
+		var copyCost float64
+		if m.Arrival <= post {
+			copyCost = c.cache.CopyCost(m.Payload.Region(), b.Region(), nCopy)
+		}
+		c.clock.Advance(vclock.FromSeconds(p.RecvOverhead + copyCost))
+		if nCopy > 0 {
+			buf.CopyAt(b, 0, m.Payload, 0, int(nCopy))
+		}
+		if m.OnConsume != nil {
+			m.OnConsume()
+		}
+		if m.Bytes > int64(b.Len()) {
+			return st, fmt.Errorf("%w: %d-byte message, %d-byte receive buffer", ErrTruncate, m.Bytes, b.Len())
+		}
+		return st, nil
+	case simnet.KindRendezvous:
+		m.Match <- simnet.RdvMatch{MatchTime: maxTime(m.Arrival, post), Dst: b}
+		done := <-m.Done
+		if done.Err != nil {
+			return st, done.Err
+		}
+		c.clock.AdvanceTo(done.Arrival)
+		c.clock.Advance(vclock.FromSeconds(p.RecvOverhead))
+		if m.OnConsume != nil {
+			m.OnConsume()
+		}
+		if done.Bytes > int64(b.Len()) {
+			return st, fmt.Errorf("%w: %d-byte message, %d-byte receive buffer", ErrTruncate, done.Bytes, b.Len())
+		}
+		return st, nil
+	default:
+		return st, fmt.Errorf("mpi: unknown message kind %v", m.Kind)
+	}
+}
+
+// recvTyped receives a typed message, scattering into the datatype
+// layout.
+func (c *Comm) recvTyped(b buf.Block, count int, ty *datatype.Type, src, tag int) (Status, error) {
+	unpacker, err := ty.NewUnpacker(b, count)
+	if err != nil {
+		return Status{}, err
+	}
+	p := c.prof
+	need := ty.PackSize(count)
+	post := c.clock.Now()
+	m := c.matchFrom(src, tag)
+	st := Status{Source: c.localRank(m.Src), Tag: m.Tag, Count: m.Bytes}
+	scatter := c.cache.ScatterCost(c.internal.Region(), b.Region(), ty.Stats(count))
+	switch m.Kind {
+	case simnet.KindEager:
+		c.clock.AdvanceTo(maxTime(m.Arrival, post))
+		c.clock.Advance(vclock.FromSeconds(p.RecvOverhead + scatter))
+		nCopy := m.Bytes
+		if need < nCopy {
+			nCopy = need
+		}
+		if nCopy > 0 {
+			if _, err := unpacker.Unpack(m.Payload.Slice(0, int(nCopy))); err != nil {
+				return st, err
+			}
+		}
+		if m.OnConsume != nil {
+			m.OnConsume()
+		}
+		if m.Bytes > need {
+			return st, fmt.Errorf("%w: %d-byte message, %d-byte typed receive", ErrTruncate, m.Bytes, need)
+		}
+		return st, nil
+	case simnet.KindRendezvous:
+		staging := transitAlloc(b, minInt64(m.Bytes, need))
+		m.Match <- simnet.RdvMatch{MatchTime: maxTime(m.Arrival, post), Dst: staging}
+		done := <-m.Done
+		if done.Err != nil {
+			return st, done.Err
+		}
+		c.clock.AdvanceTo(done.Arrival)
+		c.clock.Advance(vclock.FromSeconds(p.RecvOverhead + scatter))
+		if staging.Len() > 0 {
+			if _, err := unpacker.Unpack(staging); err != nil {
+				return st, err
+			}
+		}
+		if m.OnConsume != nil {
+			m.OnConsume()
+		}
+		if done.Bytes > need {
+			return st, fmt.Errorf("%w: %d-byte message, %d-byte typed receive", ErrTruncate, done.Bytes, need)
+		}
+		return st, nil
+	default:
+		return st, fmt.Errorf("mpi: unknown message kind %v", m.Kind)
+	}
+}
+
+// matchFrom resolves the wildcard-aware (src, tag) match for this
+// communicator.
+func (c *Comm) matchFrom(src, tag int) *simnet.Message {
+	ep := simnet.AnySource
+	if src != AnySource {
+		ep = c.endpoint(src)
+	}
+	return c.fabric.Match(c.endpoint(c.rank), c.ctx, ep, tag)
+}
+
+// localRank translates a fabric endpoint back to a communicator rank.
+func (c *Comm) localRank(endpoint int) int {
+	if c.members == nil {
+		return endpoint
+	}
+	for i, ep := range c.members {
+		if ep == endpoint {
+			return i
+		}
+	}
+	return -1
+}
+
+// dur converts a model cost in seconds to a virtual-time offset.
+func dur(seconds float64) vclock.Time {
+	return vclock.Time(vclock.FromSeconds(seconds))
+}
+
+func maxTime(a, b vclock.Time) vclock.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,150 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/buf"
+	"repro/internal/datatype"
+	"repro/internal/vclock"
+)
+
+// Request tracks a non-blocking operation, like MPI_Request. Complete
+// it with Wait or poll with Test.
+type Request struct {
+	owner *Comm
+	async *Comm // clone whose clock the background half advances
+	done  chan struct{}
+
+	status   Status
+	err      error
+	finished bool
+	id       int
+}
+
+// asyncClone returns a clone of the Comm whose clock starts at the
+// caller's current time and advances independently; Wait folds the
+// result back. Fabric, cache state (internally locked) and the attach
+// pool are shared.
+func (c *Comm) asyncClone() *Comm {
+	cc := *c
+	cl := &vclock.Clock{}
+	cl.AdvanceTo(c.clock.Now())
+	cc.clock = cl
+	return &cc
+}
+
+// Isend starts a non-blocking contiguous send, like MPI_Isend. The
+// message enters the network in program order (the envelope is
+// delivered before Isend returns), so pairwise ordering guarantees
+// hold; only the rendezvous completion runs in the background.
+func (c *Comm) Isend(b buf.Block, dest, tag int) (*Request, error) {
+	if err := c.checkP2P(dest, tag); err != nil {
+		return nil, err
+	}
+	return c.startAsyncSend(func(cc *Comm, fl sendFlags) error {
+		return cc.sendContig(b, dest, tag, fl)
+	})
+}
+
+// IsendType starts a non-blocking derived-datatype send.
+func (c *Comm) IsendType(b buf.Block, count int, ty *datatype.Type, dest, tag int) (*Request, error) {
+	if err := c.checkP2P(dest, tag); err != nil {
+		return nil, err
+	}
+	if count < 0 {
+		return nil, fmt.Errorf("%w: %d", ErrCount, count)
+	}
+	return c.startAsyncSend(func(cc *Comm, fl sendFlags) error {
+		return cc.sendTyped(b, count, ty, dest, tag, fl)
+	})
+}
+
+// startAsyncSend runs op on a clone. To preserve MPI's non-overtaking
+// rule the envelope must enter the fabric before Isend returns, so a
+// later blocking send from the same rank cannot overtake it. The
+// protocol layer signals the delivered channel right after it enqueues
+// the envelope (both sendContig and sendTyped deliver before they
+// first block); startAsyncSend waits for that signal.
+func (c *Comm) startAsyncSend(op func(*Comm, sendFlags) error) (*Request, error) {
+	cc := c.asyncClone()
+	c.reqSeq++
+	delivered := make(chan struct{})
+	r := &Request{owner: c, async: cc, done: make(chan struct{}), id: c.reqSeq}
+	go func() {
+		defer close(r.done)
+		defer func() {
+			if p := recover(); p != nil {
+				r.err = fmt.Errorf("mpi: async op panicked: %v", p)
+			}
+		}()
+		r.err = op(cc, sendFlags{delivered: delivered})
+	}()
+	select {
+	case <-delivered:
+	case <-r.done: // op failed before delivering
+	}
+	return r, nil
+}
+
+// Irecv starts a non-blocking receive, like MPI_Irecv. When several
+// Irecvs with overlapping patterns are outstanding, their matching
+// order is unspecified (a documented divergence from MPI's
+// posted-receive queue order; the benchmark patterns never rely on
+// it).
+func (c *Comm) Irecv(b buf.Block, src, tag int) (*Request, error) {
+	if err := c.checkRecvArgs(src, tag); err != nil {
+		return nil, err
+	}
+	cc := c.asyncClone()
+	c.reqSeq++
+	r := &Request{owner: c, async: cc, done: make(chan struct{}), id: c.reqSeq}
+	go func() {
+		defer close(r.done)
+		defer func() {
+			if p := recover(); p != nil {
+				r.err = fmt.Errorf("mpi: async op panicked: %v", p)
+			}
+		}()
+		r.status, r.err = cc.recvContig(b, src, tag)
+	}()
+	return r, nil
+}
+
+// Wait blocks until the operation completes and folds its virtual time
+// into the caller, like MPI_Wait.
+func (r *Request) Wait() (Status, error) {
+	<-r.done
+	if !r.finished {
+		r.owner.clock.AdvanceTo(r.async.clock.Now())
+		r.finished = true
+	}
+	return r.status, r.err
+}
+
+// Test reports whether the operation has completed without blocking,
+// like MPI_Test; when it returns true the time is folded exactly as
+// Wait would.
+func (r *Request) Test() (bool, Status, error) {
+	select {
+	case <-r.done:
+		st, err := r.Wait()
+		return true, st, err
+	default:
+		return false, Status{}, nil
+	}
+}
+
+// WaitAll completes a set of requests, returning the first error, like
+// MPI_Waitall.
+func WaitAll(reqs ...*Request) error {
+	var first error
+	for _, r := range reqs {
+		if r == nil {
+			continue
+		}
+		if _, err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,351 @@
+// Package simnet is the simulated interconnect fabric under the MPI
+// runtime: per-rank mailboxes with MPI matching semantics (source/tag,
+// wildcards, pairwise FIFO order), eager and rendezvous message
+// envelopes, and per-endpoint traffic counters.
+//
+// The fabric is purely mechanical: it moves byte blocks and virtual
+// timestamps between rank goroutines and enforces matching order. All
+// *pricing* (what an operation costs in virtual time) happens in the
+// mpi layer using perfmodel/memsim; all *payload* semantics (datatypes,
+// packing) happen in the datatype layer.
+package simnet
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/buf"
+	"repro/internal/vclock"
+)
+
+// Wildcards for matching, mirroring MPI_ANY_SOURCE and MPI_ANY_TAG.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Kind discriminates message envelopes.
+type Kind int
+
+// Envelope kinds.
+const (
+	// KindEager carries the full payload with its arrival time.
+	KindEager Kind = iota
+	// KindRendezvous is a ready-to-send notice; payload transfer
+	// happens through the handshake channels after matching.
+	KindRendezvous
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindEager:
+		return "eager"
+	case KindRendezvous:
+		return "rendezvous"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// RdvMatch is the receiver→sender half of the rendezvous handshake:
+// when the receive was posted and where the payload should land.
+type RdvMatch struct {
+	// MatchTime is max(RTS arrival, receive post time) on the
+	// receiver's clock.
+	MatchTime vclock.Time
+	// Dst is the receiver's buffer view the sender streams into.
+	Dst buf.Block
+}
+
+// RdvDone is the sender→receiver half: when the payload fully arrived
+// and how many bytes were written.
+type RdvDone struct {
+	Arrival vclock.Time
+	Bytes   int64
+	Err     error
+}
+
+// Message is one envelope in a mailbox.
+type Message struct {
+	// Ctx is the communicator context: messages only match receives
+	// posted on the same communicator, so split communicators cannot
+	// intercept each other's traffic.
+	Ctx  int
+	Src  int
+	Tag  int
+	Kind Kind
+
+	// Payload: for eager messages, a transit copy owned by the fabric
+	// (or a virtual block); for rendezvous, unused.
+	Payload buf.Block
+	// Bytes is the payload size in bytes for either kind.
+	Bytes int64
+
+	// Arrival is when the payload (eager) or the RTS notice
+	// (rendezvous) lands at the receiver, in virtual time.
+	Arrival vclock.Time
+
+	// Packed marks payloads that were packed in user space, for the
+	// Cray eager-limit artefact (perfmodel.PackedEagerFactor).
+	Packed bool
+
+	// Match and Done carry the rendezvous handshake; nil for eager.
+	Match chan RdvMatch
+	Done  chan RdvDone
+
+	// OnConsume, if non-nil, runs when the receiver matches the
+	// message. The Bsend buffer manager uses it to release the
+	// attached-buffer region.
+	OnConsume func()
+}
+
+// matches reports whether the envelope satisfies a (ctx, src, tag)
+// receive pattern. The context never matches a wildcard.
+func (m *Message) matches(ctx, src, tag int) bool {
+	if m.Ctx != ctx {
+		return false
+	}
+	if src != AnySource && m.Src != src {
+		return false
+	}
+	if tag != AnyTag && m.Tag != tag {
+		return false
+	}
+	return true
+}
+
+// Counters aggregates per-endpoint traffic statistics. The tests use
+// them to assert protocol behaviour (e.g. "this send was eager",
+// "the derived-type send was chunked k times").
+type Counters struct {
+	EagerSends      int64
+	RendezvousSends int64
+	BytesInjected   int64
+	BytesDelivered  int64
+	MessagesMatched int64
+	Probes          int64
+}
+
+// Fabric connects n endpoints. It is safe for concurrent use by the n
+// rank goroutines.
+type Fabric struct {
+	n     int
+	boxes []*mailbox
+	group *vclock.Group
+
+	mu       sync.Mutex
+	counters []Counters
+	groups   map[int]*vclock.Group // per-communicator sync groups, by ctx
+	nextCtx  int
+	shared   map[string]interface{} // window state registry
+}
+
+// New creates a fabric with n endpoints.
+func New(n int) *Fabric {
+	if n <= 0 {
+		panic(fmt.Sprintf("simnet: fabric size %d", n))
+	}
+	f := &Fabric{n: n, group: vclock.NewGroup(n), counters: make([]Counters, n)}
+	f.boxes = make([]*mailbox, n)
+	for i := range f.boxes {
+		f.boxes[i] = newMailbox()
+	}
+	return f
+}
+
+// Size returns the endpoint count.
+func (f *Fabric) Size() int { return f.n }
+
+// Group returns the fabric-wide synchronisation group used by
+// barriers and window fences.
+func (f *Fabric) Group() *vclock.Group { return f.group }
+
+// GroupFor returns the synchronisation group of the communicator with
+// the given context, creating it with the given size on first use.
+// Every member of the communicator asks for the same ctx/size, so the
+// first caller creates and the rest share.
+func (f *Fabric) GroupFor(ctx, size int) *vclock.Group {
+	if ctx == 0 {
+		if size != f.n {
+			panic(fmt.Sprintf("simnet: world group size mismatch: %d vs %d", size, f.n))
+		}
+		return f.group
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.groups == nil {
+		f.groups = make(map[int]*vclock.Group)
+	}
+	g, ok := f.groups[ctx]
+	if !ok {
+		g = vclock.NewGroup(size)
+		f.groups[ctx] = g
+	} else if g.Size() != size {
+		panic(fmt.Sprintf("simnet: ctx %d group size mismatch: have %d want %d", ctx, g.Size(), size))
+	}
+	return g
+}
+
+// AllocCtxBlock reserves n fresh communicator contexts and returns the
+// first. Rank 0 of a Split allocates and broadcasts; contexts start at
+// 1 because 0 is the world communicator.
+func (f *Fabric) AllocCtxBlock(n int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.nextCtx == 0 {
+		f.nextCtx = 1
+	}
+	first := f.nextCtx
+	f.nextCtx += n
+	return first
+}
+
+// Shared returns the object registered under key, creating it with
+// create on first use. One-sided windows use this to share their
+// per-window state among ranks: the creation key is deterministic
+// (communicator context and a per-communicator sequence number), so
+// every member resolves the same object.
+func (f *Fabric) Shared(key string, create func() interface{}) interface{} {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.shared == nil {
+		f.shared = make(map[string]interface{})
+	}
+	v, ok := f.shared[key]
+	if !ok {
+		v = create()
+		f.shared[key] = v
+	}
+	return v
+}
+
+// DropShared removes a registry entry (window free).
+func (f *Fabric) DropShared(key string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.shared, key)
+}
+
+// Deliver enqueues an envelope at dst's mailbox, recording injection
+// statistics against src.
+func (f *Fabric) Deliver(dst int, m *Message) {
+	f.checkRank(dst)
+	f.checkRank(m.Src)
+	f.mu.Lock()
+	c := &f.counters[m.Src]
+	switch m.Kind {
+	case KindEager:
+		c.EagerSends++
+	case KindRendezvous:
+		c.RendezvousSends++
+	}
+	c.BytesInjected += m.Bytes
+	f.mu.Unlock()
+	f.boxes[dst].put(m)
+}
+
+// Match blocks until an envelope matching (src, tag) is available at
+// rank's mailbox and removes it. Matching preserves pairwise FIFO
+// order: the earliest enqueued matching envelope wins.
+func (f *Fabric) Match(rank, ctx, src, tag int) *Message {
+	f.checkRank(rank)
+	m := f.boxes[rank].take(ctx, src, tag)
+	f.mu.Lock()
+	f.counters[rank].MessagesMatched++
+	f.counters[rank].BytesDelivered += m.Bytes
+	f.mu.Unlock()
+	return m
+}
+
+// TryMatch is the non-blocking Match used by Iprobe: it returns nil
+// when nothing matches right now. The envelope is left in place.
+func (f *Fabric) TryMatch(rank, ctx, src, tag int) *Message {
+	f.checkRank(rank)
+	f.mu.Lock()
+	f.counters[rank].Probes++
+	f.mu.Unlock()
+	return f.boxes[rank].peek(ctx, src, tag)
+}
+
+// Probe blocks until a matching envelope is present and returns it
+// without removing it.
+func (f *Fabric) Probe(rank, ctx, src, tag int) *Message {
+	f.checkRank(rank)
+	f.mu.Lock()
+	f.counters[rank].Probes++
+	f.mu.Unlock()
+	return f.boxes[rank].wait(ctx, src, tag)
+}
+
+// CountersFor returns a snapshot of rank's counters.
+func (f *Fabric) CountersFor(rank int) Counters {
+	f.checkRank(rank)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.counters[rank]
+}
+
+func (f *Fabric) checkRank(r int) {
+	if r < 0 || r >= f.n {
+		panic(fmt.Sprintf("simnet: rank %d out of range [0,%d)", r, f.n))
+	}
+}
+
+// mailbox is an ordered queue with condition-variable matching.
+type mailbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	msgs []*Message
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *mailbox) put(m *Message) {
+	b.mu.Lock()
+	b.msgs = append(b.msgs, m)
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+func (b *mailbox) take(ctx, src, tag int) *Message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		for i, m := range b.msgs {
+			if m.matches(ctx, src, tag) {
+				b.msgs = append(b.msgs[:i], b.msgs[i+1:]...)
+				return m
+			}
+		}
+		b.cond.Wait()
+	}
+}
+
+func (b *mailbox) peek(ctx, src, tag int) *Message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, m := range b.msgs {
+		if m.matches(ctx, src, tag) {
+			return m
+		}
+	}
+	return nil
+}
+
+func (b *mailbox) wait(ctx, src, tag int) *Message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		for _, m := range b.msgs {
+			if m.matches(ctx, src, tag) {
+				return m
+			}
+		}
+		b.cond.Wait()
+	}
+}

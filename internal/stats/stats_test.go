@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.Median != 2.5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	wantSD := math.Sqrt(1.25)
+	if math.Abs(s.Stddev-wantSD) > 1e-12 {
+		t.Fatalf("stddev = %v, want %v", s.Stddev, wantSD)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestMedianOdd(t *testing.T) {
+	if m := Median([]float64{5, 1, 3}); m != 3 {
+		t.Fatalf("median = %v", m)
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestDismissOutliers(t *testing.T) {
+	// One wild point among tight ones.
+	xs := []float64{10, 10.1, 9.9, 10, 50}
+	kept, dropped := DismissOutliers(xs, 1)
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+	for _, x := range kept {
+		if x == 50 {
+			t.Fatal("outlier survived")
+		}
+	}
+}
+
+func TestDismissOutliersUniformSample(t *testing.T) {
+	xs := []float64{5, 5, 5, 5}
+	kept, dropped := DismissOutliers(xs, 1)
+	if dropped != 0 || len(kept) != 4 {
+		t.Fatalf("uniform sample dismissed: kept=%v dropped=%d", kept, dropped)
+	}
+}
+
+func TestDismissOutliersTinySample(t *testing.T) {
+	xs := []float64{1, 100}
+	if _, dropped := DismissOutliers(xs, 1); dropped != 0 {
+		t.Fatal("two-point sample should never dismiss")
+	}
+}
+
+func TestSeriesRatio(t *testing.T) {
+	ref := &Series{Label: "reference", X: []float64{1, 2, 4}, Y: []float64{1, 2, 4}}
+	sch := &Series{Label: "scheme", X: []float64{1, 2, 4}, Y: []float64{3, 6, 12}}
+	r := Ratio("slowdown", sch, ref)
+	for i, y := range r.Y {
+		if y != 3 {
+			t.Fatalf("ratio[%d] = %v, want 3", i, y)
+		}
+	}
+}
+
+func TestSeriesRatioSkipsMissingX(t *testing.T) {
+	ref := &Series{X: []float64{1, 2}, Y: []float64{1, 1}}
+	sch := &Series{X: []float64{1, 3}, Y: []float64{5, 5}}
+	r := Ratio("s", sch, ref)
+	if r.Len() != 1 || r.X[0] != 1 {
+		t.Fatalf("ratio = %+v", r)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Fatalf("geomean = %v", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Fatalf("empty geomean = %v", g)
+	}
+	if g := GeoMean([]float64{-1, 0}); g != 0 {
+		t.Fatalf("non-positive geomean = %v", g)
+	}
+}
+
+func TestSeriesValidate(t *testing.T) {
+	s := &Series{Label: "x", X: []float64{1}, Y: nil}
+	if err := s.Validate(); err == nil {
+		t.Fatal("mismatched series validated")
+	}
+	s.Append(2, 3)
+	// Now 2 xs, 1 y — still invalid.
+	if err := s.Validate(); err == nil {
+		t.Fatal("still mismatched")
+	}
+}
+
+// Property: mean is within [min, max] and dismissal never increases
+// the spread.
+func TestQuickMeanBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-9 && m <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DismissOutliers output is a subsequence of the input.
+func TestQuickDismissSubset(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		kept, dropped := DismissOutliers(xs, 1)
+		if len(kept)+dropped != len(xs) {
+			return false
+		}
+		// Subsequence check.
+		j := 0
+		for _, x := range xs {
+			if j < len(kept) && kept[j] == x {
+				j++
+			}
+		}
+		return j == len(kept)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
