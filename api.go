@@ -12,6 +12,22 @@
 // FEM boundary exchanges, and sending the real parts of a complex
 // array — plus a quickstart and an auto-tuning demo.
 //
+// # Pack-plan compiler
+//
+// The datatype engine packs through a plan compiler
+// (internal/datatype/plan.go): committing a type and binding it to a
+// count compiles an executable plan that selects a specialized kernel
+// — a single copy for contiguous layouts, an unrolled fixed-stride
+// loop for regular run/gap patterns (the paper's vector types), or a
+// flattened segment-table gather for irregular types — and splits the
+// packed range across goroutines for messages of at least
+// SetParallelPackThreshold bytes. Chunked mid-stream packing (the
+// runtime's internal pipelined sends) falls back to the interpreting
+// cursor; the two engines are property-tested byte-for-byte against
+// each other. The ninth scheme, PackCompiled ("packing(c)"), measures
+// this engine against the paper's interpreted packing(v), and
+// Measurement.PlanStats reports which kernels moved each cell's bytes.
+//
 // Quick start:
 //
 //	prof, _ := repro.ProfileByName("skx-impi")
@@ -31,16 +47,18 @@ import (
 // Scheme identifies one of the paper's eight send schemes.
 type Scheme = core.Scheme
 
-// The schemes, in the order of the paper's figure legends.
+// The schemes, in the order of the paper's figure legends, plus the
+// compiled-pack scheme.
 const (
-	Reference   = core.Reference
-	Copying     = core.Copying
-	Buffered    = core.Buffered
-	VectorType  = core.VectorType
-	Subarray    = core.Subarray
-	OneSided    = core.OneSided
-	PackElement = core.PackElement
-	PackVector  = core.PackVector
+	Reference    = core.Reference
+	Copying      = core.Copying
+	Buffered     = core.Buffered
+	VectorType   = core.VectorType
+	Subarray     = core.Subarray
+	OneSided     = core.OneSided
+	PackElement  = core.PackElement
+	PackVector   = core.PackVector
+	PackCompiled = core.PackCompiled
 )
 
 // Schemes lists all schemes in legend order.
@@ -177,3 +195,29 @@ func TypeIndexed(blocklens, displs []int, base *Datatype) (*Datatype, error) {
 func TypeSubarray(sizes, subsizes, starts []int, base *Datatype) (*Datatype, error) {
 	return datatype.Subarray(sizes, subsizes, starts, datatype.OrderC, base)
 }
+
+// PackPlan is an executable pack/unpack program compiled from a
+// committed datatype and a count; CompilePlan builds one explicitly
+// (the engine also compiles plans transparently inside Pack/Unpack and
+// the send paths).
+type PackPlan = datatype.Plan
+
+// CompilePlan compiles count instances of a committed datatype into an
+// executable plan.
+func CompilePlan(ty *Datatype, count int) (*PackPlan, error) { return ty.CompilePlan(count) }
+
+// PlanStats is a snapshot of the pack-plan engine counters: compiled
+// kernel executions and bytes per kernel, parallel executions, and
+// interpreting-cursor fallback traffic.
+type PlanStats = datatype.PlanStats
+
+// PlanStatsSnapshot returns the current pack-plan engine counters.
+func PlanStatsSnapshot() PlanStats { return datatype.PlanStatsSnapshot() }
+
+// SetParallelPackThreshold sets the message size, in bytes, above
+// which compiled plans pack with goroutine parallelism. Zero or
+// negative disables parallel packing.
+func SetParallelPackThreshold(n int64) { datatype.SetParallelPackThreshold(n) }
+
+// ParallelPackThreshold returns the current parallel-pack threshold.
+func ParallelPackThreshold() int64 { return datatype.ParallelPackThreshold() }

@@ -40,12 +40,17 @@ func TestFacadeProfiles(t *testing.T) {
 }
 
 func TestFacadeSchemes(t *testing.T) {
-	if len(repro.Schemes()) != 8 {
+	// The paper's eight schemes plus the compiled-pack column.
+	if len(repro.Schemes()) != 9 {
 		t.Fatalf("schemes = %v", repro.Schemes())
 	}
 	s, err := repro.SchemeByName("packing(v)")
 	if err != nil || s != repro.PackVector {
 		t.Fatalf("SchemeByName: %v, %v", s, err)
+	}
+	s, err = repro.SchemeByName("packing(c)")
+	if err != nil || s != repro.PackCompiled {
+		t.Fatalf("SchemeByName packing(c): %v, %v", s, err)
 	}
 }
 
@@ -89,7 +94,7 @@ func TestFacadeBuildFigure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(fig.Time) != 8 || len(fig.Slowdown) != 8 {
+	if len(fig.Time) != 9 || len(fig.Slowdown) != 9 {
 		t.Fatalf("panels: %d time, %d slowdown", len(fig.Time), len(fig.Slowdown))
 	}
 }

@@ -1,15 +1,17 @@
 // Command figures regenerates the paper's Figures 1–4: time,
-// bandwidth and slowdown panels for all eight send schemes on each
-// simulated installation.
+// bandwidth and slowdown panels for the paper's eight send schemes —
+// plus the compiled-pack packing(c) column — on each simulated
+// installation.
 //
 // Usage:
 //
 //	figures [-profile skx-impi|skx-mvapich|ls5-cray|knl-impi|all]
 //	        [-per-decade 4] [-reps 20] [-max-real 16777216]
-//	        [-csv dir] [-check]
+//	        [-csv dir] [-check] [-what-if] [-plan]
 //
 // -csv writes one CSV file per figure into the directory; -check also
-// prints the E10 cost-model factor table per profile.
+// prints the E10 cost-model factor table per profile; -what-if the E11
+// NIC-pipelining ablation; -plan the E12 pack-plan compiler study.
 package main
 
 import (
@@ -31,6 +33,7 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write per-figure CSV files")
 	check := flag.Bool("check", false, "also print the E10 cost-model factor table")
 	whatIf := flag.Bool("what-if", false, "also print the E11 NIC-pipelining ablation (paper ref [2])")
+	planStudy := flag.Bool("plan", false, "also print the E12 pack-plan compiler study (compiled vs interpreted packing)")
 	flag.Parse()
 
 	profiles := []string{"skx-impi", "skx-mvapich", "ls5-cray", "knl-impi"}
@@ -89,6 +92,17 @@ func main() {
 				fatal(err)
 			}
 			fmt.Printf("pipelining would recover %.1fx at the largest size (§2.3, ref [2])\n\n", st.LargeGain())
+		}
+		if *planStudy {
+			st, err := figures.BuildPackPlanStudy(name, sizes, opt)
+			if err != nil {
+				fatal(err)
+			}
+			if err := st.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("compiled packing is %.2fx interpreted at the largest size\n\n",
+				st.CompiledSpeedupAt(sizes[len(sizes)-1]))
 		}
 	}
 }

@@ -10,7 +10,7 @@ import (
 )
 
 func TestSchemeNames(t *testing.T) {
-	want := []string{"reference", "copying", "buffered", "vector type", "subarray", "onesided", "packing(e)", "packing(v)"}
+	want := []string{"reference", "copying", "buffered", "vector type", "subarray", "onesided", "packing(e)", "packing(v)", "packing(c)"}
 	for i, s := range Schemes() {
 		if s.String() != want[i] {
 			t.Errorf("scheme %d = %q, want %q", i, s, want[i])

@@ -66,6 +66,8 @@ func NewRunner(s Scheme) (Runner, error) {
 		return &packRunner{scheme: PackElement}, nil
 	case PackVector:
 		return &packRunner{scheme: PackVector}, nil
+	case PackCompiled:
+		return &packRunner{scheme: PackCompiled}, nil
 	default:
 		return nil, fmt.Errorf("core: unknown scheme %v", s)
 	}
@@ -377,6 +379,8 @@ func (r *oneSidedRunner) Teardown() error {
 // contiguous send of the packed bytes. PackVector issues one pack call
 // on the whole vector datatype; PackElement pays one pack call per
 // element — the scheme the paper predicts to perform "very badly".
+// PackCompiled issues the same single call through the compiled
+// pack-plan engine, the compiled-vs-interpreted comparison column.
 type packRunner struct {
 	pairState
 	scheme  Scheme
@@ -409,6 +413,11 @@ func (r *packRunner) Ping() error {
 		// One MPI_Pack call on the whole derived type (§4.3: as
 		// efficient as the user copy loop).
 		if err := r.c.Pack(r.src, 1, r.ty, r.sendbuf, &pos); err != nil {
+			return err
+		}
+	case PackCompiled:
+		// One pack call executed by the compiled plan kernel.
+		if err := r.c.PackCompiled(r.src, 1, r.ty, r.sendbuf, &pos); err != nil {
 			return err
 		}
 	case PackElement:

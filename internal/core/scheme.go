@@ -14,6 +14,12 @@
 //	OneSided     "onesided"    MPI_Put of a derived type between MPI_Win_fence pairs
 //	PackElement  "packing(e)"  one MPI_Pack call per element, send the buffer
 //	PackVector   "packing(v)"  one MPI_Pack call on a vector type, send the buffer
+//
+// Beyond the paper's eight, PackCompiled ("packing(c)") packs through
+// the compiled pack-plan engine (internal/datatype/plan.go): the same
+// single pack call as packing(v), but executed by a specialized kernel
+// with amortised per-segment bookkeeping instead of generic
+// interpretation — the compiled-vs-interpreted comparison column.
 package core
 
 import (
@@ -24,7 +30,8 @@ import (
 // Scheme identifies one of the paper's send schemes.
 type Scheme int
 
-// The eight schemes of the study, in the order of the figures' legend.
+// The eight schemes of the study, in the order of the figures'
+// legend, plus the compiled-pack scheme appended after them.
 const (
 	Reference Scheme = iota
 	Copying
@@ -34,17 +41,19 @@ const (
 	OneSided
 	PackElement
 	PackVector
+	PackCompiled
 )
 
 var schemeNames = map[Scheme]string{
-	Reference:   "reference",
-	Copying:     "copying",
-	Buffered:    "buffered",
-	VectorType:  "vector type",
-	Subarray:    "subarray",
-	OneSided:    "onesided",
-	PackElement: "packing(e)",
-	PackVector:  "packing(v)",
+	Reference:    "reference",
+	Copying:      "copying",
+	Buffered:     "buffered",
+	VectorType:   "vector type",
+	Subarray:     "subarray",
+	OneSided:     "onesided",
+	PackElement:  "packing(e)",
+	PackVector:   "packing(v)",
+	PackCompiled: "packing(c)",
 }
 
 // String returns the paper's legend label for the scheme.
@@ -57,7 +66,7 @@ func (s Scheme) String() string {
 
 // Schemes lists all schemes in legend order.
 func Schemes() []Scheme {
-	return []Scheme{Reference, Copying, Buffered, VectorType, Subarray, OneSided, PackElement, PackVector}
+	return []Scheme{Reference, Copying, Buffered, VectorType, Subarray, OneSided, PackElement, PackVector, PackCompiled}
 }
 
 // SchemeByName resolves a legend label (or a few aliases) to a Scheme.
@@ -75,6 +84,8 @@ func SchemeByName(name string) (Scheme, error) {
 		"one-sided":   OneSided,
 		"packing(e)":  PackElement,
 		"packing(v)":  PackVector,
+		"packing(c)":  PackCompiled,
+		"compiled":    PackCompiled,
 	}
 	if s, ok := aliases[name]; ok {
 		return s, nil

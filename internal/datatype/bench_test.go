@@ -1,6 +1,7 @@
 package datatype
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/buf"
@@ -74,6 +75,185 @@ func BenchmarkChunkedPacker(b *testing.B) {
 			}
 		}
 	}
+}
+
+// benchGeometries is the paper-style sweep for the engine comparison:
+// the canonical every-other-element layout and a blocked layout, from
+// cache-resident to DRAM-bound sizes.
+var benchGeometries = []struct {
+	name             string
+	blocklen, stride int
+	payloads         []int64 // packed bytes
+}{
+	{"everyOther", 1, 2, []int64{64 << 10, 1 << 20, 16 << 20}},
+	{"blocked64", 64, 128, []int64{64 << 10, 1 << 20, 16 << 20}},
+}
+
+// BenchmarkPackEngines compares the three pack engines on the same
+// (geometry, size) grid: the interpreting cursor, the compiled plan
+// restricted to one goroutine, and the parallel plan. The recorded
+// MB/s ratios are the repository's compiled-vs-interpreted speedup
+// evidence (BENCH_*.json tracks them).
+func BenchmarkPackEngines(b *testing.B) {
+	for _, g := range benchGeometries {
+		for _, payload := range g.payloads {
+			count := int(payload) / (g.blocklen * 8)
+			ty, src, dst := benchVector(b, count, g.blocklen, g.stride)
+			name := fmt.Sprintf("%s/%s", g.name, sizeLabel(payload))
+			b.Run("cursor/"+name, func(b *testing.B) {
+				b.SetBytes(ty.Size())
+				for i := 0; i < b.N; i++ {
+					c := newCursor(ty, src, 1)
+					if _, err := c.transfer(dst, packDirection); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run("compiled/"+name, func(b *testing.B) {
+				// Threshold above the payload: single-goroutine kernels.
+				SetParallelPackThreshold(payload + 1)
+				defer SetParallelPackThreshold(DefaultParallelPackThreshold)
+				plan, err := ty.CompilePlan(1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.SetBytes(ty.Size())
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := plan.Pack(src, dst); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run("parallel/"+name, func(b *testing.B) {
+				SetParallelPackThreshold(1)
+				defer SetParallelPackThreshold(DefaultParallelPackThreshold)
+				plan, err := ty.CompilePlan(1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !plan.Parallel() {
+					// Too small for >1 worker (or single-core): this
+					// cell would silently re-measure the serial kernel.
+					b.Skipf("payload %d B cannot engage the parallel splitter", payload)
+				}
+				b.SetBytes(ty.Size())
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := plan.Pack(src, dst); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkUnpackEngines is the scatter-side mirror of
+// BenchmarkPackEngines on the canonical geometry.
+func BenchmarkUnpackEngines(b *testing.B) {
+	const payload = 1 << 20
+	ty, src, dst := benchVector(b, payload/8, 1, 2)
+	if _, err := ty.Pack(src, 1, dst); err != nil {
+		b.Fatal(err)
+	}
+	back := buf.Alloc(int(ty.Extent()))
+	b.Run("cursor", func(b *testing.B) {
+		b.SetBytes(ty.Size())
+		for i := 0; i < b.N; i++ {
+			c := newCursor(ty, back, 1)
+			if _, err := c.transfer(dst, unpackDirection); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		SetParallelPackThreshold(payload + 1)
+		defer SetParallelPackThreshold(DefaultParallelPackThreshold)
+		plan, err := ty.CompilePlan(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(ty.Size())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.Unpack(dst, back); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		SetParallelPackThreshold(1)
+		defer SetParallelPackThreshold(DefaultParallelPackThreshold)
+		plan, err := ty.CompilePlan(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !plan.Parallel() {
+			b.Skipf("payload %d B cannot engage the parallel splitter", payload)
+		}
+		b.SetBytes(ty.Size())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.Unpack(dst, back); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkGatherKernel compares the engines on an irregular
+// (indexed-block) layout, where the compiled plan walks its flattened
+// segment table.
+func BenchmarkGatherKernel(b *testing.B) {
+	displs := make([]int, 1<<15)
+	pos := 0
+	for i := range displs {
+		displs[i] = pos
+		pos += 2 + (i*7)%3
+	}
+	ty, err := IndexedBlock(2, displs, Float64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ty.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	src := buf.Alloc(int(ty.r.last()))
+	src.FillPattern(1)
+	dst := buf.Alloc(int(ty.Size()))
+	b.Run("cursor", func(b *testing.B) {
+		b.SetBytes(ty.Size())
+		for i := 0; i < b.N; i++ {
+			c := newCursor(ty, src, 1)
+			if _, err := c.transfer(dst, packDirection); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		plan, err := ty.CompilePlan(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(ty.Size())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.Pack(src, dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func sizeLabel(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dKB", n>>10)
+	}
+	return fmt.Sprintf("%dB", n)
 }
 
 func BenchmarkVectorConstructHuge(b *testing.B) {

@@ -28,6 +28,7 @@ func newBasic(name string, size int64) *Type {
 		ub:        size,
 		alignment: size,
 		r:         regularRuns(0, size, 0, 1),
+		plans:     &planCache{},
 	}
 }
 
@@ -324,11 +325,23 @@ func Subarray(sizes, subsizes, starts []int, order Order, base *Type) (*Type, er
 		reverse(cstart)
 	}
 	ext := base.Extent()
+	// A dense base (one run filling its whole extent from offset zero)
+	// lets whole rows collapse to single closed-form runs. Non-dense
+	// bases (derived types with gaps) replicate their real run pattern
+	// instead — treating them as ext-sized blocks would build a type
+	// whose flattened runs disagree with its payload size.
+	dense := base.IsContiguous() && base.lb == 0
 	// Row length in elements of the fastest dimension.
 	rowElems := int64(csub[nd-1])
 	parentRow := int64(csizes[nd-1])
-	// Build the runs: iterate all outer index tuples, emit one run per
-	// innermost row. The run count is the product of outer subsizes.
+	// One innermost row of the selection: rowElems consecutive copies
+	// of the base pattern.
+	rowRuns, err := replicate(base.r, ext, rowElems)
+	if err != nil {
+		return nil, err
+	}
+	// Build the runs: iterate all outer index tuples, emit one row per
+	// innermost index. The row count is the product of outer subsizes.
 	nrows := int64(1)
 	for d := 0; d < nd-1; d++ {
 		nrows *= int64(csub[d])
@@ -345,13 +358,20 @@ func Subarray(sizes, subsizes, starts []int, order Order, base *Type) (*Type, er
 			off += int64(cstart[d]) * stride
 			stride *= int64(csizes[d])
 		}
-		r = regularRuns(off*ext, rowElems*ext, 0, 1)
-	case nd == 2:
+		if dense {
+			r = regularRuns(off*ext, rowElems*ext, 0, 1)
+		} else {
+			r = rowRuns.shifted(off * ext)
+		}
+	case nd == 2 && dense:
 		off := (int64(cstart[0])*parentRow + int64(cstart[1])) * ext
 		r = regularRuns(off, rowElems*ext, (parentRow-rowElems)*ext, int64(csub[0]))
 	default:
-		// General N-d: materialise one run per row.
-		if nrows > maxMaterialize {
+		// General case (N-d, or a non-dense base): materialise the
+		// rows, one run per row for dense bases, the replicated base
+		// pattern otherwise. Division keeps the bound overflow-safe for
+		// huge outer subsizes.
+		if rowRuns.n > 0 && nrows > maxMaterialize/rowRuns.n {
 			return nil, errTooManySegments(nrows)
 		}
 		strides := make([]int64, nd) // element stride of each dim in the parent
@@ -360,13 +380,20 @@ func Subarray(sizes, subsizes, starts []int, order Order, base *Type) (*Type, er
 			strides[d] = strides[d+1] * int64(csizes[d+1])
 		}
 		idx := make([]int, nd-1)
-		segs := make([]layout.Segment, 0, nrows)
+		segs := make([]layout.Segment, 0, nrows*rowRuns.n)
 		for {
 			off := int64(cstart[nd-1])
 			for d := 0; d < nd-1; d++ {
 				off += int64(cstart[d]+idx[d]) * strides[d]
 			}
-			segs = append(segs, layout.Segment{Off: off * ext, Len: rowElems * ext})
+			if dense {
+				segs = append(segs, layout.Segment{Off: off * ext, Len: rowElems * ext})
+			} else {
+				rowRuns.forEach(off*ext, func(s layout.Segment) bool {
+					segs = append(segs, s)
+					return true
+				})
+			}
 			// Odometer increment over the outer dimensions.
 			d := nd - 2
 			for ; d >= 0; d-- {
@@ -380,7 +407,6 @@ func Subarray(sizes, subsizes, starts []int, order Order, base *Type) (*Type, er
 				break
 			}
 		}
-		var err error
 		r, err = irregularRuns(segs)
 		if err != nil {
 			return nil, err

@@ -103,6 +103,10 @@ type Type struct {
 	// alignment is the largest basic-type size in the tree; struct
 	// extent is padded to it, as real MPIs do with the epsilon term.
 	alignment int64
+
+	// plans caches the compiled pack plan program (see plan.go). It is
+	// allocated at Commit so the Type value stays copyable.
+	plans *planCache
 }
 
 // Kind returns the constructor family.
@@ -155,6 +159,9 @@ func (t *Type) Commit() error {
 		return fmt.Errorf("%w: nil type", ErrArgument)
 	}
 	t.committed = true
+	if t.plans == nil {
+		t.plans = &planCache{}
+	}
 	return nil
 }
 

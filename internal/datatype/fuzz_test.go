@@ -1,0 +1,177 @@
+package datatype
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/buf"
+	"repro/internal/layout"
+)
+
+// fuzzDecoder turns a fuzz byte string into bounded constructor
+// arguments: a deterministic mapping so every corpus entry is a
+// reproducible (type, count, seed) triple.
+type fuzzDecoder struct {
+	data []byte
+	pos  int
+}
+
+func (d *fuzzDecoder) byte() byte {
+	if d.pos >= len(d.data) {
+		return 0
+	}
+	b := d.data[d.pos]
+	d.pos++
+	return b
+}
+
+// intn returns a value in [0, n).
+func (d *fuzzDecoder) intn(n int) int { return int(d.byte()) % n }
+
+// decodeType builds a committed type from the fuzz stream, recursing
+// one level for nested indexed/struct-of-vector shapes. It returns nil
+// when the stream encodes invalid constructor arguments (those draws
+// are skipped, not failed: rejecting them is the constructors' job and
+// covered by unit tests).
+func decodeType(d *fuzzDecoder, depth int) *Type {
+	base := []*Type{Byte, Int32, Float64, Complex128}[d.intn(4)]
+	if depth > 0 && d.intn(4) == 0 {
+		base = decodeType(d, depth-1)
+		if base == nil {
+			return nil
+		}
+	}
+	var ty *Type
+	var err error
+	switch d.intn(7) {
+	case 0:
+		ty, err = Contiguous(d.intn(8)+1, base)
+	case 1:
+		bl := d.intn(4) + 1
+		ty, err = Vector(d.intn(30)+1, bl, bl+d.intn(5), base)
+	case 2:
+		bl := d.intn(3) + 1
+		ty, err = Hvector(d.intn(20)+1, bl, int64(bl)*base.Extent()+int64(d.intn(32)), base)
+	case 3:
+		n := d.intn(6) + 1
+		blocklens := make([]int, n)
+		displs := make([]int, n)
+		pos := 0
+		for i := 0; i < n; i++ {
+			blocklens[i] = d.intn(4) + 1
+			displs[i] = pos
+			pos += blocklens[i] + d.intn(5)
+		}
+		ty, err = Indexed(blocklens, displs, base)
+	case 4:
+		bl := d.intn(3) + 1
+		n := d.intn(6) + 1
+		displs := make([]int, n)
+		pos := 0
+		for i := 0; i < n; i++ {
+			displs[i] = pos
+			pos += bl + d.intn(5)
+		}
+		ty, err = IndexedBlock(bl, displs, base)
+	case 5:
+		fields := []*Type{Int32, base, Float64}
+		blocklens := make([]int, len(fields))
+		displs := make([]int64, len(fields))
+		var pos int64
+		for i, f := range fields {
+			blocklens[i] = d.intn(3) + 1
+			displs[i] = pos
+			pos += int64(blocklens[i])*f.Extent() + int64(d.intn(9))
+		}
+		ty, err = Struct(blocklens, displs, fields)
+	case 6:
+		rows, cols := d.intn(6)+1, d.intn(8)+1
+		sr, sc := d.intn(rows), d.intn(cols)
+		ty, err = Subarray([]int{rows, cols}, []int{rows - sr, cols - sc}, []int{sr, sc}, OrderC, base)
+	}
+	if err != nil {
+		return nil
+	}
+	if err := ty.Commit(); err != nil {
+		return nil
+	}
+	return ty
+}
+
+// FuzzPackRoundtrip fuzzes the Pack→Unpack roundtrip over
+// indexed/struct/nested types through the compiled-plan path and
+// cross-checks the packed bytes against the interpreting cursor. The
+// seed corpus encodes the constructor cases of pack_test.go.
+func FuzzPackRoundtrip(f *testing.F) {
+	// Corpus: first byte pair selects base/nesting, then constructor
+	// selector and parameters; trailing bytes are count and fill seed.
+	f.Add([]byte{2, 1, 0, 12, 1, 7})               // contiguous(13, Float64)
+	f.Add([]byte{2, 1, 1, 8, 1, 3, 2, 11})         // vector(9,2,5)
+	f.Add([]byte{2, 1, 2, 6, 0, 16, 1, 5})         // hvector
+	f.Add([]byte{2, 1, 3, 2, 1, 0, 0, 2, 2, 1})    // indexed
+	f.Add([]byte{2, 1, 4, 1, 2, 0, 4, 3, 13})      // indexed block
+	f.Add([]byte{2, 1, 5, 0, 1, 0, 1, 0, 2, 17})   // struct
+	f.Add([]byte{2, 1, 6, 5, 5, 2, 3, 1, 29})      // subarray
+	f.Add([]byte{0, 0, 1, 0, 0, 0, 0, 0})          // byte-element vector
+	f.Add([]byte{3, 4, 3, 1, 1, 1, 1, 1, 1, 1, 1}) // nested indexed over a derived base
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := &fuzzDecoder{data: data}
+		ty := decodeType(d, 1)
+		if ty == nil {
+			t.Skip("draw encodes invalid constructor arguments")
+		}
+		count := d.intn(3) + 1
+		seed := d.byte()
+
+		bufLen := userBufLen(ty, count)
+		src := buf.Alloc(bufLen)
+		src.FillPattern(seed)
+
+		// Compiled pack.
+		packed := buf.Alloc(int(ty.PackSize(count)))
+		n, err := ty.Pack(src, count, packed)
+		if err != nil {
+			t.Fatalf("pack (%v): %v", ty, err)
+		}
+		if n != ty.PackSize(count) {
+			t.Fatalf("pack (%v): %d bytes, want %d", ty, n, ty.PackSize(count))
+		}
+
+		// Differential: the cursor must produce the identical stream.
+		c := newCursor(ty, src, count)
+		oracle := buf.Alloc(int(ty.PackSize(count)))
+		if _, err := c.transfer(oracle, packDirection); err != nil {
+			t.Fatalf("cursor pack (%v): %v", ty, err)
+		}
+		if !bytes.Equal(packed.Bytes(), oracle.Bytes()) {
+			t.Fatalf("compiled pack differs from cursor for %v count=%d", ty, count)
+		}
+
+		// Roundtrip: unpack into a fresh buffer; layout bytes must
+		// match the source and non-layout bytes must stay zero.
+		back := buf.Alloc(bufLen)
+		if _, err := ty.Unpack(packed, count, back); err != nil {
+			t.Fatalf("unpack (%v): %v", ty, err)
+		}
+		inLayout := make([]bool, bufLen)
+		ext := ty.Extent()
+		for i := 0; i < count; i++ {
+			ty.r.forEach(int64(i)*ext, func(s layout.Segment) bool {
+				for off := s.Off; off < s.End(); off++ {
+					inLayout[off] = true
+				}
+				return true
+			})
+		}
+		for i := 0; i < bufLen; i++ {
+			if inLayout[i] {
+				if back.Bytes()[i] != src.Bytes()[i] {
+					t.Fatalf("roundtrip (%v count=%d): layout byte %d differs", ty, count, i)
+				}
+			} else if back.Bytes()[i] != 0 {
+				t.Fatalf("roundtrip (%v count=%d): wrote outside the layout at %d", ty, count, i)
+			}
+		}
+	})
+}

@@ -70,8 +70,13 @@ func (t *Type) Unpack(src buf.Block, count int, dst buf.Block) (int64, error) {
 // Packer streams the packed byte sequence of (count × type) out of a
 // user buffer in arbitrary-sized pieces. The MPI-internal chunked
 // sends of internal/simnet drain one chunk at a time; packing(v)
-// drains everything at once. Random access into regular runs is O(1),
-// so a packer never materialises segment lists.
+// drains everything at once.
+//
+// A whole-message Pack call from the start of the stream executes the
+// compiled plan (see plan.go): a specialized kernel, parallel above
+// the threshold. Partial chunks and mid-segment resumes fall back to
+// the interpreting cursor, whose random access into regular runs is
+// O(1), so a packer never materialises regular segment lists.
 type Packer struct {
 	c cursor
 }
@@ -85,17 +90,28 @@ func (t *Type) NewPacker(src buf.Block, count int) (*Packer, error) {
 	return &Packer{c: newCursor(t, src, count)}, nil
 }
 
+// Plan returns the compiled plan the packer executes for whole-message
+// calls. Compilation is lazy (and cached on the type), so purely
+// chunked streams never pay for a gather table they won't use.
+func (p *Packer) Plan() *Plan { return p.c.t.plan(int(p.c.count)) }
+
 // Remaining returns the unpacked bytes left in the stream.
 func (p *Packer) Remaining() int64 { return p.c.remaining() }
 
 // Pack fills dst with the next min(dst.Len(), Remaining()) bytes of
 // the packed stream and returns how many were produced.
 func (p *Packer) Pack(dst buf.Block) (int64, error) {
+	if p.c.done == 0 && int64(dst.Len()) >= p.c.remaining() {
+		n := p.Plan().execute(p.c.user, dst, packDirection)
+		p.c.done = n
+		return n, nil
+	}
 	return p.c.transfer(dst, packDirection)
 }
 
 // Unpacker is the inverse stream: packed bytes in, scattered layout
-// out.
+// out. Like Packer, a whole-message Unpack executes the compiled plan
+// and partial chunks go through the cursor.
 type Unpacker struct {
 	c cursor
 }
@@ -109,12 +125,21 @@ func (t *Type) NewUnpacker(dst buf.Block, count int) (*Unpacker, error) {
 	return &Unpacker{c: newCursor(t, dst, count)}, nil
 }
 
+// Plan returns the compiled plan the unpacker executes for
+// whole-message calls; compilation is lazy, as for Packer.Plan.
+func (u *Unpacker) Plan() *Plan { return u.c.t.plan(int(u.c.count)) }
+
 // Remaining returns the packed bytes still expected.
 func (u *Unpacker) Remaining() int64 { return u.c.remaining() }
 
 // Unpack consumes src and scatters it into the user buffer, returning
 // the bytes consumed.
 func (u *Unpacker) Unpack(src buf.Block) (int64, error) {
+	if u.c.done == 0 && int64(src.Len()) >= u.c.remaining() {
+		n := u.Plan().execute(u.c.user, src, unpackDirection)
+		u.c.done = n
+		return n, nil
+	}
 	return u.c.transfer(src, unpackDirection)
 }
 
@@ -155,6 +180,7 @@ func (c *cursor) transfer(other buf.Block, dir direction) (int64, error) {
 	if want == 0 {
 		return 0, nil
 	}
+	recordCursor(want)
 	// Virtual fast path: no byte movement, just cursor arithmetic.
 	if c.user.IsVirtual() || other.IsVirtual() {
 		c.skip(want)

@@ -1,0 +1,368 @@
+package datatype
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// This file implements the pack-plan compiler: Commit-time analysis of
+// a type's flattened runs into an executable plan that chooses a
+// specialized copy kernel instead of interpreting the type tree
+// generically per byte. The motivation is the paper's central finding
+// that pack throughput — not the network — dominates non-contiguous
+// sends, and the observation (Carpen-Amarie/Hunold/Träff,
+// arXiv:1607.00178) that real MPI implementations lose to hand-written
+// copy loops because they walk the type representation at pack time.
+//
+// Kernel selection rules, applied in order when a plan is bound to a
+// (type, count) pair:
+//
+//  1. KernelContig  — the whole message is one dense run (the type is
+//     contiguous and repetition stays dense, or count == 1 with a
+//     single-run instance): a single copy.
+//  2. KernelStride  — the instance flattens to the regular run/gap
+//     form (vector, hvector, subarray rows, …): a closed-form loop
+//     with unrolled fast paths for 4/8/16-byte runs, the paper's
+//     canonical small-block strides.
+//  3. KernelGather  — irregular instances (indexed, struct, jittered
+//     hindexed): a flattened (userOff, packedOff, len) segment table
+//     walked with a tight copy loop; the table is built once at
+//     compile time, never re-derived per pack.
+//
+// Independently of the kernel, messages of at least
+// ParallelPackThreshold() bytes execute goroutine-parallel: the packed
+// byte range is split across workers, and every kernel can start
+// mid-stream in O(log n) (closed form for stride, binary search for
+// gather), so the split needs no segment alignment.
+
+// PlanKernel identifies the specialized copy kernel a compiled plan
+// executes.
+type PlanKernel int
+
+// The plan kernels, in specialization order.
+const (
+	// KernelContig moves the whole message with a single copy.
+	KernelContig PlanKernel = iota
+	// KernelStride runs the closed-form regular run/gap loop with
+	// unrolled small-block fast paths.
+	KernelStride
+	// KernelGather walks a flattened per-instance segment table.
+	KernelGather
+)
+
+var kernelNames = map[PlanKernel]string{
+	KernelContig: "contig",
+	KernelStride: "stride",
+	KernelGather: "gather",
+}
+
+// String returns the kernel name.
+func (k PlanKernel) String() string {
+	if s, ok := kernelNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("PlanKernel(%d)", int(k))
+}
+
+// DefaultParallelPackThreshold is the message size, in bytes, above
+// which compiled plans split the packed range across goroutines. Below
+// it, goroutine startup costs more than the copy saves.
+const DefaultParallelPackThreshold = 4 << 20
+
+var parallelPackThreshold atomic.Int64
+
+func init() { parallelPackThreshold.Store(DefaultParallelPackThreshold) }
+
+// SetParallelPackThreshold sets the parallel-pack threshold in bytes.
+// Zero or negative disables parallel packing entirely.
+func SetParallelPackThreshold(n int64) {
+	if n <= 0 {
+		n = int64(1)<<62 - 1
+	}
+	parallelPackThreshold.Store(n)
+}
+
+// ParallelPackThreshold returns the current parallel-pack threshold.
+func ParallelPackThreshold() int64 { return parallelPackThreshold.Load() }
+
+// maxPackWorkers caps the parallel fan-out: memory bandwidth saturates
+// long before high core counts, so more workers only add scheduling
+// noise.
+const maxPackWorkers = 16
+
+// minBytesPerWorker keeps each worker's share large enough that the
+// goroutine handoff stays amortised.
+const minBytesPerWorker = 256 << 10
+
+// planSeg is one flattened segment of an irregular instance: its user
+// offset, its position in the packed stream, and its length. All
+// instance-relative; instance i adds i*extent to off and i*size to pos.
+type planSeg struct {
+	off, pos, length int64
+}
+
+// planProg is the count-independent part of a compiled plan: the
+// kernel and the per-instance geometry. It is compiled once per type
+// and cached on the Type, so repeated packers pay nothing.
+type planProg struct {
+	kernel   PlanKernel
+	instSize int64 // payload bytes per instance
+	ext      int64 // byte distance between instances
+
+	// KernelStride parameters (regular runs).
+	start, runLen, step int64
+	runs                int64
+
+	// KernelGather table (irregular runs).
+	segs []planSeg
+}
+
+// compileProg flattens one instance of the type into its program.
+func compileProg(t *Type) *planProg {
+	p := &planProg{instSize: t.size, ext: t.Extent()}
+	switch {
+	case t.r.n == 0 || t.size == 0:
+		p.kernel = KernelContig
+	case t.r.regular:
+		p.kernel = KernelStride
+		p.start = t.r.start
+		p.runLen = t.r.runLen
+		p.step = t.r.runLen + t.r.gap
+		p.runs = t.r.n
+	default:
+		p.kernel = KernelGather
+		p.segs = make([]planSeg, len(t.r.segs))
+		var pos int64
+		for i, s := range t.r.segs {
+			p.segs[i] = planSeg{off: s.Off, pos: pos, length: s.Len}
+			pos += s.Len
+		}
+	}
+	return p
+}
+
+// planCache holds a type's compiled instance program. It is allocated
+// at Commit (and for predeclared basic types), so the Type value
+// itself stays copyable — Dup shares the cache with its source, which
+// is correct because the geometry is shared too.
+type planCache struct {
+	p atomic.Pointer[planProg]
+}
+
+// prog returns the cached instance program, compiling it on first use.
+// Types are immutable after Commit, so a benign compile race only
+// wastes one compilation.
+func (t *Type) prog() *planProg {
+	c := t.plans
+	if c == nil {
+		// Only reachable through unvalidated internal paths on an
+		// uncommitted type; compile without caching.
+		return compileProg(t)
+	}
+	if p := c.p.Load(); p != nil {
+		return p
+	}
+	p := compileProg(t)
+	planCounters.compiled.Add(1)
+	c.p.Store(p)
+	return p
+}
+
+// Plan is an executable pack/unpack program for (count × type): the
+// compiled alternative to the interpreting cursor. A Plan is immutable
+// and safe for concurrent use.
+type Plan struct {
+	t      *Type
+	prog   *planProg
+	count  int64
+	total  int64
+	kernel PlanKernel
+	// contigOff is the user offset of the single run when kernel is
+	// KernelContig.
+	contigOff int64
+}
+
+// CompilePlan compiles count instances of the committed type into an
+// executable plan. The instance geometry is cached on the type, so
+// compiling plans for many counts is cheap.
+func (t *Type) CompilePlan(count int) (*Plan, error) {
+	if !t.committed {
+		return nil, ErrNotCommitted
+	}
+	if count < 0 {
+		return nil, fmt.Errorf("%w: negative count %d", ErrArgument, count)
+	}
+	return t.plan(count), nil
+}
+
+// plan binds the cached program to a count without validation.
+func (t *Type) plan(count int) *Plan {
+	prog := t.prog()
+	p := &Plan{
+		t:      t,
+		prog:   prog,
+		count:  int64(count),
+		total:  int64(count) * t.size,
+		kernel: prog.kernel,
+	}
+	if p.total == 0 {
+		p.kernel = KernelContig
+		return p
+	}
+	// Whole-message contiguity promotions.
+	switch {
+	case t.IsContiguous():
+		// Dense repetition: count instances form one run.
+		p.kernel = KernelContig
+		p.contigOff = t.r.first()
+	case count == 1 && prog.kernel == KernelStride && prog.runs == 1:
+		// A single single-run instance is contiguous regardless of
+		// extent (resized types, subarray single rows, …).
+		p.kernel = KernelContig
+		p.contigOff = prog.start
+	}
+	return p
+}
+
+// Kernel returns the selected kernel.
+func (p *Plan) Kernel() PlanKernel { return p.kernel }
+
+// Bytes returns the packed size of the full message.
+func (p *Plan) Bytes() int64 { return p.total }
+
+// Parallel reports whether executing the plan on real buffers would
+// split across goroutines under the current threshold.
+func (p *Plan) Parallel() bool {
+	return p.total >= ParallelPackThreshold() && p.workers() > 1
+}
+
+// workers returns the parallel fan-out for this plan's size.
+func (p *Plan) workers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > maxPackWorkers {
+		w = maxPackWorkers
+	}
+	if byShare := int(p.total / minBytesPerWorker); w > byShare {
+		w = byShare
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// PlanStats is a snapshot of the package-wide plan-engine counters:
+// how many programs were compiled, how many pack/unpack executions and
+// bytes each kernel handled, how many of those ran parallel, and how
+// much traffic fell back to the interpreting cursor (chunked streaming
+// and mid-segment resume). The harness reports per-measurement deltas
+// of these so the figures can show compiled-vs-interpreted bandwidth.
+type PlanStats struct {
+	Compiled int64
+
+	ContigOps, ContigBytes     int64
+	StrideOps, StrideBytes     int64
+	GatherOps, GatherBytes     int64
+	ParallelOps, ParallelBytes int64
+	CursorOps, CursorBytes     int64
+}
+
+// CompiledOps returns the total compiled-kernel executions.
+func (s PlanStats) CompiledOps() int64 { return s.ContigOps + s.StrideOps + s.GatherOps }
+
+// CompiledBytes returns the bytes moved by compiled kernels.
+func (s PlanStats) CompiledBytes() int64 { return s.ContigBytes + s.StrideBytes + s.GatherBytes }
+
+// Sub returns the counter-wise difference s - o, for windowed deltas.
+func (s PlanStats) Sub(o PlanStats) PlanStats {
+	return PlanStats{
+		Compiled:      s.Compiled - o.Compiled,
+		ContigOps:     s.ContigOps - o.ContigOps,
+		ContigBytes:   s.ContigBytes - o.ContigBytes,
+		StrideOps:     s.StrideOps - o.StrideOps,
+		StrideBytes:   s.StrideBytes - o.StrideBytes,
+		GatherOps:     s.GatherOps - o.GatherOps,
+		GatherBytes:   s.GatherBytes - o.GatherBytes,
+		ParallelOps:   s.ParallelOps - o.ParallelOps,
+		ParallelBytes: s.ParallelBytes - o.ParallelBytes,
+		CursorOps:     s.CursorOps - o.CursorOps,
+		CursorBytes:   s.CursorBytes - o.CursorBytes,
+	}
+}
+
+// String renders the snapshot compactly for logs and study output.
+func (s PlanStats) String() string {
+	return fmt.Sprintf("plan{compiled=%d contig=%d/%dB stride=%d/%dB gather=%d/%dB parallel=%d/%dB cursor=%d/%dB}",
+		s.Compiled, s.ContigOps, s.ContigBytes, s.StrideOps, s.StrideBytes,
+		s.GatherOps, s.GatherBytes, s.ParallelOps, s.ParallelBytes, s.CursorOps, s.CursorBytes)
+}
+
+// planCounters holds the live counters behind PlanStatsSnapshot.
+var planCounters struct {
+	compiled atomic.Int64
+
+	contigOps, contigBytes     atomic.Int64
+	strideOps, strideBytes     atomic.Int64
+	gatherOps, gatherBytes     atomic.Int64
+	parallelOps, parallelBytes atomic.Int64
+	cursorOps, cursorBytes     atomic.Int64
+}
+
+// PlanStatsSnapshot returns the current plan-engine counters.
+func PlanStatsSnapshot() PlanStats {
+	return PlanStats{
+		Compiled:      planCounters.compiled.Load(),
+		ContigOps:     planCounters.contigOps.Load(),
+		ContigBytes:   planCounters.contigBytes.Load(),
+		StrideOps:     planCounters.strideOps.Load(),
+		StrideBytes:   planCounters.strideBytes.Load(),
+		GatherOps:     planCounters.gatherOps.Load(),
+		GatherBytes:   planCounters.gatherBytes.Load(),
+		ParallelOps:   planCounters.parallelOps.Load(),
+		ParallelBytes: planCounters.parallelBytes.Load(),
+		CursorOps:     planCounters.cursorOps.Load(),
+		CursorBytes:   planCounters.cursorBytes.Load(),
+	}
+}
+
+// ResetPlanStats zeroes the plan-engine counters.
+func ResetPlanStats() {
+	planCounters.compiled.Store(0)
+	planCounters.contigOps.Store(0)
+	planCounters.contigBytes.Store(0)
+	planCounters.strideOps.Store(0)
+	planCounters.strideBytes.Store(0)
+	planCounters.gatherOps.Store(0)
+	planCounters.gatherBytes.Store(0)
+	planCounters.parallelOps.Store(0)
+	planCounters.parallelBytes.Store(0)
+	planCounters.cursorOps.Store(0)
+	planCounters.cursorBytes.Store(0)
+}
+
+// recordPlanExec attributes one full-message execution to its kernel.
+func recordPlanExec(k PlanKernel, n int64, parallel bool) {
+	switch k {
+	case KernelContig:
+		planCounters.contigOps.Add(1)
+		planCounters.contigBytes.Add(n)
+	case KernelStride:
+		planCounters.strideOps.Add(1)
+		planCounters.strideBytes.Add(n)
+	case KernelGather:
+		planCounters.gatherOps.Add(1)
+		planCounters.gatherBytes.Add(n)
+	}
+	if parallel {
+		planCounters.parallelOps.Add(1)
+		planCounters.parallelBytes.Add(n)
+	}
+}
+
+// recordCursor attributes interpreted traffic (chunked streaming,
+// mid-segment resume) to the fallback counters.
+func recordCursor(n int64) {
+	planCounters.cursorOps.Add(1)
+	planCounters.cursorBytes.Add(n)
+}

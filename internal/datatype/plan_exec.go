@@ -1,0 +1,300 @@
+package datatype
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/buf"
+)
+
+// Pack gathers the plan's full message from src into dst, returning
+// the bytes produced. It is the compiled equivalent of Type.Pack.
+func (p *Plan) Pack(src, dst buf.Block) (int64, error) {
+	if err := p.t.checkUse(int(p.count), src.Len()); err != nil {
+		return 0, err
+	}
+	if int64(dst.Len()) < p.total {
+		return 0, fmt.Errorf("%w: need %d bytes, destination has %d", ErrTruncate, p.total, dst.Len())
+	}
+	return p.execute(src, dst, packDirection), nil
+}
+
+// Unpack scatters the packed bytes of src into the plan's layout in
+// dst, the compiled equivalent of Type.Unpack.
+func (p *Plan) Unpack(src, dst buf.Block) (int64, error) {
+	if err := p.t.checkUse(int(p.count), dst.Len()); err != nil {
+		return 0, err
+	}
+	if int64(src.Len()) < p.total {
+		return 0, fmt.Errorf("%w: need %d packed bytes, source has %d", ErrTruncate, p.total, src.Len())
+	}
+	return p.execute(dst, src, unpackDirection), nil
+}
+
+// execute runs the full message through the selected kernel, splitting
+// across goroutines above the parallel threshold, and records the
+// execution in the plan counters. Buffers must already be validated.
+// Virtual participants record the execution without moving bytes.
+func (p *Plan) execute(user, stream buf.Block, dir direction) int64 {
+	if p.total == 0 {
+		return 0
+	}
+	parallel := false
+	if !user.IsVirtual() && !stream.IsVirtual() {
+		if p.Parallel() {
+			parallel = true
+			p.runParallel(user, stream, dir)
+		} else {
+			p.run(user, stream, 0, p.total, dir)
+		}
+	}
+	recordPlanExec(p.kernel, p.total, parallel)
+	return p.total
+}
+
+// runParallel splits the packed byte range [0, total) across workers.
+// Every kernel can start mid-stream in O(log segments), so the split
+// points need no alignment; each worker touches disjoint packed and
+// user ranges (runs never overlap), so no synchronisation beyond the
+// final join is needed.
+func (p *Plan) runParallel(user, stream buf.Block, dir direction) {
+	p.runParallelN(user, stream, dir, p.workers())
+}
+
+// runParallelN is runParallel with an explicit worker count, so tests
+// can exercise the multi-range split on machines where workers() would
+// collapse to one.
+func (p *Plan) runParallelN(user, stream buf.Block, dir direction, w int) {
+	share := p.total / int64(w)
+	var wg sync.WaitGroup
+	lo := int64(0)
+	for i := 0; i < w; i++ {
+		hi := lo + share
+		if i == w-1 {
+			hi = p.total
+		}
+		wg.Add(1)
+		go func(lo, hi int64) {
+			defer wg.Done()
+			p.run(user, stream, lo, hi, dir)
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}
+
+// run executes the packed byte range [lo, hi) of the message.
+func (p *Plan) run(user, stream buf.Block, lo, hi int64, dir direction) {
+	if hi <= lo {
+		return
+	}
+	switch p.kernel {
+	case KernelContig:
+		if dir == packDirection {
+			buf.CopyAt(stream, int(lo), user, int(p.contigOff+lo), int(hi-lo))
+		} else {
+			buf.CopyAt(user, int(p.contigOff+lo), stream, int(lo), int(hi-lo))
+		}
+	case KernelStride:
+		p.runStride(user, stream, lo, hi, dir)
+	case KernelGather:
+		p.runGather(user, stream, lo, hi, dir)
+	}
+}
+
+// runStride is the regular run/gap kernel: closed-form addressing from
+// any packed position, whole runs moved by the unrolled copiers.
+func (p *Plan) runStride(user, stream buf.Block, lo, hi int64, dir direction) {
+	ub, sb := user.Bytes(), stream.Bytes()
+	pr := p.prog
+	runLen, step := pr.runLen, pr.step
+	inst := lo / pr.instSize
+	rem := lo - inst*pr.instSize
+	j := rem / runLen
+	runOff := rem - j*runLen
+	pos := lo
+	for pos < hi {
+		if runOff != 0 {
+			// Leading partial run (a split point landed mid-run).
+			n := runLen - runOff
+			if n > hi-pos {
+				n = hi - pos
+			}
+			o := inst*pr.ext + pr.start + j*step + runOff
+			if dir == packDirection {
+				copy(sb[pos:pos+n], ub[o:o+n])
+			} else {
+				copy(ub[o:o+n], sb[pos:pos+n])
+			}
+			pos += n
+			runOff = 0
+			j++
+		} else {
+			nRuns := pr.runs - j
+			if m := (hi - pos) / runLen; nRuns > m {
+				nRuns = m
+			}
+			if nRuns > 0 {
+				base := inst*pr.ext + pr.start + j*step
+				if dir == packDirection {
+					gatherRuns(sb, ub, pos, base, step, runLen, nRuns)
+				} else {
+					scatterRuns(sb, ub, pos, base, step, runLen, nRuns)
+				}
+				pos += nRuns * runLen
+				j += nRuns
+			}
+			if pos >= hi {
+				return
+			}
+			if j < pr.runs {
+				// Trailing partial run (the range ends mid-run).
+				n := hi - pos
+				o := inst*pr.ext + pr.start + j*step
+				if dir == packDirection {
+					copy(sb[pos:pos+n], ub[o:o+n])
+				} else {
+					copy(ub[o:o+n], sb[pos:pos+n])
+				}
+				return
+			}
+		}
+		if j >= pr.runs {
+			j = 0
+			inst++
+		}
+	}
+}
+
+// runGather is the irregular kernel: binary-search the flattened
+// segment table for the entry point, then walk it linearly.
+func (p *Plan) runGather(user, stream buf.Block, lo, hi int64, dir direction) {
+	ub, sb := user.Bytes(), stream.Bytes()
+	pr := p.prog
+	segs := pr.segs
+	inst := lo / pr.instSize
+	rem := lo - inst*pr.instSize
+	idx := sort.Search(len(segs), func(i int) bool { return segs[i].pos+segs[i].length > rem })
+	pos := lo
+	for pos < hi {
+		userBase := inst * pr.ext
+		packBase := inst * pr.instSize
+		for idx < len(segs) && pos < hi {
+			s := segs[idx]
+			segOff := pos - (packBase + s.pos)
+			n := s.length - segOff
+			if n > hi-pos {
+				n = hi - pos
+			}
+			o := userBase + s.off + segOff
+			if dir == packDirection {
+				copy(sb[pos:pos+n], ub[o:o+n])
+			} else {
+				copy(ub[o:o+n], sb[pos:pos+n])
+			}
+			pos += n
+			idx++
+		}
+		if idx >= len(segs) {
+			idx = 0
+			inst++
+		}
+	}
+}
+
+// gatherRuns moves n whole runs of runLen bytes from the strided user
+// buffer into the packed stream, dispatching to an unrolled fast path
+// for the element sizes the paper's workloads use (4-, 8- and 16-byte
+// blocks: float, double, double complex).
+func gatherRuns(packed, strided []byte, ppos, base, step, runLen, n int64) {
+	switch runLen {
+	case 8:
+		for ; n >= 4; n -= 4 {
+			*(*[8]byte)(packed[ppos:]) = *(*[8]byte)(strided[base:])
+			*(*[8]byte)(packed[ppos+8:]) = *(*[8]byte)(strided[base+step:])
+			*(*[8]byte)(packed[ppos+16:]) = *(*[8]byte)(strided[base+2*step:])
+			*(*[8]byte)(packed[ppos+24:]) = *(*[8]byte)(strided[base+3*step:])
+			ppos += 32
+			base += 4 * step
+		}
+		for ; n > 0; n-- {
+			*(*[8]byte)(packed[ppos:]) = *(*[8]byte)(strided[base:])
+			ppos += 8
+			base += step
+		}
+	case 4:
+		for ; n >= 4; n -= 4 {
+			*(*[4]byte)(packed[ppos:]) = *(*[4]byte)(strided[base:])
+			*(*[4]byte)(packed[ppos+4:]) = *(*[4]byte)(strided[base+step:])
+			*(*[4]byte)(packed[ppos+8:]) = *(*[4]byte)(strided[base+2*step:])
+			*(*[4]byte)(packed[ppos+12:]) = *(*[4]byte)(strided[base+3*step:])
+			ppos += 16
+			base += 4 * step
+		}
+		for ; n > 0; n-- {
+			*(*[4]byte)(packed[ppos:]) = *(*[4]byte)(strided[base:])
+			ppos += 4
+			base += step
+		}
+	case 16:
+		for ; n > 0; n-- {
+			*(*[16]byte)(packed[ppos:]) = *(*[16]byte)(strided[base:])
+			ppos += 16
+			base += step
+		}
+	default:
+		for ; n > 0; n-- {
+			copy(packed[ppos:ppos+runLen], strided[base:base+runLen])
+			ppos += runLen
+			base += step
+		}
+	}
+}
+
+// scatterRuns is the inverse of gatherRuns: packed stream back into
+// the strided user buffer.
+func scatterRuns(packed, strided []byte, ppos, base, step, runLen, n int64) {
+	switch runLen {
+	case 8:
+		for ; n >= 4; n -= 4 {
+			*(*[8]byte)(strided[base:]) = *(*[8]byte)(packed[ppos:])
+			*(*[8]byte)(strided[base+step:]) = *(*[8]byte)(packed[ppos+8:])
+			*(*[8]byte)(strided[base+2*step:]) = *(*[8]byte)(packed[ppos+16:])
+			*(*[8]byte)(strided[base+3*step:]) = *(*[8]byte)(packed[ppos+24:])
+			ppos += 32
+			base += 4 * step
+		}
+		for ; n > 0; n-- {
+			*(*[8]byte)(strided[base:]) = *(*[8]byte)(packed[ppos:])
+			ppos += 8
+			base += step
+		}
+	case 4:
+		for ; n >= 4; n -= 4 {
+			*(*[4]byte)(strided[base:]) = *(*[4]byte)(packed[ppos:])
+			*(*[4]byte)(strided[base+step:]) = *(*[4]byte)(packed[ppos+4:])
+			*(*[4]byte)(strided[base+2*step:]) = *(*[4]byte)(packed[ppos+8:])
+			*(*[4]byte)(strided[base+3*step:]) = *(*[4]byte)(packed[ppos+12:])
+			ppos += 16
+			base += 4 * step
+		}
+		for ; n > 0; n-- {
+			*(*[4]byte)(strided[base:]) = *(*[4]byte)(packed[ppos:])
+			ppos += 4
+			base += step
+		}
+	case 16:
+		for ; n > 0; n-- {
+			*(*[16]byte)(strided[base:]) = *(*[16]byte)(packed[ppos:])
+			ppos += 16
+			base += step
+		}
+	default:
+		for ; n > 0; n-- {
+			copy(strided[base:base+runLen], packed[ppos:ppos+runLen])
+			ppos += runLen
+			base += step
+		}
+	}
+}

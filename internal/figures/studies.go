@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/datatype"
 	"repro/internal/harness"
 	"repro/internal/mpi"
 	"repro/internal/perfmodel"
@@ -397,4 +398,91 @@ func (ck *CostModelCheck) Render(w io.Writer) error {
 	fmt.Fprintf(w, "  buffered/copying    = %5.2f   (paper §4.2: >1)\n", ck.BufferedPenalty)
 	fmt.Fprintf(w, "  packing(e)/copying  = %5.2f   (paper §2.6: ≫1)\n", ck.PackElementRatio)
 	return nil
+}
+
+// PackPlanStudy is E12: compiled-vs-interpreted pack bandwidth — the
+// packing(v) column (generic interpretation at pack time) against the
+// packing(c) column (compiled pack plan), with the plan-engine
+// counters of every compiled cell.
+type PackPlanStudy struct {
+	Profile *perfmodel.Profile
+	Sizes   []int64
+
+	// Interpreted and Compiled are the effective bandwidths (GB/s) of
+	// packing(v) and packing(c); Speedup is their time ratio
+	// (interpreted / compiled, >1 when compiling wins).
+	Interpreted *stats.Series
+	Compiled    *stats.Series
+	Speedup     *stats.Series
+
+	// PlanStats holds the per-size plan-engine counter deltas of the
+	// compiled sweep: which kernels executed and whether the parallel
+	// splitter engaged.
+	PlanStats []datatype.PlanStats
+}
+
+// BuildPackPlanStudy sweeps the canonical workload over sizes for the
+// interpreted and compiled pack schemes.
+func BuildPackPlanStudy(profileName string, sizes []int64, opt harness.Options) (*PackPlanStudy, error) {
+	prof, err := perfmodel.ByName(profileName)
+	if err != nil {
+		return nil, err
+	}
+	st := &PackPlanStudy{
+		Profile:     prof,
+		Sizes:       sizes,
+		Interpreted: &stats.Series{Label: core.PackVector.String()},
+		Compiled:    &stats.Series{Label: core.PackCompiled.String()},
+	}
+	workloads := harness.Workloads(sizes, opt)
+	interp, err := harness.MeasureSweep(prof, core.PackVector, workloads, opt)
+	if err != nil {
+		return nil, err
+	}
+	compiled, err := harness.MeasureSweep(prof, core.PackCompiled, workloads, opt)
+	if err != nil {
+		return nil, err
+	}
+	for i := range interp {
+		st.Interpreted.Append(float64(interp[i].Bytes), interp[i].Bandwidth()/1e9)
+		st.Compiled.Append(float64(compiled[i].Bytes), compiled[i].Bandwidth()/1e9)
+		st.PlanStats = append(st.PlanStats, compiled[i].PlanStats)
+	}
+	// Bandwidth ratio compiled/interpreted: >1 means compiling wins.
+	st.Speedup = stats.Ratio("speedup", st.Compiled, st.Interpreted)
+	return st, nil
+}
+
+// Render prints the two bandwidth curves, the speedup, and the kernel
+// attribution of the compiled sweep.
+func (st *PackPlanStudy) Render(w io.Writer) error {
+	fmt.Fprintf(w, "== E12 pack-plan compiler study — %s ==\n\n", st.Profile.Name)
+	cfg := plot.Config{Title: "pack bandwidth, interpreted vs compiled (GB/s)", XLabel: "message bytes", YLabel: "GB/s", LogX: true}
+	if err := plot.ASCII(w, cfg, []*stats.Series{st.Interpreted, st.Compiled}); err != nil {
+		return err
+	}
+	if err := plot.ASCII(w, plot.Config{Title: "compiled speedup (x)", XLabel: "message bytes", YLabel: "x", LogX: true}, []*stats.Series{st.Speedup}); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "kernel attribution per size (compiled sweep):")
+	for i, ps := range st.PlanStats {
+		fmt.Fprintf(w, "  %12d B  %v\n", st.Sizes[i], ps)
+	}
+	return nil
+}
+
+// CompiledSpeedupAt returns the compiled/interpreted speedup at the
+// sweep size closest to n bytes.
+func (st *PackPlanStudy) CompiledSpeedupAt(n int64) float64 {
+	best, bestDist := 0.0, int64(-1)
+	for i, x := range st.Speedup.X {
+		d := int64(x) - n
+		if d < 0 {
+			d = -d
+		}
+		if bestDist < 0 || d < bestDist {
+			bestDist, best = d, st.Speedup.Y[i]
+		}
+	}
+	return best
 }

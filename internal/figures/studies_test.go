@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/perfmodel"
 )
 
 func TestEagerStudyShape(t *testing.T) {
@@ -134,5 +136,80 @@ func TestCostModelCheckFactors(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "E10") {
 		t.Error("render missing study id")
+	}
+}
+
+func TestPackPlanStudyShape(t *testing.T) {
+	o := shapeOpts()
+	o.MaxRealBytes = 1 << 20 // real payloads: exercise the kernels, not just accounting
+	sizes := []int64{8 << 10, 256 << 10, 8 << 20}
+	st, err := BuildPackPlanStudy("skx-impi", sizes, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Interpreted.Len() != len(sizes) || st.Compiled.Len() != len(sizes) {
+		t.Fatalf("series lengths %d/%d, want %d", st.Interpreted.Len(), st.Compiled.Len(), len(sizes))
+	}
+	// The compiled engine amortises the per-segment bookkeeping, so it
+	// must never lose to interpretation and must win visibly on the
+	// small-block canonical layout at large sizes.
+	for i, y := range st.Speedup.Y {
+		if y < 0.99 {
+			t.Errorf("size %d: compiled slower than interpreted (%.3fx)", st.Sizes[i], y)
+		}
+	}
+	if s := st.CompiledSpeedupAt(8 << 20); s <= 1.0 {
+		t.Errorf("compiled speedup at 8 MB = %.3fx, want > 1", s)
+	}
+	// Every real compiled cell must attribute its pack traffic to a
+	// compiled kernel (the canonical workload is a regular stride).
+	for i, ps := range st.PlanStats {
+		if sizes[i] > o.MaxRealBytes {
+			continue
+		}
+		if ps.StrideOps == 0 {
+			t.Errorf("size %d: no stride-kernel executions in compiled sweep: %v", sizes[i], ps)
+		}
+	}
+	var out bytes.Buffer
+	if err := st.Render(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "E12") {
+		t.Error("render missing study id")
+	}
+}
+
+// TestMeasurementPlanStats pins the harness surfacing: a packing(c)
+// measurement window attributes bytes to compiled kernels, while the
+// interpreted packing(v) scheme's pack call also runs the compiled
+// whole-message path (its cost model, not its byte movement, is what
+// differs), and the derived-type scheme's chunked rendezvous streaming
+// shows cursor traffic at large sizes.
+func TestMeasurementPlanStats(t *testing.T) {
+	prof, err := perfmodel.ByName("skx-impi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := shapeOpts()
+	o.MaxRealBytes = 16 << 20
+	w := core.ForBytes(4 << 20)
+
+	m, err := harness.Measure(prof, core.PackCompiled, w, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PlanStats.CompiledBytes() == 0 {
+		t.Errorf("packing(c) window shows no compiled bytes: %v", m.PlanStats)
+	}
+
+	// A large derived-type send goes rendezvous: the internal chunk
+	// loop must be attributed to the cursor fallback.
+	m, err = harness.Measure(prof, core.VectorType, w, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PlanStats.CursorBytes == 0 {
+		t.Errorf("vector-type rendezvous window shows no cursor traffic: %v", m.PlanStats)
 	}
 }

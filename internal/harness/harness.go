@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/datatype"
 	"repro/internal/mpi"
 	"repro/internal/perfmodel"
 	"repro/internal/stats"
@@ -82,6 +83,13 @@ type Measurement struct {
 	Dismissed int
 	Summary   stats.Summary
 	Verified  bool
+	// PlanStats is the delta of the pack-plan engine counters over
+	// this cell's measurement window (both ranks: sender packs,
+	// receiver unpacks, plus the final verification pass). It shows
+	// which engine — compiled kernels, parallel execution, or the
+	// interpreting cursor — moved the cell's bytes, so studies can
+	// report compiled-vs-interpreted pack bandwidth per scheme.
+	PlanStats datatype.PlanStats
 }
 
 // Time returns the reported time per ping-pong: the mean of the kept
@@ -125,6 +133,10 @@ func MeasureSweep(profile *perfmodel.Profile, scheme core.Scheme, workloads []co
 				return fmt.Errorf("%v setup (%d bytes): %w", scheme, w.Bytes(), err)
 			}
 			c.Barrier()
+			// The barrier above and the one below bracket the cell's
+			// pack-engine activity of both ranks; the counter delta is
+			// read on rank 0 only, after the closing barrier.
+			planBefore := datatype.PlanStatsSnapshot()
 			times := make([]float64, 0, opt.Reps)
 			for rep := 0; rep < opt.Reps; rep++ {
 				if opt.FlushCache {
@@ -168,6 +180,7 @@ func MeasureSweep(profile *perfmodel.Profile, scheme core.Scheme, workloads []co
 					Times:     kept,
 					Dismissed: dismissed,
 					Summary:   stats.Summarize(kept),
+					PlanStats: datatype.PlanStatsSnapshot().Sub(planBefore),
 				}
 			}
 		}

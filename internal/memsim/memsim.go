@@ -256,6 +256,35 @@ func roundUp(n, q int64) int64 {
 // The call updates warmth: the source lines and the destination become
 // resident.
 func (s *State) GatherCost(src buf.Region, dst buf.Region, st layout.Stats) float64 {
+	return s.gatherCost(src, dst, st, s.h.SegmentOverhead)
+}
+
+// CompiledUnrollFactor is how far a compiled pack plan amortises the
+// per-segment loop bookkeeping relative to a generic interpreting
+// gather loop: the plan's kernels unroll fixed-stride runs and walk a
+// precomputed segment table, so address generation and loop control
+// overlap the copies instead of serialising with them.
+const CompiledUnrollFactor = 8
+
+// CompiledGatherCost prices the gather when a compiled pack plan runs
+// it (see internal/datatype/plan.go): the memory traffic is identical
+// — lines are lines — but the per-segment bookkeeping is amortised by
+// CompiledUnrollFactor. This is the model behind the "packing(c)"
+// scheme column: compiled packing approaches the traffic bound that
+// generic interpretation cannot reach on small-block layouts.
+func (s *State) CompiledGatherCost(src buf.Region, dst buf.Region, st layout.Stats) float64 {
+	return s.gatherCost(src, dst, st, s.h.SegmentOverhead/CompiledUnrollFactor)
+}
+
+// CompiledScatterCost is the scatter-side mirror of
+// CompiledGatherCost.
+func (s *State) CompiledScatterCost(src buf.Region, dst buf.Region, st layout.Stats) float64 {
+	return s.scatterCost(src, dst, st, s.h.SegmentOverhead/CompiledUnrollFactor)
+}
+
+// gatherCost is the shared body of GatherCost and CompiledGatherCost;
+// the engines differ only in their per-segment bookkeeping cost.
+func (s *State) gatherCost(src buf.Region, dst buf.Region, st layout.Stats, segOverhead float64) float64 {
 	traffic := s.h.Traffic(st)
 	if traffic == 0 {
 		return 0
@@ -264,18 +293,15 @@ func (s *State) GatherCost(src buf.Region, dst buf.Region, st layout.Stats) floa
 	defer s.mu.Unlock()
 	res := s.residency(src, traffic)
 	bw := s.readBandwidth(s.h.CopyBW, res, st)
-	cost := float64(traffic)/bw + float64(st.Segments)*s.h.SegmentOverhead
+	cost := float64(traffic)/bw + float64(st.Segments)*segOverhead
 	s.touch(src, traffic)
 	s.touch(dst, st.Bytes)
 	return cost
 }
 
-// ScatterCost prices the inverse loop: read a contiguous source of
-// st.Bytes and write it out through the layout. Reads are contiguous,
-// but scattered writes still allocate the destination lines, so the
-// charged traffic is the contiguous read plus the destination line
-// fills beyond the payload itself.
-func (s *State) ScatterCost(src buf.Region, dst buf.Region, st layout.Stats) float64 {
+// scatterCost is the shared body of ScatterCost and
+// CompiledScatterCost.
+func (s *State) scatterCost(src buf.Region, dst buf.Region, st layout.Stats, segOverhead float64) float64 {
 	if st.Bytes == 0 {
 		return 0
 	}
@@ -290,10 +316,19 @@ func (s *State) ScatterCost(src buf.Region, dst buf.Region, st layout.Stats) flo
 	if extra > 0 {
 		cost += float64(extra) / s.h.CopyBW
 	}
-	cost += float64(st.Segments) * s.h.SegmentOverhead
+	cost += float64(st.Segments) * segOverhead
 	s.touch(src, traffic)
 	s.touch(dst, s.h.Traffic(st))
 	return cost
+}
+
+// ScatterCost prices the inverse loop: read a contiguous source of
+// st.Bytes and write it out through the layout. Reads are contiguous,
+// but scattered writes still allocate the destination lines, so the
+// charged traffic is the contiguous read plus the destination line
+// fills beyond the payload itself.
+func (s *State) ScatterCost(src buf.Region, dst buf.Region, st layout.Stats) float64 {
+	return s.scatterCost(src, dst, st, s.h.SegmentOverhead)
 }
 
 // StreamCost prices a streaming contiguous read of n bytes of region r

@@ -60,3 +60,57 @@ func (c *Comm) Unpack(inbuf buf.Block, position *int64, b buf.Block, count int, 
 func (c *Comm) PackSize(count int, ty *datatype.Type) int64 {
 	return ty.PackSize(count)
 }
+
+// PackCompiled is Pack through the compiled pack-plan engine: the same
+// gather, executed by the plan's specialized kernel instead of generic
+// interpretation, and priced with the amortised per-segment
+// bookkeeping of memsim.CompiledGatherCost. This is the "packing(c)"
+// scheme of the figures.
+func (c *Comm) PackCompiled(b buf.Block, count int, ty *datatype.Type, outbuf buf.Block, position *int64) error {
+	if count < 0 {
+		return fmt.Errorf("%w: %d", ErrCount, count)
+	}
+	need := ty.PackSize(count)
+	if *position < 0 || *position+need > int64(outbuf.Len()) {
+		return fmt.Errorf("%w: pack of %d bytes at position %d into %d-byte buffer",
+			datatype.ErrTruncate, need, *position, outbuf.Len())
+	}
+	dst := outbuf.Slice(int(*position), int(need))
+	plan, err := ty.CompilePlan(count)
+	if err != nil {
+		return err
+	}
+	st := ty.Stats(count)
+	cost := c.prof.PackCallOverhead + c.cache.CompiledGatherCost(b.Region(), outbuf.Region(), st)
+	c.clock.Advance(vclock.FromSeconds(cost))
+	if _, err := plan.Pack(b, dst); err != nil {
+		return err
+	}
+	*position += need
+	return nil
+}
+
+// UnpackCompiled is the scatter-side mirror of PackCompiled.
+func (c *Comm) UnpackCompiled(inbuf buf.Block, position *int64, b buf.Block, count int, ty *datatype.Type) error {
+	if count < 0 {
+		return fmt.Errorf("%w: %d", ErrCount, count)
+	}
+	need := ty.PackSize(count)
+	if *position < 0 || *position+need > int64(inbuf.Len()) {
+		return fmt.Errorf("%w: unpack of %d bytes at position %d from %d-byte buffer",
+			datatype.ErrTruncate, need, *position, inbuf.Len())
+	}
+	src := inbuf.Slice(int(*position), int(need))
+	plan, err := ty.CompilePlan(count)
+	if err != nil {
+		return err
+	}
+	st := ty.Stats(count)
+	cost := c.prof.PackCallOverhead + c.cache.CompiledScatterCost(inbuf.Region(), b.Region(), st)
+	c.clock.Advance(vclock.FromSeconds(cost))
+	if _, err := plan.Unpack(src, b); err != nil {
+		return err
+	}
+	*position += need
+	return nil
+}
