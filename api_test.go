@@ -57,7 +57,7 @@ func TestFacadeSchemes(t *testing.T) {
 func TestFacadeRecommend(t *testing.T) {
 	prof, _ := repro.ProfileByName("generic")
 	r := repro.Recommend(1<<30, false, repro.GoalBalanced, prof)
-	if r.Scheme != repro.PackVector {
+	if r.Scheme != repro.PackCompiled {
 		t.Fatalf("large balanced recommendation = %v", r.Scheme)
 	}
 }

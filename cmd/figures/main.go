@@ -7,11 +7,13 @@
 //
 //	figures [-profile skx-impi|skx-mvapich|ls5-cray|knl-impi|all]
 //	        [-per-decade 4] [-reps 20] [-max-real 16777216]
-//	        [-csv dir] [-check] [-what-if] [-plan]
+//	        [-csv dir] [-check] [-what-if] [-plan] [-plancache]
 //
 // -csv writes one CSV file per figure into the directory; -check also
 // prints the E10 cost-model factor table per profile; -what-if the E11
-// NIC-pipelining ablation; -plan the E12 pack-plan compiler study.
+// NIC-pipelining ablation; -plan the E12 pack-plan compiler study;
+// -plancache the E13 plan-cache study (cold vs warm compile bandwidth
+// with cache hit rates, chunked cursor vs compiled kernels).
 package main
 
 import (
@@ -34,6 +36,7 @@ func main() {
 	check := flag.Bool("check", false, "also print the E10 cost-model factor table")
 	whatIf := flag.Bool("what-if", false, "also print the E11 NIC-pipelining ablation (paper ref [2])")
 	planStudy := flag.Bool("plan", false, "also print the E12 pack-plan compiler study (compiled vs interpreted packing)")
+	planCache := flag.Bool("plancache", false, "also print the E13 plan-cache study (cold vs warm compile, chunked cursor vs compiled kernels)")
 	flag.Parse()
 
 	profiles := []string{"skx-impi", "skx-mvapich", "ls5-cray", "knl-impi"}
@@ -103,6 +106,23 @@ func main() {
 			}
 			fmt.Printf("compiled packing is %.2fx interpreted at the largest size\n\n",
 				st.CompiledSpeedupAt(sizes[len(sizes)-1]))
+		}
+		if *planCache {
+			// Real-byte wall-time study: keep the sweep compact.
+			cacheSizes := []int64{64 << 10, 1 << 20, 8 << 20}
+			cacheOpt := opt
+			if cacheOpt.Reps > 12 {
+				cacheOpt.Reps = 12
+			}
+			st, err := figures.BuildPlanCacheStudy(name, cacheSizes, cacheOpt)
+			if err != nil {
+				fatal(err)
+			}
+			if err := st.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("warm plan cache is %.2fx cold compile at the largest size (steady state clean: %v)\n\n",
+				st.WarmSpeedupAt(cacheSizes[len(cacheSizes)-1]), st.SteadyStateClean())
 		}
 	}
 }

@@ -46,6 +46,11 @@ type Block struct {
 	data   []byte // nil iff virtual and n > 0
 	n      int
 	region Region
+	// pool is 1+class when the backing storage came from the
+	// size-classed pool (see pool.go) and this Block is the handle
+	// that may return it; 0 otherwise. Slices clear it so only the
+	// original handle can release.
+	pool int8
 }
 
 // Alloc returns a real zeroed block of n bytes.

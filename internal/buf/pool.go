@@ -1,0 +1,107 @@
+package buf
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the size-classed block pool behind the
+// runtime's transient buffers: pack scratch, eager transit copies and
+// rendezvous staging in internal/mpi. Those allocations are pure
+// per-message overhead — exactly the software cost the paper shows
+// dominating non-contiguous sends — so the hot path recycles them
+// through power-of-two sync.Pool classes instead of allocating.
+//
+// Contract: GetPooled returns a real block whose contents are
+// UNDEFINED (not zeroed — zeroing would cost the bandwidth the pool
+// saves); callers must write before they read. PutPooled returns the
+// backing storage to its class; the caller must not touch the block —
+// or any Slice of it — afterwards. Only the Block returned by
+// GetPooled can release the storage: sub-blocks made with Slice are
+// plain views. Double-release is the caller's bug, as with any free
+// list; the release points in internal/mpi are the single
+// receive-completion sites.
+
+const (
+	// minPoolBits..maxPoolBits bound the pooled classes: 256 B to
+	// 64 MiB. Below, the allocator is cheap enough; above, holding the
+	// memory would outweigh reuse (the harness caps real payloads at
+	// 16 MiB by default).
+	minPoolBits = 8
+	maxPoolBits = 26
+
+	poolClasses = maxPoolBits - minPoolBits + 1
+)
+
+var blockPools [poolClasses]sync.Pool
+
+// poolCounters feed PoolStats so tests and studies can verify reuse.
+var poolCounters struct {
+	gets, hits, puts atomic.Int64
+}
+
+// PoolStats is a snapshot of the block-pool counters.
+type PoolStats struct {
+	Gets int64 // pooled-range GetPooled calls
+	Hits int64 // Gets served by recycled storage
+	Puts int64 // blocks returned
+}
+
+// Sub returns the counter-wise difference s - o.
+func (s PoolStats) Sub(o PoolStats) PoolStats {
+	return PoolStats{Gets: s.Gets - o.Gets, Hits: s.Hits - o.Hits, Puts: s.Puts - o.Puts}
+}
+
+// PoolStatsSnapshot returns the current block-pool counters.
+func PoolStatsSnapshot() PoolStats {
+	return PoolStats{
+		Gets: poolCounters.gets.Load(),
+		Hits: poolCounters.hits.Load(),
+		Puts: poolCounters.puts.Load(),
+	}
+}
+
+// poolClassFor returns the class index for an n-byte request, or -1
+// when n lies outside the pooled range.
+func poolClassFor(n int) int {
+	if n <= 0 || n > 1<<maxPoolBits {
+		return -1
+	}
+	bits := minPoolBits
+	for 1<<bits < n {
+		bits++
+	}
+	return bits - minPoolBits
+}
+
+// GetPooled returns a real block of n bytes backed by size-classed
+// recycled storage. The contents are undefined; the caller must write
+// before reading. Requests outside the pooled range fall back to a
+// plain (zeroed) allocation. The block carries a fresh Region: the
+// cache model treats it like any new allocation.
+func GetPooled(n int) Block {
+	c := poolClassFor(n)
+	if c < 0 {
+		return Alloc(n)
+	}
+	poolCounters.gets.Add(1)
+	if v := blockPools[c].Get(); v != nil {
+		poolCounters.hits.Add(1)
+		sl := *(v.(*[]byte))
+		return Block{data: sl[:n], n: n, region: nextRegion(), pool: int8(c) + 1}
+	}
+	sl := make([]byte, 1<<(minPoolBits+c))
+	return Block{data: sl[:n], n: n, region: nextRegion(), pool: int8(c) + 1}
+}
+
+// PutPooled returns a block obtained from GetPooled to its size class.
+// It is a no-op for any other block (plain, virtual, or a Slice view),
+// so release sites can call it unconditionally.
+func PutPooled(b Block) {
+	if b.pool == 0 || b.data == nil {
+		return
+	}
+	sl := b.data[:cap(b.data)]
+	poolCounters.puts.Add(1)
+	blockPools[b.pool-1].Put(&sl)
+}

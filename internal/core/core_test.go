@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -162,12 +163,20 @@ func TestRecommendConclusion(t *testing.T) {
 		t.Errorf("balanced small: %v", small.Scheme)
 	}
 	large := Recommend(5e8, false, GoalBalanced, prof)
-	if large.Scheme != PackVector {
+	if large.Scheme != PackCompiled {
 		t.Errorf("balanced large: %v", large.Scheme)
 	}
 	fast := Recommend(1<<20, false, GoalFastest, prof)
-	if fast.Scheme != PackVector {
+	if fast.Scheme != PackCompiled {
 		t.Errorf("fastest: %v", fast.Scheme)
+	}
+	// The compiled recommendation must rest on an actual price: the
+	// model has to show packing(c) beating the datatype send.
+	if m := PricePacking(5e8, prof); m.CompiledSpeedup() <= 1 {
+		t.Errorf("cost model does not favour compiled packing at 5e8 B: %+v", m)
+	}
+	if m := PricePacking(64 << 20, prof); runtime.GOMAXPROCS(0) > 1 && m.Workers <= 1 {
+		t.Errorf("no parallel-pack term above the threshold: %+v", m)
 	}
 	contig := Recommend(1<<20, true, GoalBalanced, prof)
 	if contig.Scheme != Reference {

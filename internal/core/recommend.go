@@ -3,6 +3,9 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/datatype"
+	"repro/internal/layout"
+	"repro/internal/memsim"
 	"repro/internal/perfmodel"
 )
 
@@ -30,15 +33,79 @@ type Recommendation struct {
 // sends: "over 10⁸ bytes" (§5).
 const LargeMessageBytes = int64(1e8)
 
-// Recommend operationalises the paper's conclusion (§5) for a payload
-// of n bytes on the given installation:
+// PackingCostModel prices the two explicit-pack pipelines and the
+// direct datatype send for an n-byte payload of the canonical
+// every-other-double layout on one installation, using the memory
+// model cold (no warmth): per-message software cost plus wire time.
+// It is how Recommend weighs packing(c) — the compiled pack engine,
+// parallel above the threshold — against the interpreted alternatives.
+type PackingCostModel struct {
+	Bytes int64
+	// Workers is the parallel fan-out the compiled pack engine would
+	// use for this size (1 = serial).
+	Workers int
+	// CompiledPack, InterpretedPack and TypedSend are modeled one-way
+	// transfer times in seconds for packing(c), packing(v), and the
+	// direct derived-datatype send.
+	CompiledPack, InterpretedPack, TypedSend float64
+}
+
+// CompiledSpeedup returns TypedSend/CompiledPack: >1 means the
+// compiled pack pipeline beats the direct datatype send.
+func (m PackingCostModel) CompiledSpeedup() float64 {
+	if m.CompiledPack <= 0 {
+		return 1
+	}
+	return m.TypedSend / m.CompiledPack
+}
+
+// PricePacking evaluates the packing cost model for n payload bytes on
+// profile p.
+func PricePacking(n int64, p *perfmodel.Profile) PackingCostModel {
+	m := PackingCostModel{Bytes: n, Workers: 1}
+	if n <= 0 {
+		return m
+	}
+	st := layout.Describe(ForBytes(n).Layout())
+	mem := memsim.NewState(&p.Mem)
+	mem.SetDisabled(true) // steady-state estimate: cold, deterministic
+	wire := p.WireTime(n)
+
+	m.Workers = datatype.ParallelWorkersFor(n)
+	var pack float64
+	if m.Workers > 1 {
+		pack = mem.ParallelCompiledGatherCost(0, 0, st, m.Workers)
+	} else {
+		pack = mem.CompiledGatherCost(0, 0, st)
+	}
+	m.CompiledPack = p.PackCallOverhead + pack + wire
+
+	m.InterpretedPack = p.PackCallOverhead + mem.GatherCost(0, 0, st) + wire
+
+	// The direct datatype send interprets the type through MPI's
+	// internal chunk buffers at the internally degraded bandwidth
+	// (§2.3, §4.1), with per-chunk bookkeeping.
+	typedWire := 0.0
+	if bw := p.InternalBW(n); bw > 0 {
+		typedWire = float64(n) / bw
+	}
+	m.TypedSend = mem.GatherCost(0, 0, st) + float64(p.Chunks(n))*p.ChunkOverhead + typedWire
+	return m
+}
+
+// Recommend operationalises the paper's conclusion (§5), extended with
+// the compiled pack engine, for a payload of n bytes on the given
+// installation:
 //
 //   - Contiguous data: just send it (reference).
 //   - Up to large sizes, "there should be no reason not to use derived
 //     datatypes, these being the most user-friendly".
 //   - "The scheme that consistently performs best applies MPI_Pack to
-//     a derived datatype" — so that is the fastest choice everywhere,
-//     and the balanced choice for large messages.
+//     a derived datatype" — and the compiled plan engine executes that
+//     same single pack call with amortised per-segment bookkeeping
+//     (parallel above the threshold), so when the cost model prices
+//     packing(c) below the datatype send, it is the fastest choice and
+//     the balanced choice for large messages.
 //   - Buffered sends are "at a disadvantage" and one-sided "may behave
 //     worse depending on the architecture"; they are never
 //     recommended.
@@ -50,12 +117,28 @@ func Recommend(n int64, contiguous bool, goal Goal, p *perfmodel.Profile) Recomm
 		}
 	}
 	if goal == GoalFastest {
+		model := PricePacking(n, p)
+		if model.CompiledSpeedup() > 1 {
+			return Recommendation{
+				Scheme: PackCompiled,
+				Reason: fmt.Sprintf("compiled pack (%d worker(s)) models %.2fx over the datatype send on %s and avoids MPI-internal buffering (§5)",
+					model.Workers, model.CompiledSpeedup(), p.Name),
+			}
+		}
 		return Recommendation{
 			Scheme: PackVector,
 			Reason: "MPI_Pack of a derived datatype consistently matches the manual copy and avoids MPI-internal buffering (§5)",
 		}
 	}
 	if n > LargeMessageBytes {
+		model := PricePacking(n, p)
+		if model.CompiledSpeedup() > 1 {
+			return Recommendation{
+				Scheme: PackCompiled,
+				Reason: fmt.Sprintf("payload %d B exceeds the %d B large-message threshold and the compiled pack engine models %.2fx over the degrading datatype send on %s (§4.1, §5)",
+					n, LargeMessageBytes, model.CompiledSpeedup(), p.Name),
+			}
+		}
 		return Recommendation{
 			Scheme: PackVector,
 			Reason: fmt.Sprintf("payload %d B exceeds the %d B large-message threshold where direct derived-type sends degrade on %s (§4.1, §5)",

@@ -145,6 +145,55 @@ func BenchmarkPackEngines(b *testing.B) {
 					}
 				}
 			})
+			b.Run("steadyState/"+name, func(b *testing.B) {
+				// The full steady-state hot path: plan-cache lookup +
+				// kernel, as Comm.PackCompiled runs it. Run with
+				// -benchmem: zero CompilePlan calls, zero allocs/op.
+				if _, err := ty.Pack(src, 1, dst); err != nil {
+					b.Fatal(err)
+				}
+				before := PlanStatsSnapshot()
+				b.ReportAllocs()
+				b.SetBytes(ty.Size())
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := ty.Pack(src, 1, dst); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if d := PlanStatsSnapshot().Sub(before); d.Compiled != 0 || d.PlanMisses != 0 {
+					b.Fatalf("steady state compiled %d programs / missed %d lookups", d.Compiled, d.PlanMisses)
+				}
+			})
+			b.Run("chunkedCursor/"+name, func(b *testing.B) {
+				SetChunkedCompiled(false)
+				defer SetChunkedCompiled(true)
+				benchChunkedStream(b, ty, src)
+			})
+			b.Run("chunkedCompiled/"+name, func(b *testing.B) {
+				benchChunkedStream(b, ty, src)
+			})
+		}
+	}
+}
+
+// benchChunkedStream drains one message through a Packer in 64 KiB
+// chunks — the internal-chunk streaming shape of rendezvous sends.
+func benchChunkedStream(b *testing.B, ty *Type, src buf.Block) {
+	b.Helper()
+	chunk := buf.Alloc(64 << 10)
+	b.SetBytes(ty.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := ty.NewPacker(src, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for p.Remaining() > 0 {
+			if _, err := p.Pack(chunk); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

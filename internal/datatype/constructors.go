@@ -101,7 +101,15 @@ func hvector(kind Kind, count, blocklen int, strideBytes int64, base *Type) (*Ty
 	}
 	var r runs
 	if block.regular && block.n == 1 {
-		// The common dense-block case: a pure regular pattern.
+		// The common dense-block case: a pure regular pattern. The
+		// stride must clear the block's real payload run, not just its
+		// extent: a Resized base can shrink the extent under the run,
+		// and blockExtent alone would let this path build overlapping
+		// runs with a negative gap (the general replicate path below
+		// rejects the same shape with ErrOverlap).
+		if count > 1 && strideBytes < block.runLen {
+			return nil, fmt.Errorf("%w: stride %d bytes under block run of %d", ErrOverlap, strideBytes, block.runLen)
+		}
 		r = regularRuns(block.start, block.runLen, strideBytes-block.runLen, int64(count))
 	} else {
 		r, err = replicate(block, strideBytes, int64(count))

@@ -21,6 +21,31 @@
 // count-element message starts i*extent into the buffer. Struct types
 // pad the upper bound to the alignment of their largest basic
 // component. Resized overrides lb/extent without moving data.
+//
+// # Execution tiers
+//
+// Pack and unpack traffic runs on one of three engines, from most to
+// least specialized:
+//
+//  1. Compiled (whole message): a full-message Pack/Unpack — or a
+//     Packer/Unpacker stream drained in one call — executes the
+//     compiled plan (plan.go): a contig/stride/gather kernel bound to
+//     (type, count), goroutine-parallel above
+//     SetParallelPackThreshold. Plans are cached per type and count;
+//     the program is compiled at Commit, so steady-state packing does
+//     no compilation and no allocation.
+//  2. Compiled-chunked: partial-range transfers (the chunked and
+//     pipelined streaming of internal/mpi's rendezvous sends) enter
+//     the same kernels mid-stream — O(log segments) positioning, then
+//     the tight copy loop — resuming exactly where the previous chunk
+//     stopped. This is the default for every kernel-executable range.
+//  3. Interpreting cursor: the generic segment walker remains the true
+//     fallback — packers over unplanned types, and any stream after
+//     SetChunkedCompiled(false) — and doubles as the differential
+//     oracle the compiled engines are tested against.
+//
+// PlanStats attributes every byte to the tier and kernel that moved
+// it.
 package datatype
 
 import (
@@ -153,7 +178,9 @@ func (t *Type) Committed() bool { return t.committed }
 
 // Commit finalises the type for use in communication, like
 // MPI_Type_commit. Committing twice is a no-op. Basic types are born
-// committed.
+// committed. Commit also compiles the type's pack-plan program (the
+// count-independent kernel geometry), so the compile cost is paid here
+// — outside any communication path — exactly where real MPIs flatten.
 func (t *Type) Commit() error {
 	if t == nil {
 		return fmt.Errorf("%w: nil type", ErrArgument)
@@ -162,6 +189,7 @@ func (t *Type) Commit() error {
 	if t.plans == nil {
 		t.plans = &planCache{}
 	}
+	t.prog()
 	return nil
 }
 

@@ -41,6 +41,16 @@ func decodeType(d *fuzzDecoder, depth int) *Type {
 			return nil
 		}
 	}
+	if d.intn(5) == 0 {
+		// Resized base: pad the extent past the true span, so every
+		// constructor is exercised over a base whose extent disagrees
+		// with its payload (the dense-base-assumption class).
+		rz, err := Resized(base, 0, base.TrueExtent()+int64(d.intn(16)))
+		if err != nil {
+			return nil
+		}
+		base = rz
+	}
 	var ty *Type
 	var err error
 	switch d.intn(7) {
@@ -148,11 +158,55 @@ func FuzzPackRoundtrip(f *testing.F) {
 			t.Fatalf("compiled pack differs from cursor for %v count=%d", ty, count)
 		}
 
+		// Chunked differential: stream the same message through
+		// Packer/Unpacker in fuzz-chosen split sizes — the
+		// compiled-chunked tier — and require the identical stream and
+		// the identical scatter.
+		p, err := ty.NewPacker(src, count)
+		if err != nil {
+			t.Fatalf("packer (%v): %v", ty, err)
+		}
+		streamed := make([]byte, 0, len(packed.Bytes()))
+		for p.Remaining() > 0 {
+			n := int64(d.byte()) + 1
+			if n > p.Remaining() {
+				n = p.Remaining()
+			}
+			piece := buf.Alloc(int(n))
+			m, err := p.Pack(piece)
+			if err != nil {
+				t.Fatalf("chunked pack (%v): %v", ty, err)
+			}
+			streamed = append(streamed, piece.Bytes()[:m]...)
+		}
+		if !bytes.Equal(streamed, packed.Bytes()) {
+			t.Fatalf("compiled-chunked stream differs from whole-message pack for %v count=%d", ty, count)
+		}
+		chunkDst := buf.Alloc(bufLen)
+		u, err := ty.NewUnpacker(chunkDst, count)
+		if err != nil {
+			t.Fatalf("unpacker (%v): %v", ty, err)
+		}
+		off := 0
+		for u.Remaining() > 0 {
+			n := int(d.byte()) + 1
+			if int64(n) > u.Remaining() {
+				n = int(u.Remaining())
+			}
+			if _, err := u.Unpack(buf.FromBytes(streamed[off : off+n])); err != nil {
+				t.Fatalf("chunked unpack (%v): %v", ty, err)
+			}
+			off += n
+		}
+
 		// Roundtrip: unpack into a fresh buffer; layout bytes must
 		// match the source and non-layout bytes must stay zero.
 		back := buf.Alloc(bufLen)
 		if _, err := ty.Unpack(packed, count, back); err != nil {
 			t.Fatalf("unpack (%v): %v", ty, err)
+		}
+		if !bytes.Equal(chunkDst.Bytes(), back.Bytes()) {
+			t.Fatalf("compiled-chunked unpack differs from whole-message unpack for %v count=%d", ty, count)
 		}
 		inLayout := make([]bool, bufLen)
 		ext := ty.Extent()

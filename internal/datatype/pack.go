@@ -40,31 +40,32 @@ func (t *Type) checkUse(count int, bufLen int) error {
 
 // Pack gathers count instances of the type from src into dst,
 // returning the bytes written (MPI_Pack of the full message). dst must
-// hold at least PackSize(count) bytes.
+// hold at least PackSize(count) bytes. The call executes the cached
+// compiled plan directly: in steady state it compiles nothing and
+// allocates nothing.
 func (t *Type) Pack(src buf.Block, count int, dst buf.Block) (int64, error) {
 	need := t.PackSize(count)
 	if int64(dst.Len()) < need {
 		return 0, fmt.Errorf("%w: need %d bytes, destination has %d", ErrTruncate, need, dst.Len())
 	}
-	p, err := t.NewPacker(src, count)
-	if err != nil {
+	if err := t.checkUse(count, src.Len()); err != nil {
 		return 0, err
 	}
-	return p.Pack(dst)
+	return t.plan(count).execute(src, dst, packDirection), nil
 }
 
 // Unpack scatters packed bytes from src into count instances of the
-// type laid out in dst (MPI_Unpack of the full message).
+// type laid out in dst (MPI_Unpack of the full message). Like Pack, it
+// runs the cached compiled plan with no steady-state allocation.
 func (t *Type) Unpack(src buf.Block, count int, dst buf.Block) (int64, error) {
 	need := t.PackSize(count)
 	if int64(src.Len()) < need {
 		return 0, fmt.Errorf("%w: need %d packed bytes, source has %d", ErrTruncate, need, src.Len())
 	}
-	u, err := t.NewUnpacker(dst, count)
-	if err != nil {
+	if err := t.checkUse(count, dst.Len()); err != nil {
 		return 0, err
 	}
-	return u.Unpack(src)
+	return t.plan(count).execute(dst, src, unpackDirection), nil
 }
 
 // Packer streams the packed byte sequence of (count × type) out of a
@@ -74,11 +75,14 @@ func (t *Type) Unpack(src buf.Block, count int, dst buf.Block) (int64, error) {
 //
 // A whole-message Pack call from the start of the stream executes the
 // compiled plan (see plan.go): a specialized kernel, parallel above
-// the threshold. Partial chunks and mid-segment resumes fall back to
-// the interpreting cursor, whose random access into regular runs is
-// O(1), so a packer never materialises regular segment lists.
+// the threshold. Partial chunks enter the same kernels mid-stream
+// (tier 2, compiled-chunked): each kernel positions itself at the
+// resume point in O(log segments) and runs its tight copy loop for
+// just the requested range. The interpreting cursor remains the true
+// fallback (unplanned types, SetChunkedCompiled(false)).
 type Packer struct {
-	c cursor
+	c    cursor
+	plan *Plan // bound lazily from the type's plan cache
 }
 
 // NewPacker validates the (buffer, count, type) triple and returns a
@@ -90,10 +94,14 @@ func (t *Type) NewPacker(src buf.Block, count int) (*Packer, error) {
 	return &Packer{c: newCursor(t, src, count)}, nil
 }
 
-// Plan returns the compiled plan the packer executes for whole-message
-// calls. Compilation is lazy (and cached on the type), so purely
-// chunked streams never pay for a gather table they won't use.
-func (p *Packer) Plan() *Plan { return p.c.t.plan(int(p.c.count)) }
+// Plan returns the compiled plan the packer executes. The plan comes
+// from the type's count-keyed cache, so binding it is a map lookup.
+func (p *Packer) Plan() *Plan {
+	if p.plan == nil {
+		p.plan = p.c.t.plan(int(p.c.count))
+	}
+	return p.plan
+}
 
 // Remaining returns the unpacked bytes left in the stream.
 func (p *Packer) Remaining() int64 { return p.c.remaining() }
@@ -106,14 +114,28 @@ func (p *Packer) Pack(dst buf.Block) (int64, error) {
 		p.c.done = n
 		return n, nil
 	}
+	if p.c.t.plans != nil && ChunkedCompiled() {
+		want := int64(dst.Len())
+		if r := p.c.remaining(); want > r {
+			want = r
+		}
+		if want == 0 {
+			return 0, nil
+		}
+		p.Plan().runChunk(p.c.user, dst, p.c.done, p.c.done+want, packDirection)
+		p.c.skip(want)
+		return want, nil
+	}
 	return p.c.transfer(dst, packDirection)
 }
 
 // Unpacker is the inverse stream: packed bytes in, scattered layout
 // out. Like Packer, a whole-message Unpack executes the compiled plan
-// and partial chunks go through the cursor.
+// and partial chunks run compiled-chunked, with the cursor as the true
+// fallback.
 type Unpacker struct {
-	c cursor
+	c    cursor
+	plan *Plan
 }
 
 // NewUnpacker validates the triple and returns a streaming unpacker
@@ -125,9 +147,14 @@ func (t *Type) NewUnpacker(dst buf.Block, count int) (*Unpacker, error) {
 	return &Unpacker{c: newCursor(t, dst, count)}, nil
 }
 
-// Plan returns the compiled plan the unpacker executes for
-// whole-message calls; compilation is lazy, as for Packer.Plan.
-func (u *Unpacker) Plan() *Plan { return u.c.t.plan(int(u.c.count)) }
+// Plan returns the compiled plan the unpacker executes, bound from the
+// type's plan cache like Packer.Plan.
+func (u *Unpacker) Plan() *Plan {
+	if u.plan == nil {
+		u.plan = u.c.t.plan(int(u.c.count))
+	}
+	return u.plan
+}
 
 // Remaining returns the packed bytes still expected.
 func (u *Unpacker) Remaining() int64 { return u.c.remaining() }
@@ -139,6 +166,18 @@ func (u *Unpacker) Unpack(src buf.Block) (int64, error) {
 		n := u.Plan().execute(u.c.user, src, unpackDirection)
 		u.c.done = n
 		return n, nil
+	}
+	if u.c.t.plans != nil && ChunkedCompiled() {
+		want := int64(src.Len())
+		if r := u.c.remaining(); want > r {
+			want = r
+		}
+		if want == 0 {
+			return 0, nil
+		}
+		u.Plan().runChunk(u.c.user, src, u.c.done, u.c.done+want, unpackDirection)
+		u.c.skip(want)
+		return want, nil
 	}
 	return u.c.transfer(src, unpackDirection)
 }

@@ -3,6 +3,7 @@ package datatype
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 )
 
@@ -86,6 +87,24 @@ func SetParallelPackThreshold(n int64) {
 // ParallelPackThreshold returns the current parallel-pack threshold.
 func ParallelPackThreshold() int64 { return parallelPackThreshold.Load() }
 
+// chunkedCompiled gates the compiled-chunked execution tier: when set
+// (the default), Packer/Unpacker route partial-range transfers through
+// the compiled kernels; when cleared they stream through the
+// interpreting cursor. The switch exists as the true fallback and so
+// studies/benchmarks can measure the cursor baseline.
+var chunkedCompiled atomic.Bool
+
+func init() { chunkedCompiled.Store(true) }
+
+// SetChunkedCompiled enables or disables compiled-kernel execution of
+// chunked (partial-range) transfers; disabled streams fall back to the
+// interpreting cursor.
+func SetChunkedCompiled(on bool) { chunkedCompiled.Store(on) }
+
+// ChunkedCompiled reports whether chunked transfers run on the
+// compiled kernels.
+func ChunkedCompiled() bool { return chunkedCompiled.Load() }
+
 // maxPackWorkers caps the parallel fan-out: memory bandwidth saturates
 // long before high core counts, so more workers only add scheduling
 // noise.
@@ -142,12 +161,23 @@ func compileProg(t *Type) *planProg {
 	return p
 }
 
-// planCache holds a type's compiled instance program. It is allocated
-// at Commit (and for predeclared basic types), so the Type value
-// itself stays copyable — Dup shares the cache with its source, which
-// is correct because the geometry is shared too.
+// maxCachedPlans bounds the per-type count→Plan map. Real programs
+// reuse a handful of counts per type (1 for the ping-pong schemes, a
+// few for collectives); past the bound, plans are still built but not
+// retained, so a pathological count sweep cannot leak memory.
+const maxCachedPlans = 128
+
+// planCache holds a type's compiled instance program plus the bound
+// plans keyed by count. It is allocated at Commit (and for predeclared
+// basic types), so the Type value itself stays copyable — Dup shares
+// the cache with its source, which is correct because the geometry is
+// shared too. The count map is read-mostly: steady-state lookups take
+// only the read lock and allocate nothing.
 type planCache struct {
 	p atomic.Pointer[planProg]
+
+	mu      sync.RWMutex
+	byCount map[int64]*Plan
 }
 
 // prog returns the cached instance program, compiling it on first use.
@@ -184,8 +214,10 @@ type Plan struct {
 }
 
 // CompilePlan compiles count instances of the committed type into an
-// executable plan. The instance geometry is cached on the type, so
-// compiling plans for many counts is cheap.
+// executable plan. Plans are cached on the type keyed by count, so in
+// steady state this is a read-locked map lookup: no compilation, no
+// allocation. Cache traffic is visible through PlanStats
+// (PlanHits/PlanMisses).
 func (t *Type) CompilePlan(count int) (*Plan, error) {
 	if !t.committed {
 		return nil, ErrNotCommitted
@@ -196,8 +228,41 @@ func (t *Type) CompilePlan(count int) (*Plan, error) {
 	return t.plan(count), nil
 }
 
-// plan binds the cached program to a count without validation.
+// plan returns the cached plan for count, building and caching it on
+// first use. No validation: callers check committedness.
 func (t *Type) plan(count int) *Plan {
+	c := t.plans
+	if c == nil {
+		// Unvalidated internal path on an uncommitted type.
+		return t.buildPlan(count)
+	}
+	key := int64(count)
+	c.mu.RLock()
+	p := c.byCount[key]
+	c.mu.RUnlock()
+	if p != nil {
+		planCounters.planHits.Add(1)
+		return p
+	}
+	planCounters.planMisses.Add(1)
+	p = t.buildPlan(count)
+	c.mu.Lock()
+	if q, ok := c.byCount[key]; ok {
+		// Lost a benign build race; keep the first stored plan so
+		// callers settle on one identity.
+		p = q
+	} else if len(c.byCount) < maxCachedPlans {
+		if c.byCount == nil {
+			c.byCount = make(map[int64]*Plan, 4)
+		}
+		c.byCount[key] = p
+	}
+	c.mu.Unlock()
+	return p
+}
+
+// buildPlan binds the cached program to a count without caching.
+func (t *Type) buildPlan(count int) *Plan {
 	prog := t.prog()
 	p := &Plan{
 		t:      t,
@@ -237,13 +302,35 @@ func (p *Plan) Parallel() bool {
 	return p.total >= ParallelPackThreshold() && p.workers() > 1
 }
 
-// workers returns the parallel fan-out for this plan's size.
-func (p *Plan) workers() int {
+// Workers returns the goroutine fan-out a full-message execution of
+// this plan uses: 1 below the parallel threshold. Cost models use it
+// to price the parallel-pack term.
+func (p *Plan) Workers() int {
+	return ParallelWorkersFor(p.total)
+}
+
+// workers returns the parallel fan-out for this plan's size, ignoring
+// the threshold (execute checks that separately).
+func (p *Plan) workers() int { return workersFor(p.total) }
+
+// ParallelWorkersFor returns the goroutine fan-out the pack engine
+// uses for an n-byte message under the current threshold: 1 when the
+// message stays serial.
+func ParallelWorkersFor(n int64) int {
+	if n < ParallelPackThreshold() {
+		return 1
+	}
+	return workersFor(n)
+}
+
+// workersFor is the raw fan-out rule: GOMAXPROCS capped by
+// maxPackWorkers and by the minimum per-worker share.
+func workersFor(n int64) int {
 	w := runtime.GOMAXPROCS(0)
 	if w > maxPackWorkers {
 		w = maxPackWorkers
 	}
-	if byShare := int(p.total / minBytesPerWorker); w > byShare {
+	if byShare := int(n / minBytesPerWorker); w > byShare {
 		w = byShare
 	}
 	if w < 1 {
@@ -253,19 +340,40 @@ func (p *Plan) workers() int {
 }
 
 // PlanStats is a snapshot of the package-wide plan-engine counters:
-// how many programs were compiled, how many pack/unpack executions and
-// bytes each kernel handled, how many of those ran parallel, and how
-// much traffic fell back to the interpreting cursor (chunked streaming
-// and mid-segment resume). The harness reports per-measurement deltas
-// of these so the figures can show compiled-vs-interpreted bandwidth.
+// how many programs were compiled, how the per-(type,count) plan cache
+// performed (PlanHits/PlanMisses), how many pack/unpack executions and
+// bytes each kernel handled — whole-message and chunked
+// (ChunkOps/ChunkBytes) — how many of those ran parallel, and how much
+// traffic fell back to the interpreting cursor. The harness reports
+// per-measurement deltas of these so the figures can show
+// compiled-vs-interpreted bandwidth and cache hit rates.
 type PlanStats struct {
 	Compiled int64
+
+	// PlanHits and PlanMisses count lookups of the per-type plan
+	// cache: a hit returns a previously bound plan with no compilation
+	// and no allocation.
+	PlanHits, PlanMisses int64
 
 	ContigOps, ContigBytes     int64
 	StrideOps, StrideBytes     int64
 	GatherOps, GatherBytes     int64
 	ParallelOps, ParallelBytes int64
-	CursorOps, CursorBytes     int64
+	// ChunkOps and ChunkBytes count compiled-kernel executions of
+	// partial packed ranges (the chunked/pipelined streaming tier);
+	// their bytes are also attributed to the owning kernel above.
+	ChunkOps, ChunkBytes int64
+	CursorOps, CursorBytes int64
+}
+
+// HitRate returns PlanHits/(PlanHits+PlanMisses), or 0 with no
+// lookups.
+func (s PlanStats) HitRate() float64 {
+	total := s.PlanHits + s.PlanMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.PlanHits) / float64(total)
 }
 
 // CompiledOps returns the total compiled-kernel executions.
@@ -278,6 +386,8 @@ func (s PlanStats) CompiledBytes() int64 { return s.ContigBytes + s.StrideBytes 
 func (s PlanStats) Sub(o PlanStats) PlanStats {
 	return PlanStats{
 		Compiled:      s.Compiled - o.Compiled,
+		PlanHits:      s.PlanHits - o.PlanHits,
+		PlanMisses:    s.PlanMisses - o.PlanMisses,
 		ContigOps:     s.ContigOps - o.ContigOps,
 		ContigBytes:   s.ContigBytes - o.ContigBytes,
 		StrideOps:     s.StrideOps - o.StrideOps,
@@ -286,6 +396,8 @@ func (s PlanStats) Sub(o PlanStats) PlanStats {
 		GatherBytes:   s.GatherBytes - o.GatherBytes,
 		ParallelOps:   s.ParallelOps - o.ParallelOps,
 		ParallelBytes: s.ParallelBytes - o.ParallelBytes,
+		ChunkOps:      s.ChunkOps - o.ChunkOps,
+		ChunkBytes:    s.ChunkBytes - o.ChunkBytes,
 		CursorOps:     s.CursorOps - o.CursorOps,
 		CursorBytes:   s.CursorBytes - o.CursorBytes,
 	}
@@ -293,19 +405,22 @@ func (s PlanStats) Sub(o PlanStats) PlanStats {
 
 // String renders the snapshot compactly for logs and study output.
 func (s PlanStats) String() string {
-	return fmt.Sprintf("plan{compiled=%d contig=%d/%dB stride=%d/%dB gather=%d/%dB parallel=%d/%dB cursor=%d/%dB}",
-		s.Compiled, s.ContigOps, s.ContigBytes, s.StrideOps, s.StrideBytes,
-		s.GatherOps, s.GatherBytes, s.ParallelOps, s.ParallelBytes, s.CursorOps, s.CursorBytes)
+	return fmt.Sprintf("plan{compiled=%d cache=%d/%d contig=%d/%dB stride=%d/%dB gather=%d/%dB parallel=%d/%dB chunk=%d/%dB cursor=%d/%dB}",
+		s.Compiled, s.PlanHits, s.PlanMisses, s.ContigOps, s.ContigBytes, s.StrideOps, s.StrideBytes,
+		s.GatherOps, s.GatherBytes, s.ParallelOps, s.ParallelBytes, s.ChunkOps, s.ChunkBytes,
+		s.CursorOps, s.CursorBytes)
 }
 
 // planCounters holds the live counters behind PlanStatsSnapshot.
 var planCounters struct {
-	compiled atomic.Int64
+	compiled             atomic.Int64
+	planHits, planMisses atomic.Int64
 
 	contigOps, contigBytes     atomic.Int64
 	strideOps, strideBytes     atomic.Int64
 	gatherOps, gatherBytes     atomic.Int64
 	parallelOps, parallelBytes atomic.Int64
+	chunkOps, chunkBytes       atomic.Int64
 	cursorOps, cursorBytes     atomic.Int64
 }
 
@@ -313,6 +428,8 @@ var planCounters struct {
 func PlanStatsSnapshot() PlanStats {
 	return PlanStats{
 		Compiled:      planCounters.compiled.Load(),
+		PlanHits:      planCounters.planHits.Load(),
+		PlanMisses:    planCounters.planMisses.Load(),
 		ContigOps:     planCounters.contigOps.Load(),
 		ContigBytes:   planCounters.contigBytes.Load(),
 		StrideOps:     planCounters.strideOps.Load(),
@@ -321,6 +438,8 @@ func PlanStatsSnapshot() PlanStats {
 		GatherBytes:   planCounters.gatherBytes.Load(),
 		ParallelOps:   planCounters.parallelOps.Load(),
 		ParallelBytes: planCounters.parallelBytes.Load(),
+		ChunkOps:      planCounters.chunkOps.Load(),
+		ChunkBytes:    planCounters.chunkBytes.Load(),
 		CursorOps:     planCounters.cursorOps.Load(),
 		CursorBytes:   planCounters.cursorBytes.Load(),
 	}
@@ -329,6 +448,8 @@ func PlanStatsSnapshot() PlanStats {
 // ResetPlanStats zeroes the plan-engine counters.
 func ResetPlanStats() {
 	planCounters.compiled.Store(0)
+	planCounters.planHits.Store(0)
+	planCounters.planMisses.Store(0)
 	planCounters.contigOps.Store(0)
 	planCounters.contigBytes.Store(0)
 	planCounters.strideOps.Store(0)
@@ -337,6 +458,8 @@ func ResetPlanStats() {
 	planCounters.gatherBytes.Store(0)
 	planCounters.parallelOps.Store(0)
 	planCounters.parallelBytes.Store(0)
+	planCounters.chunkOps.Store(0)
+	planCounters.chunkBytes.Store(0)
 	planCounters.cursorOps.Store(0)
 	planCounters.cursorBytes.Store(0)
 }
@@ -360,8 +483,17 @@ func recordPlanExec(k PlanKernel, n int64, parallel bool) {
 	}
 }
 
-// recordCursor attributes interpreted traffic (chunked streaming,
-// mid-segment resume) to the fallback counters.
+// recordPlanChunk attributes one compiled partial-range execution to
+// its kernel and the chunk counters.
+func recordPlanChunk(k PlanKernel, n int64, parallel bool) {
+	recordPlanExec(k, n, parallel)
+	planCounters.chunkOps.Add(1)
+	planCounters.chunkBytes.Add(n)
+}
+
+// recordCursor attributes interpreted traffic (the true-fallback tier:
+// cursor streaming with compiled chunking disabled, or packers built
+// on unplanned types) to the fallback counters.
 func recordCursor(n int64) {
 	planCounters.cursorOps.Add(1)
 	planCounters.cursorBytes.Add(n)

@@ -53,6 +53,28 @@ func (p *Plan) execute(user, stream buf.Block, dir direction) int64 {
 	return p.total
 }
 
+// runChunk executes the packed byte range [lo, hi) of the message
+// against a stream block whose byte 0 is packed position lo — the
+// compiled-chunked tier behind Packer/Unpacker streaming. Large chunks
+// split across goroutines like whole messages; virtual participants
+// record the execution without moving bytes.
+func (p *Plan) runChunk(user, stream buf.Block, lo, hi int64, dir direction) {
+	if hi <= lo {
+		return
+	}
+	parallel := false
+	if !user.IsVirtual() && !stream.IsVirtual() {
+		n := hi - lo
+		if w := workersFor(n); n >= ParallelPackThreshold() && w > 1 {
+			parallel = true
+			p.runParallelRange(user, stream, lo, hi, lo, dir, w)
+		} else {
+			p.runRange(user, stream, lo, hi, lo, dir)
+		}
+	}
+	recordPlanChunk(p.kernel, hi-lo, parallel)
+}
+
 // runParallel splits the packed byte range [0, total) across workers.
 // Every kernel can start mid-stream in O(log segments), so the split
 // points need no alignment; each worker touches disjoint packed and
@@ -66,46 +88,60 @@ func (p *Plan) runParallel(user, stream buf.Block, dir direction) {
 // can exercise the multi-range split on machines where workers() would
 // collapse to one.
 func (p *Plan) runParallelN(user, stream buf.Block, dir direction, w int) {
-	share := p.total / int64(w)
+	p.runParallelRange(user, stream, 0, p.total, 0, dir, w)
+}
+
+// runParallelRange splits the packed range [lo, hi) across w workers;
+// soff is the packed position of the stream block's byte 0.
+func (p *Plan) runParallelRange(user, stream buf.Block, lo, hi, soff int64, dir direction, w int) {
+	share := (hi - lo) / int64(w)
 	var wg sync.WaitGroup
-	lo := int64(0)
 	for i := 0; i < w; i++ {
-		hi := lo + share
+		wlo := lo + int64(i)*share
+		whi := wlo + share
 		if i == w-1 {
-			hi = p.total
+			whi = hi
 		}
 		wg.Add(1)
-		go func(lo, hi int64) {
+		go func(wlo, whi int64) {
 			defer wg.Done()
-			p.run(user, stream, lo, hi, dir)
-		}(lo, hi)
-		lo = hi
+			p.runRange(user, stream, wlo, whi, soff, dir)
+		}(wlo, whi)
 	}
 	wg.Wait()
 }
 
-// run executes the packed byte range [lo, hi) of the message.
+// run executes the packed byte range [lo, hi) of the message against a
+// stream block holding the whole packed message.
 func (p *Plan) run(user, stream buf.Block, lo, hi int64, dir direction) {
+	p.runRange(user, stream, lo, hi, 0, dir)
+}
+
+// runRange executes the packed byte range [lo, hi); soff is the packed
+// position the stream block starts at (0 for whole-message streams,
+// lo for standalone chunk blocks).
+func (p *Plan) runRange(user, stream buf.Block, lo, hi, soff int64, dir direction) {
 	if hi <= lo {
 		return
 	}
 	switch p.kernel {
 	case KernelContig:
 		if dir == packDirection {
-			buf.CopyAt(stream, int(lo), user, int(p.contigOff+lo), int(hi-lo))
+			buf.CopyAt(stream, int(lo-soff), user, int(p.contigOff+lo), int(hi-lo))
 		} else {
-			buf.CopyAt(user, int(p.contigOff+lo), stream, int(lo), int(hi-lo))
+			buf.CopyAt(user, int(p.contigOff+lo), stream, int(lo-soff), int(hi-lo))
 		}
 	case KernelStride:
-		p.runStride(user, stream, lo, hi, dir)
+		p.runStride(user, stream, lo, hi, soff, dir)
 	case KernelGather:
-		p.runGather(user, stream, lo, hi, dir)
+		p.runGather(user, stream, lo, hi, soff, dir)
 	}
 }
 
 // runStride is the regular run/gap kernel: closed-form addressing from
-// any packed position, whole runs moved by the unrolled copiers.
-func (p *Plan) runStride(user, stream buf.Block, lo, hi int64, dir direction) {
+// any packed position, whole runs moved by the unrolled copiers. soff
+// is the packed position of sb's byte 0.
+func (p *Plan) runStride(user, stream buf.Block, lo, hi, soff int64, dir direction) {
 	ub, sb := user.Bytes(), stream.Bytes()
 	pr := p.prog
 	runLen, step := pr.runLen, pr.step
@@ -122,10 +158,11 @@ func (p *Plan) runStride(user, stream buf.Block, lo, hi int64, dir direction) {
 				n = hi - pos
 			}
 			o := inst*pr.ext + pr.start + j*step + runOff
+			sp := pos - soff
 			if dir == packDirection {
-				copy(sb[pos:pos+n], ub[o:o+n])
+				copy(sb[sp:sp+n], ub[o:o+n])
 			} else {
-				copy(ub[o:o+n], sb[pos:pos+n])
+				copy(ub[o:o+n], sb[sp:sp+n])
 			}
 			pos += n
 			runOff = 0
@@ -138,9 +175,9 @@ func (p *Plan) runStride(user, stream buf.Block, lo, hi int64, dir direction) {
 			if nRuns > 0 {
 				base := inst*pr.ext + pr.start + j*step
 				if dir == packDirection {
-					gatherRuns(sb, ub, pos, base, step, runLen, nRuns)
+					gatherRuns(sb, ub, pos-soff, base, step, runLen, nRuns)
 				} else {
-					scatterRuns(sb, ub, pos, base, step, runLen, nRuns)
+					scatterRuns(sb, ub, pos-soff, base, step, runLen, nRuns)
 				}
 				pos += nRuns * runLen
 				j += nRuns
@@ -152,10 +189,11 @@ func (p *Plan) runStride(user, stream buf.Block, lo, hi int64, dir direction) {
 				// Trailing partial run (the range ends mid-run).
 				n := hi - pos
 				o := inst*pr.ext + pr.start + j*step
+				sp := pos - soff
 				if dir == packDirection {
-					copy(sb[pos:pos+n], ub[o:o+n])
+					copy(sb[sp:sp+n], ub[o:o+n])
 				} else {
-					copy(ub[o:o+n], sb[pos:pos+n])
+					copy(ub[o:o+n], sb[sp:sp+n])
 				}
 				return
 			}
@@ -168,8 +206,9 @@ func (p *Plan) runStride(user, stream buf.Block, lo, hi int64, dir direction) {
 }
 
 // runGather is the irregular kernel: binary-search the flattened
-// segment table for the entry point, then walk it linearly.
-func (p *Plan) runGather(user, stream buf.Block, lo, hi int64, dir direction) {
+// segment table for the entry point, then walk it linearly. soff is
+// the packed position of sb's byte 0.
+func (p *Plan) runGather(user, stream buf.Block, lo, hi, soff int64, dir direction) {
 	ub, sb := user.Bytes(), stream.Bytes()
 	pr := p.prog
 	segs := pr.segs
@@ -188,10 +227,11 @@ func (p *Plan) runGather(user, stream buf.Block, lo, hi int64, dir direction) {
 				n = hi - pos
 			}
 			o := userBase + s.off + segOff
+			sp := pos - soff
 			if dir == packDirection {
-				copy(sb[pos:pos+n], ub[o:o+n])
+				copy(sb[sp:sp+n], ub[o:o+n])
 			} else {
-				copy(ub[o:o+n], sb[pos:pos+n])
+				copy(ub[o:o+n], sb[sp:sp+n])
 			}
 			pos += n
 			idx++

@@ -429,8 +429,9 @@ func TestPlanKernelSelection(t *testing.T) {
 }
 
 // TestPlanStatsCounters checks that executions are attributed to the
-// right counters: compiled kernels for whole-message calls, the cursor
-// for chunked streaming.
+// right counters: compiled kernels for whole-message calls, the
+// compiled-chunked tier for streaming, and the cursor only when the
+// compiled-chunked tier is switched off.
 func TestPlanStatsCounters(t *testing.T) {
 	ty := mustType(Vector(1000, 1, 2, Float64))
 	src := buf.Alloc(int(ty.Extent()))
@@ -448,24 +449,47 @@ func TestPlanStatsCounters(t *testing.T) {
 	if d.CursorOps != 0 {
 		t.Fatalf("whole-message pack went through the cursor: %+v", d)
 	}
-
-	before = PlanStatsSnapshot()
-	p, err := ty.NewPacker(src, 1)
-	if err != nil {
-		t.Fatal(err)
+	if d.ChunkOps != 0 {
+		t.Fatalf("whole-message pack attributed to the chunk tier: %+v", d)
 	}
-	chunk := buf.Alloc(128)
-	for p.Remaining() > 0 {
-		if _, err := p.Pack(chunk); err != nil {
+
+	stream := func() PlanStats {
+		before := PlanStatsSnapshot()
+		p, err := ty.NewPacker(src, 1)
+		if err != nil {
 			t.Fatal(err)
 		}
+		chunk := buf.Alloc(128)
+		for p.Remaining() > 0 {
+			if _, err := p.Pack(chunk); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return PlanStatsSnapshot().Sub(before)
 	}
-	d = PlanStatsSnapshot().Sub(before)
+
+	// Default: chunked streaming runs on the compiled kernels.
+	d = stream()
+	if d.ChunkOps == 0 || d.ChunkBytes != ty.Size() {
+		t.Fatalf("chunked stream not attributed to the compiled-chunked tier: %+v", d)
+	}
+	if d.StrideBytes != ty.Size() {
+		t.Fatalf("chunked stream not attributed to the stride kernel: %+v", d)
+	}
+	if d.CursorOps != 0 {
+		t.Fatalf("chunked stream fell back to the cursor: %+v", d)
+	}
+
+	// Fallback: with the compiled-chunked tier off, the cursor moves
+	// the stream.
+	SetChunkedCompiled(false)
+	defer SetChunkedCompiled(true)
+	d = stream()
 	if d.CursorOps == 0 || d.CursorBytes != ty.Size() {
-		t.Fatalf("chunked stream not attributed to the cursor: %+v", d)
+		t.Fatalf("fallback stream not attributed to the cursor: %+v", d)
 	}
-	if d.CompiledBytes() != 0 {
-		t.Fatalf("chunked stream attributed to compiled kernels: %+v", d)
+	if d.CompiledBytes() != 0 || d.ChunkOps != 0 {
+		t.Fatalf("fallback stream attributed to compiled kernels: %+v", d)
 	}
 }
 

@@ -181,11 +181,10 @@ func TestPackPlanStudyShape(t *testing.T) {
 }
 
 // TestMeasurementPlanStats pins the harness surfacing: a packing(c)
-// measurement window attributes bytes to compiled kernels, while the
-// interpreted packing(v) scheme's pack call also runs the compiled
-// whole-message path (its cost model, not its byte movement, is what
-// differs), and the derived-type scheme's chunked rendezvous streaming
-// shows cursor traffic at large sizes.
+// measurement window attributes bytes to compiled kernels with plan
+// cache hits after the first rep, while the derived-type scheme's
+// chunked rendezvous streaming runs on the compiled-chunked tier (the
+// cursor is only the true fallback).
 func TestMeasurementPlanStats(t *testing.T) {
 	prof, err := perfmodel.ByName("skx-impi")
 	if err != nil {
@@ -202,14 +201,20 @@ func TestMeasurementPlanStats(t *testing.T) {
 	if m.PlanStats.CompiledBytes() == 0 {
 		t.Errorf("packing(c) window shows no compiled bytes: %v", m.PlanStats)
 	}
+	if m.PlanStats.PlanHits == 0 {
+		t.Errorf("packing(c) window shows no plan-cache hits: %v", m.PlanStats)
+	}
 
 	// A large derived-type send goes rendezvous: the internal chunk
-	// loop must be attributed to the cursor fallback.
+	// loop must run on the compiled-chunked tier, not the cursor.
 	m, err = harness.Measure(prof, core.VectorType, w, o)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.PlanStats.CursorBytes == 0 {
-		t.Errorf("vector-type rendezvous window shows no cursor traffic: %v", m.PlanStats)
+	if m.PlanStats.ChunkBytes == 0 {
+		t.Errorf("vector-type rendezvous window shows no compiled-chunked traffic: %v", m.PlanStats)
+	}
+	if m.PlanStats.CursorBytes != 0 {
+		t.Errorf("vector-type rendezvous window fell back to the cursor: %v", m.PlanStats)
 	}
 }

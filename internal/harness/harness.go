@@ -86,9 +86,12 @@ type Measurement struct {
 	// PlanStats is the delta of the pack-plan engine counters over
 	// this cell's measurement window (both ranks: sender packs,
 	// receiver unpacks, plus the final verification pass). It shows
-	// which engine — compiled kernels, parallel execution, or the
-	// interpreting cursor — moved the cell's bytes, so studies can
-	// report compiled-vs-interpreted pack bandwidth per scheme.
+	// which tier — compiled whole-message kernels, compiled-chunked
+	// streaming, parallel execution, or the interpreting-cursor
+	// fallback — moved the cell's bytes, and how the plan cache
+	// behaved (PlanHits/PlanMisses, PlanStats.HitRate), so studies can
+	// report compiled-vs-interpreted pack bandwidth and cache hit
+	// rates per scheme.
 	PlanStats datatype.PlanStats
 }
 

@@ -256,7 +256,7 @@ func roundUp(n, q int64) int64 {
 // The call updates warmth: the source lines and the destination become
 // resident.
 func (s *State) GatherCost(src buf.Region, dst buf.Region, st layout.Stats) float64 {
-	return s.gatherCost(src, dst, st, s.h.SegmentOverhead)
+	return s.gatherCost(src, dst, st, s.h.SegmentOverhead, 1)
 }
 
 // CompiledUnrollFactor is how far a compiled pack plan amortises the
@@ -273,18 +273,57 @@ const CompiledUnrollFactor = 8
 // scheme column: compiled packing approaches the traffic bound that
 // generic interpretation cannot reach on small-block layouts.
 func (s *State) CompiledGatherCost(src buf.Region, dst buf.Region, st layout.Stats) float64 {
-	return s.gatherCost(src, dst, st, s.h.SegmentOverhead/CompiledUnrollFactor)
+	return s.gatherCost(src, dst, st, s.h.SegmentOverhead/CompiledUnrollFactor, 1)
 }
 
 // CompiledScatterCost is the scatter-side mirror of
 // CompiledGatherCost.
 func (s *State) CompiledScatterCost(src buf.Region, dst buf.Region, st layout.Stats) float64 {
-	return s.scatterCost(src, dst, st, s.h.SegmentOverhead/CompiledUnrollFactor)
+	return s.scatterCost(src, dst, st, s.h.SegmentOverhead/CompiledUnrollFactor, 1)
 }
 
-// gatherCost is the shared body of GatherCost and CompiledGatherCost;
-// the engines differ only in their per-segment bookkeeping cost.
-func (s *State) gatherCost(src buf.Region, dst buf.Region, st layout.Stats, segOverhead float64) float64 {
+// ParallelBWScale caps the bandwidth gain of goroutine-parallel
+// packing: one core's gather loop runs at CopyBW, and additional
+// workers scale the read rate only until the socket's memory system
+// saturates — long before high core counts, which is also why the pack
+// engine caps its fan-out. The factor is the paper-era socket shape:
+// roughly 3–4 cores' worth of copy bandwidth saturates a socket.
+const ParallelBWScale = 3.5
+
+// parallelSpeedup returns the effective bandwidth multiplier of a
+// w-worker parallel pack.
+func parallelSpeedup(w int) float64 {
+	if w <= 1 {
+		return 1
+	}
+	sp := float64(w)
+	if sp > ParallelBWScale {
+		sp = ParallelBWScale
+	}
+	return sp
+}
+
+// ParallelCompiledGatherCost prices the compiled gather when the plan
+// engine splits the packed range across workers goroutines (messages
+// over datatype.SetParallelPackThreshold): the traffic term scales by
+// the saturating parallel speedup, and the per-segment bookkeeping —
+// embarrassingly parallel — divides across the workers. This is the
+// parallel-pack term that lets the recommendation engine price
+// packing(c) against datatype sends at large sizes.
+func (s *State) ParallelCompiledGatherCost(src buf.Region, dst buf.Region, st layout.Stats, workers int) float64 {
+	return s.gatherCost(src, dst, st, s.h.SegmentOverhead/CompiledUnrollFactor/float64(maxInt(workers, 1)), parallelSpeedup(workers))
+}
+
+// ParallelCompiledScatterCost is the scatter-side mirror of
+// ParallelCompiledGatherCost.
+func (s *State) ParallelCompiledScatterCost(src buf.Region, dst buf.Region, st layout.Stats, workers int) float64 {
+	return s.scatterCost(src, dst, st, s.h.SegmentOverhead/CompiledUnrollFactor/float64(maxInt(workers, 1)), parallelSpeedup(workers))
+}
+
+// gatherCost is the shared body of the gather pricers; the engines
+// differ in their per-segment bookkeeping cost and, for the parallel
+// executor, the bandwidth speedup.
+func (s *State) gatherCost(src buf.Region, dst buf.Region, st layout.Stats, segOverhead, speedup float64) float64 {
 	traffic := s.h.Traffic(st)
 	if traffic == 0 {
 		return 0
@@ -292,16 +331,15 @@ func (s *State) gatherCost(src buf.Region, dst buf.Region, st layout.Stats, segO
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	res := s.residency(src, traffic)
-	bw := s.readBandwidth(s.h.CopyBW, res, st)
+	bw := s.readBandwidth(s.h.CopyBW, res, st) * speedup
 	cost := float64(traffic)/bw + float64(st.Segments)*segOverhead
 	s.touch(src, traffic)
 	s.touch(dst, st.Bytes)
 	return cost
 }
 
-// scatterCost is the shared body of ScatterCost and
-// CompiledScatterCost.
-func (s *State) scatterCost(src buf.Region, dst buf.Region, st layout.Stats, segOverhead float64) float64 {
+// scatterCost is the shared body of the scatter pricers.
+func (s *State) scatterCost(src buf.Region, dst buf.Region, st layout.Stats, segOverhead, speedup float64) float64 {
 	if st.Bytes == 0 {
 		return 0
 	}
@@ -309,17 +347,24 @@ func (s *State) scatterCost(src buf.Region, dst buf.Region, st layout.Stats, seg
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	res := s.residency(src, traffic)
-	bw := s.readBandwidth(s.h.CopyBW, res, layout.Stats{Segments: 1, Bytes: st.Bytes, Extent: st.Bytes})
+	bw := s.readBandwidth(s.h.CopyBW, res, layout.Stats{Segments: 1, Bytes: st.Bytes, Extent: st.Bytes}) * speedup
 	cost := float64(traffic) / bw
 	// Write-allocate fills for the partial destination lines.
 	extra := s.h.Traffic(st) - roundUp(st.Bytes, s.h.LineSize)
 	if extra > 0 {
-		cost += float64(extra) / s.h.CopyBW
+		cost += float64(extra) / (s.h.CopyBW * speedup)
 	}
 	cost += float64(st.Segments) * segOverhead
 	s.touch(src, traffic)
 	s.touch(dst, s.h.Traffic(st))
 	return cost
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // ScatterCost prices the inverse loop: read a contiguous source of
@@ -328,7 +373,7 @@ func (s *State) scatterCost(src buf.Region, dst buf.Region, st layout.Stats, seg
 // charged traffic is the contiguous read plus the destination line
 // fills beyond the payload itself.
 func (s *State) ScatterCost(src buf.Region, dst buf.Region, st layout.Stats) float64 {
-	return s.scatterCost(src, dst, st, s.h.SegmentOverhead)
+	return s.scatterCost(src, dst, st, s.h.SegmentOverhead, 1)
 }
 
 // StreamCost prices a streaming contiguous read of n bytes of region r

@@ -115,7 +115,9 @@ func (c *Comm) Reduce(send, recv buf.Block, count int, op Op, root int) error {
 	}
 	n := count * elem.Float64Size
 	acc := elem.ToFloat64s(send.Slice(0, n))
-	tmpBlock := buf.Alloc(n)
+	// Merge scratch: pooled, fully received before each read.
+	tmpBlock := buf.GetPooled(n)
+	defer buf.PutPooled(tmpBlock)
 	rel := (c.rank - root + c.size) % c.size
 	abs := func(r int) int { return (r + root) % c.size }
 	// Charge the local combine: one pass over the operands per merge.
@@ -277,7 +279,10 @@ func (c *Comm) Scan(send, recv buf.Block, count int, op Op) error {
 	n := count * elem.Float64Size
 	acc := elem.ToFloat64s(send.Slice(0, n))
 	if c.rank > 0 {
-		prev := buf.Alloc(n)
+		prev := buf.GetPooled(n)
+		// acc aliases prev below, and sends copy before returning, so
+		// the release can wait for function exit.
+		defer buf.PutPooled(prev)
 		if err := c.crecv(prev, c.rank-1); err != nil {
 			return err
 		}

@@ -8,6 +8,22 @@ import (
 	"repro/internal/vclock"
 )
 
+// packWindow validates the preamble shared by every explicit
+// pack/unpack entry point — non-negative count, the packed byte count,
+// and the position window inside the packed buffer — and returns the
+// window as a sub-block. op names the operation for the error text.
+func packWindow(count int, ty *datatype.Type, packed buf.Block, position *int64, op string) (buf.Block, int64, error) {
+	if count < 0 {
+		return buf.Block{}, 0, fmt.Errorf("%w: %d", ErrCount, count)
+	}
+	need := ty.PackSize(count)
+	if *position < 0 || *position+need > int64(packed.Len()) {
+		return buf.Block{}, 0, fmt.Errorf("%w: %s of %d bytes at position %d in %d-byte buffer",
+			datatype.ErrTruncate, op, need, *position, packed.Len())
+	}
+	return packed.Slice(int(*position), int(need)), need, nil
+}
+
 // Pack gathers count instances of a datatype from b into outbuf
 // starting at *position, advancing *position — the signature shape of
 // MPI_Pack. One call costs one PackCallOverhead plus the gather loop,
@@ -15,15 +31,10 @@ import (
 // same as a manual copy (§4.3) while packing element by element
 // (packing(e)) drowns in call overhead (§2.6).
 func (c *Comm) Pack(b buf.Block, count int, ty *datatype.Type, outbuf buf.Block, position *int64) error {
-	if count < 0 {
-		return fmt.Errorf("%w: %d", ErrCount, count)
+	dst, need, err := packWindow(count, ty, outbuf, position, "pack")
+	if err != nil {
+		return err
 	}
-	need := ty.PackSize(count)
-	if *position < 0 || *position+need > int64(outbuf.Len()) {
-		return fmt.Errorf("%w: pack of %d bytes at position %d into %d-byte buffer",
-			datatype.ErrTruncate, need, *position, outbuf.Len())
-	}
-	dst := outbuf.Slice(int(*position), int(need))
 	st := ty.Stats(count)
 	cost := c.prof.PackCallOverhead + c.cache.GatherCost(b.Region(), outbuf.Region(), st)
 	c.clock.Advance(vclock.FromSeconds(cost))
@@ -36,15 +47,10 @@ func (c *Comm) Pack(b buf.Block, count int, ty *datatype.Type, outbuf buf.Block,
 
 // Unpack is the inverse of Pack, like MPI_Unpack.
 func (c *Comm) Unpack(inbuf buf.Block, position *int64, b buf.Block, count int, ty *datatype.Type) error {
-	if count < 0 {
-		return fmt.Errorf("%w: %d", ErrCount, count)
+	src, need, err := packWindow(count, ty, inbuf, position, "unpack")
+	if err != nil {
+		return err
 	}
-	need := ty.PackSize(count)
-	if *position < 0 || *position+need > int64(inbuf.Len()) {
-		return fmt.Errorf("%w: unpack of %d bytes at position %d from %d-byte buffer",
-			datatype.ErrTruncate, need, *position, inbuf.Len())
-	}
-	src := inbuf.Slice(int(*position), int(need))
 	st := ty.Stats(count)
 	cost := c.prof.PackCallOverhead + c.cache.ScatterCost(inbuf.Region(), b.Region(), st)
 	c.clock.Advance(vclock.FromSeconds(cost))
@@ -63,26 +69,29 @@ func (c *Comm) PackSize(count int, ty *datatype.Type) int64 {
 
 // PackCompiled is Pack through the compiled pack-plan engine: the same
 // gather, executed by the plan's specialized kernel instead of generic
-// interpretation, and priced with the amortised per-segment
-// bookkeeping of memsim.CompiledGatherCost. This is the "packing(c)"
-// scheme of the figures.
+// interpretation. The plan comes from the type's cache (compiled at
+// Commit, bound per count on first use), so steady-state calls compile
+// nothing. Pricing uses the amortised per-segment bookkeeping of
+// memsim.CompiledGatherCost — or its parallel-pack term when the plan
+// splits across goroutines. This is the "packing(c)" scheme of the
+// figures.
 func (c *Comm) PackCompiled(b buf.Block, count int, ty *datatype.Type, outbuf buf.Block, position *int64) error {
-	if count < 0 {
-		return fmt.Errorf("%w: %d", ErrCount, count)
+	dst, need, err := packWindow(count, ty, outbuf, position, "pack")
+	if err != nil {
+		return err
 	}
-	need := ty.PackSize(count)
-	if *position < 0 || *position+need > int64(outbuf.Len()) {
-		return fmt.Errorf("%w: pack of %d bytes at position %d into %d-byte buffer",
-			datatype.ErrTruncate, need, *position, outbuf.Len())
-	}
-	dst := outbuf.Slice(int(*position), int(need))
 	plan, err := ty.CompilePlan(count)
 	if err != nil {
 		return err
 	}
 	st := ty.Stats(count)
-	cost := c.prof.PackCallOverhead + c.cache.CompiledGatherCost(b.Region(), outbuf.Region(), st)
-	c.clock.Advance(vclock.FromSeconds(cost))
+	var gather float64
+	if w := plan.Workers(); w > 1 {
+		gather = c.cache.ParallelCompiledGatherCost(b.Region(), outbuf.Region(), st, w)
+	} else {
+		gather = c.cache.CompiledGatherCost(b.Region(), outbuf.Region(), st)
+	}
+	c.clock.Advance(vclock.FromSeconds(c.prof.PackCallOverhead + gather))
 	if _, err := plan.Pack(b, dst); err != nil {
 		return err
 	}
@@ -92,22 +101,22 @@ func (c *Comm) PackCompiled(b buf.Block, count int, ty *datatype.Type, outbuf bu
 
 // UnpackCompiled is the scatter-side mirror of PackCompiled.
 func (c *Comm) UnpackCompiled(inbuf buf.Block, position *int64, b buf.Block, count int, ty *datatype.Type) error {
-	if count < 0 {
-		return fmt.Errorf("%w: %d", ErrCount, count)
+	src, need, err := packWindow(count, ty, inbuf, position, "unpack")
+	if err != nil {
+		return err
 	}
-	need := ty.PackSize(count)
-	if *position < 0 || *position+need > int64(inbuf.Len()) {
-		return fmt.Errorf("%w: unpack of %d bytes at position %d from %d-byte buffer",
-			datatype.ErrTruncate, need, *position, inbuf.Len())
-	}
-	src := inbuf.Slice(int(*position), int(need))
 	plan, err := ty.CompilePlan(count)
 	if err != nil {
 		return err
 	}
 	st := ty.Stats(count)
-	cost := c.prof.PackCallOverhead + c.cache.CompiledScatterCost(inbuf.Region(), b.Region(), st)
-	c.clock.Advance(vclock.FromSeconds(cost))
+	var scatter float64
+	if w := plan.Workers(); w > 1 {
+		scatter = c.cache.ParallelCompiledScatterCost(inbuf.Region(), b.Region(), st, w)
+	} else {
+		scatter = c.cache.CompiledScatterCost(inbuf.Region(), b.Region(), st)
+	}
+	c.clock.Advance(vclock.FromSeconds(c.prof.PackCallOverhead + scatter))
 	if _, err := plan.Unpack(src, b); err != nil {
 		return err
 	}

@@ -261,23 +261,27 @@ func (c *Comm) deliverEager(dest, tag int, transit buf.Block, n int64, injectEnd
 }
 
 // transitCopy clones a payload into a fabric-owned transit block,
-// virtual when the source is virtual.
+// virtual when the source is virtual. Transit blocks come from the
+// size-classed pool (buf.GetPooled) and are released by the receive
+// completion that consumes them.
 func transitCopy(b buf.Block) buf.Block {
 	if b.IsVirtual() {
 		return buf.Virtual(b.Len())
 	}
-	t := buf.Alloc(b.Len())
+	t := buf.GetPooled(b.Len())
 	buf.Copy(t, b)
 	return t
 }
 
 // transitAlloc allocates a transit block of n bytes matching the
-// reality of the user buffer.
+// reality of the user buffer. Real blocks come from the pool with
+// undefined contents; every caller fills them completely (eager pack,
+// rendezvous stream) before the receiver reads.
 func transitAlloc(user buf.Block, n int64) buf.Block {
 	if user.IsVirtual() {
 		return buf.Virtual(int(n))
 	}
-	return buf.Alloc(int(n))
+	return buf.GetPooled(int(n))
 }
 
 // recvContig receives into a contiguous buffer; src and tag may be
@@ -316,6 +320,10 @@ func (c *Comm) completeRecvContig(b buf.Block, m *simnet.Message, post vclock.Ti
 		if m.OnConsume != nil {
 			m.OnConsume()
 		}
+		// The transit copy is consumed: recycle it. (No-op for
+		// non-pooled payloads like Bsend's attached-buffer regions.)
+		buf.PutPooled(m.Payload)
+		m.Payload = buf.Block{}
 		if m.Bytes > int64(b.Len()) {
 			return st, fmt.Errorf("%w: %d-byte message, %d-byte receive buffer", ErrTruncate, m.Bytes, b.Len())
 		}
@@ -363,12 +371,16 @@ func (c *Comm) recvTyped(b buf.Block, count int, ty *datatype.Type, src, tag int
 		}
 		if nCopy > 0 {
 			if _, err := unpacker.Unpack(m.Payload.Slice(0, int(nCopy))); err != nil {
+				buf.PutPooled(m.Payload)
+				m.Payload = buf.Block{}
 				return st, err
 			}
 		}
 		if m.OnConsume != nil {
 			m.OnConsume()
 		}
+		buf.PutPooled(m.Payload)
+		m.Payload = buf.Block{}
 		if m.Bytes > need {
 			return st, fmt.Errorf("%w: %d-byte message, %d-byte typed receive", ErrTruncate, m.Bytes, need)
 		}
@@ -378,18 +390,23 @@ func (c *Comm) recvTyped(b buf.Block, count int, ty *datatype.Type, src, tag int
 		m.Match <- simnet.RdvMatch{MatchTime: maxTime(m.Arrival, post), Dst: staging}
 		done := <-m.Done
 		if done.Err != nil {
+			// The sender has finished with the staging block (Done is
+			// sent after the copy), so it can be recycled even on error.
+			buf.PutPooled(staging)
 			return st, done.Err
 		}
 		c.clock.AdvanceTo(done.Arrival)
 		c.clock.Advance(vclock.FromSeconds(p.RecvOverhead + scatter))
 		if staging.Len() > 0 {
 			if _, err := unpacker.Unpack(staging); err != nil {
+				buf.PutPooled(staging)
 				return st, err
 			}
 		}
 		if m.OnConsume != nil {
 			m.OnConsume()
 		}
+		buf.PutPooled(staging)
 		if done.Bytes > need {
 			return st, fmt.Errorf("%w: %d-byte message, %d-byte typed receive", ErrTruncate, done.Bytes, need)
 		}
