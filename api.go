@@ -25,8 +25,12 @@
 // runtime's internal pipelined sends) falls back to the interpreting
 // cursor; the two engines are property-tested byte-for-byte against
 // each other. The ninth scheme, PackCompiled ("packing(c)"), measures
-// this engine against the paper's interpreted packing(v), and
-// Measurement.PlanStats reports which kernels moved each cell's bytes.
+// this engine against the paper's interpreted packing(v); the tenth,
+// Sendv ("sendv"), is the fused zero-copy rendezvous, where the
+// compiled plan scatters the sender's layout straight into the
+// receiver's buffer in one pass — no staging buffer, no MPI-internal
+// chunking. Measurement.PlanStats reports which kernels moved each
+// cell's bytes, including fused-vs-staged attribution.
 //
 // Quick start:
 //
@@ -48,7 +52,7 @@ import (
 type Scheme = core.Scheme
 
 // The schemes, in the order of the paper's figure legends, plus the
-// compiled-pack scheme.
+// compiled-pack and fused-rendezvous schemes.
 const (
 	Reference    = core.Reference
 	Copying      = core.Copying
@@ -59,6 +63,7 @@ const (
 	PackElement  = core.PackElement
 	PackVector   = core.PackVector
 	PackCompiled = core.PackCompiled
+	Sendv        = core.Sendv
 )
 
 // Schemes lists all schemes in legend order.

@@ -40,8 +40,9 @@ func TestFacadeProfiles(t *testing.T) {
 }
 
 func TestFacadeSchemes(t *testing.T) {
-	// The paper's eight schemes plus the compiled-pack column.
-	if len(repro.Schemes()) != 9 {
+	// The paper's eight schemes plus the compiled-pack column and the
+	// fused-rendezvous sendv column.
+	if len(repro.Schemes()) != 10 {
 		t.Fatalf("schemes = %v", repro.Schemes())
 	}
 	s, err := repro.SchemeByName("packing(v)")
@@ -94,7 +95,7 @@ func TestFacadeBuildFigure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(fig.Time) != 9 || len(fig.Slowdown) != 9 {
+	if len(fig.Time) != 10 || len(fig.Slowdown) != 10 {
 		t.Fatalf("panels: %d time, %d slowdown", len(fig.Time), len(fig.Slowdown))
 	}
 }

@@ -1,19 +1,28 @@
 // Command figures regenerates the paper's Figures 1–4: time,
 // bandwidth and slowdown panels for the paper's eight send schemes —
-// plus the compiled-pack packing(c) column — on each simulated
-// installation.
+// plus the compiled-pack packing(c) and fused-rendezvous sendv
+// columns — on each simulated installation.
 //
 // Usage:
 //
 //	figures [-profile skx-impi|skx-mvapich|ls5-cray|knl-impi|all]
 //	        [-per-decade 4] [-reps 20] [-max-real 16777216]
-//	        [-csv dir] [-check] [-what-if] [-plan] [-plancache]
+//	        [-csv dir] [-check] [-what-if] [-plan] [-plancache] [-fused]
 //
-// -csv writes one CSV file per figure into the directory; -check also
-// prints the E10 cost-model factor table per profile; -what-if the E11
-// NIC-pipelining ablation; -plan the E12 pack-plan compiler study;
-// -plancache the E13 plan-cache study (cold vs warm compile bandwidth
-// with cache hit rates, chunked cursor vs compiled kernels).
+// Study flags:
+//
+//	-csv dir     write one CSV file per figure into dir
+//	-check       E10: the cost-model factor table per profile
+//	-what-if     E11: the NIC-pipelining ablation (paper ref [2])
+//	-plan        E12: the pack-plan compiler study (compiled vs
+//	             interpreted packing bandwidth)
+//	-plancache   E13: the plan-cache study (cold vs warm compile
+//	             bandwidth with cache hit rates, chunked cursor vs
+//	             compiled kernels)
+//	-fused       E14: the fused-transfer study (fused one-pass vs
+//	             staged pack+unpack vs interpreting cursor bandwidth
+//	             across the paper's layouts — the engine behind the
+//	             sendv scheme)
 package main
 
 import (
@@ -37,6 +46,7 @@ func main() {
 	whatIf := flag.Bool("what-if", false, "also print the E11 NIC-pipelining ablation (paper ref [2])")
 	planStudy := flag.Bool("plan", false, "also print the E12 pack-plan compiler study (compiled vs interpreted packing)")
 	planCache := flag.Bool("plancache", false, "also print the E13 plan-cache study (cold vs warm compile, chunked cursor vs compiled kernels)")
+	fused := flag.Bool("fused", false, "also print the E14 fused-transfer study (fused vs staged vs cursor bandwidth)")
 	flag.Parse()
 
 	profiles := []string{"skx-impi", "skx-mvapich", "ls5-cray", "knl-impi"}
@@ -123,6 +133,23 @@ func main() {
 			}
 			fmt.Printf("warm plan cache is %.2fx cold compile at the largest size (steady state clean: %v)\n\n",
 				st.WarmSpeedupAt(cacheSizes[len(cacheSizes)-1]), st.SteadyStateClean())
+		}
+		if *fused {
+			// Real-byte wall-time study: keep the sweep compact.
+			fusedSizes := []int64{256 << 10, 1 << 20, 8 << 20}
+			fusedOpt := opt
+			if fusedOpt.Reps > 12 {
+				fusedOpt.Reps = 12
+			}
+			st, err := figures.BuildFusedStudy(name, fusedSizes, fusedOpt)
+			if err != nil {
+				fatal(err)
+			}
+			if err := st.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("fused transfer is %.2fx the staged pack+unpack on the everyOther->everyThird pair at the largest size\n\n",
+				st.FusedSpeedupAt("everyOther->everyThird", fusedSizes[len(fusedSizes)-1]))
 		}
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"unsafe"
 )
 
 // CacheLine is the alignment the paper requests for all message
@@ -51,6 +52,9 @@ type Block struct {
 	// that may return it; 0 otherwise. Slices clear it so only the
 	// original handle can release.
 	pool int8
+	// shard is the pool shard the backing storage belongs to;
+	// meaningful only when pool != 0.
+	shard int8
 }
 
 // Alloc returns a real zeroed block of n bytes.
@@ -176,6 +180,21 @@ func (b Block) VerifyPattern(seed byte) error {
 // and VerifyPattern.
 func patternByte(seed byte, i int) byte {
 	return seed ^ byte(i) ^ byte(i>>8)*31 ^ byte(i>>16)*17
+}
+
+// Overlaps reports whether two real blocks share any backing bytes —
+// the aliasing check fused transfer engines use before copying between
+// two layouts in one pass (a self-send through aliased buffers must
+// take the staged path). Virtual or empty blocks never overlap.
+func Overlaps(a, b Block) bool {
+	if a.data == nil || b.data == nil || a.n == 0 || b.n == 0 {
+		return false
+	}
+	aLo := uintptr(unsafe.Pointer(&a.data[0]))
+	bLo := uintptr(unsafe.Pointer(&b.data[0]))
+	aHi := aLo + uintptr(a.n)
+	bHi := bLo + uintptr(b.n)
+	return aLo < bHi && bLo < aHi
 }
 
 // Equal reports whether two real blocks have identical contents.

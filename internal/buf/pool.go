@@ -12,6 +12,13 @@ import (
 // dominating non-contiguous sends — so the hot path recycles them
 // through power-of-two sync.Pool classes instead of allocating.
 //
+// The free lists are sharded: each rank of the simulated world draws
+// from its own shard (GetPooledFor), so at high world sizes the ranks'
+// transit churn does not contend on one free list per class. A block
+// remembers its home shard and PutPooled returns the storage there,
+// wherever the release happens (receive completions run on the peer
+// rank's goroutine).
+//
 // Contract: GetPooled returns a real block whose contents are
 // UNDEFINED (not zeroed — zeroing would cost the bandwidth the pool
 // saves); callers must write before they read. PutPooled returns the
@@ -33,7 +40,12 @@ const (
 	poolClasses = maxPoolBits - minPoolBits + 1
 )
 
-var blockPools [poolClasses]sync.Pool
+// PoolShards is the number of independent free-list shards. Ranks map
+// onto shards modulo this count (a power of two, so the map is a
+// mask); more shards than a node has memory channels buys nothing.
+const PoolShards = 8
+
+var blockPools [PoolShards][poolClasses]sync.Pool
 
 // poolCounters feed PoolStats so tests and studies can verify reuse.
 var poolCounters struct {
@@ -75,33 +87,45 @@ func poolClassFor(n int) int {
 }
 
 // GetPooled returns a real block of n bytes backed by size-classed
-// recycled storage. The contents are undefined; the caller must write
-// before reading. Requests outside the pooled range fall back to a
-// plain (zeroed) allocation. The block carries a fresh Region: the
-// cache model treats it like any new allocation.
+// recycled storage from the default shard. The contents are undefined;
+// the caller must write before reading. Requests outside the pooled
+// range fall back to a plain (zeroed) allocation. The block carries a
+// fresh Region: the cache model treats it like any new allocation.
 func GetPooled(n int) Block {
+	return GetPooledFor(0, n)
+}
+
+// GetPooledFor is GetPooled drawing from the free-list shard of the
+// given rank (mapped modulo PoolShards), so concurrent ranks recycle
+// through independent lists instead of contending on one.
+func GetPooledFor(rank, n int) Block {
 	c := poolClassFor(n)
 	if c < 0 {
 		return Alloc(n)
 	}
+	shard := rank & (PoolShards - 1)
+	if rank < 0 {
+		shard = 0
+	}
 	poolCounters.gets.Add(1)
-	if v := blockPools[c].Get(); v != nil {
+	if v := blockPools[shard][c].Get(); v != nil {
 		poolCounters.hits.Add(1)
 		sl := *(v.(*[]byte))
-		return Block{data: sl[:n], n: n, region: nextRegion(), pool: int8(c) + 1}
+		return Block{data: sl[:n], n: n, region: nextRegion(), pool: int8(c) + 1, shard: int8(shard)}
 	}
 	sl := make([]byte, 1<<(minPoolBits+c))
-	return Block{data: sl[:n], n: n, region: nextRegion(), pool: int8(c) + 1}
+	return Block{data: sl[:n], n: n, region: nextRegion(), pool: int8(c) + 1, shard: int8(shard)}
 }
 
-// PutPooled returns a block obtained from GetPooled to its size class.
-// It is a no-op for any other block (plain, virtual, or a Slice view),
-// so release sites can call it unconditionally.
+// PutPooled returns a block obtained from GetPooled to the size class
+// of its home shard. It is a no-op for any other block (plain,
+// virtual, or a Slice view), so release sites can call it
+// unconditionally.
 func PutPooled(b Block) {
 	if b.pool == 0 || b.data == nil {
 		return
 	}
 	sl := b.data[:cap(b.data)]
 	poolCounters.puts.Add(1)
-	blockPools[b.pool-1].Put(&sl)
+	blockPools[b.shard][b.pool-1].Put(&sl)
 }

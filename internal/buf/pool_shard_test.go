@@ -1,0 +1,96 @@
+package buf
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestPoolShardsIndependent pins the sharding contract: storage
+// released from rank r's block goes back to r's shard, so a different
+// shard's next Get cannot be served by it.
+func TestPoolShardsIndependent(t *testing.T) {
+	const n = 4 << 10
+	// Drain both shards of this class so the test starts from empty
+	// free lists (earlier tests may have left storage behind).
+	for shard := 0; shard < PoolShards; shard++ {
+		for i := 0; i < 64; i++ {
+			if b := GetPooledFor(shard, n); b.pool == 0 {
+				t.Fatalf("pooled range request fell back to plain alloc")
+			}
+		}
+	}
+
+	a := GetPooledFor(1, n)
+	if got := int(a.shard); got != 1 {
+		t.Fatalf("shard = %d, want 1", got)
+	}
+	mark := a.Bytes()
+	mark[0] = 0xEE
+	PutPooled(a)
+
+	// Shard 2 must not see shard 1's storage.
+	c := GetPooledFor(2, n)
+	if c.shard != 2 {
+		t.Fatalf("shard = %d, want 2", c.shard)
+	}
+	if len(c.Bytes()) > 0 && &c.Bytes()[0] == &mark[0] {
+		t.Fatal("shard 2 was served shard 1's released storage")
+	}
+
+	// Shard 1 gets its storage back.
+	d := GetPooledFor(1, n)
+	if len(d.Bytes()) == 0 || &d.Bytes()[0] != &mark[0] {
+		t.Fatal("shard 1 did not recycle its own released storage")
+	}
+	PutPooled(c)
+	PutPooled(d)
+}
+
+// TestPoolShardRankMapping pins the modulo mapping: ranks beyond
+// PoolShards wrap, negative ranks (no rank context) use shard 0.
+func TestPoolShardRankMapping(t *testing.T) {
+	b := GetPooledFor(PoolShards+3, 1<<10)
+	if b.shard != 3 {
+		t.Fatalf("rank %d mapped to shard %d, want 3", PoolShards+3, b.shard)
+	}
+	PutPooled(b)
+	z := GetPooledFor(-5, 1<<10)
+	if z.shard != 0 {
+		t.Fatalf("negative rank mapped to shard %d, want 0", z.shard)
+	}
+	PutPooled(z)
+}
+
+// BenchmarkPoolContention measures the free-list contention the
+// per-rank shards remove: many rank goroutines churning transit-sized
+// blocks through one shared shard versus through their own shards.
+func BenchmarkPoolContention(b *testing.B) {
+	const blockSize = 64 << 10
+	for _, ranks := range []int{2, 8} {
+		for _, mode := range []string{"singleShard", "perRankShard"} {
+			b.Run(fmt.Sprintf("%s/ranks%d", mode, ranks), func(b *testing.B) {
+				b.SetBytes(blockSize)
+				var wg sync.WaitGroup
+				per := b.N/ranks + 1
+				b.ResetTimer()
+				for r := 0; r < ranks; r++ {
+					shard := 0
+					if mode == "perRankShard" {
+						shard = r
+					}
+					wg.Add(1)
+					go func(shard int) {
+						defer wg.Done()
+						for i := 0; i < per; i++ {
+							blk := GetPooledFor(shard, blockSize)
+							blk.Bytes()[0] = byte(i) // touch so the Get is not dead
+							PutPooled(blk)
+						}
+					}(shard)
+				}
+				wg.Wait()
+			})
+		}
+	}
+}

@@ -11,7 +11,7 @@ import (
 )
 
 func TestSchemeNames(t *testing.T) {
-	want := []string{"reference", "copying", "buffered", "vector type", "subarray", "onesided", "packing(e)", "packing(v)", "packing(c)"}
+	want := []string{"reference", "copying", "buffered", "vector type", "subarray", "onesided", "packing(e)", "packing(v)", "packing(c)", "sendv"}
 	for i, s := range Schemes() {
 		if s.String() != want[i] {
 			t.Errorf("scheme %d = %q, want %q", i, s, want[i])
@@ -166,9 +166,24 @@ func TestRecommendConclusion(t *testing.T) {
 	if large.Scheme != PackCompiled {
 		t.Errorf("balanced large: %v", large.Scheme)
 	}
+	// Past the eager limit the fused rendezvous removes the staging
+	// pass the pack pipelines still pay, so GoalFastest picks sendv.
 	fast := Recommend(1<<20, false, GoalFastest, prof)
-	if fast.Scheme != PackCompiled {
+	if fast.Scheme != Sendv {
 		t.Errorf("fastest: %v", fast.Scheme)
+	}
+	// Under the eager limit sendv falls back to the staged path, so
+	// the recommendation must not name it.
+	fastSmall := Recommend(16<<10, false, GoalFastest, prof)
+	if fastSmall.Scheme == Sendv {
+		t.Errorf("fastest under the eager limit recommended sendv")
+	}
+	// The fused recommendation must rest on an actual price.
+	if m := PricePacking(1<<20, prof); m.FusedSend <= 0 || m.FusedSpeedup() <= 1 || m.FusedSend >= m.CompiledPack {
+		t.Errorf("cost model does not favour the fused rendezvous at 1 MiB: %+v", m)
+	}
+	if m := PricePacking(16<<10, prof); m.FusedSend != 0 {
+		t.Errorf("eager-sized payload priced a fused send: %+v", m)
 	}
 	// The compiled recommendation must rest on an actual price: the
 	// model has to show packing(c) beating the datatype send.

@@ -48,6 +48,13 @@ type PackingCostModel struct {
 	// transfer times in seconds for packing(c), packing(v), and the
 	// direct derived-datatype send.
 	CompiledPack, InterpretedPack, TypedSend float64
+
+	// FusedSend is the modeled one-way time of the fused zero-copy
+	// rendezvous (sendv): one memory pass overlapped with the wire at
+	// nominal bandwidth, no staging, no internal chunking. Zero when
+	// the payload would ride the eager protocol, where sendv falls
+	// back to the staged typed path and buys nothing.
+	FusedSend float64
 }
 
 // CompiledSpeedup returns TypedSend/CompiledPack: >1 means the
@@ -57,6 +64,16 @@ func (m PackingCostModel) CompiledSpeedup() float64 {
 		return 1
 	}
 	return m.TypedSend / m.CompiledPack
+}
+
+// FusedSpeedup returns TypedSend/FusedSend: >1 means the fused
+// rendezvous beats the direct datatype send. It is 1 when sendv would
+// fall back to the staged path (eager-sized payloads).
+func (m PackingCostModel) FusedSpeedup() float64 {
+	if m.FusedSend <= 0 {
+		return 1
+	}
+	return m.TypedSend / m.FusedSend
 }
 
 // PricePacking evaluates the packing cost model for n payload bytes on
@@ -90,6 +107,20 @@ func PricePacking(n int64, p *perfmodel.Profile) PackingCostModel {
 		typedWire = float64(n) / bw
 	}
 	m.TypedSend = mem.GatherCost(0, 0, st) + float64(p.Chunks(n))*p.ChunkOverhead + typedWire
+
+	// The fused rendezvous runs one compiled pass straight into the
+	// receiver's buffer, pipelined with the wire at nominal bandwidth:
+	// no staging traffic, no chunk bookkeeping, no internal-pool
+	// degradation. Only available past the eager limit, where the
+	// handshake exposes the destination.
+	if !p.Eager(n, false) {
+		contigSt := layout.Stats{Segments: 1, Bytes: n, Extent: n, AvgBlock: float64(n), MinBlock: n, MaxBlock: n, Density: 1}
+		fusedPass := mem.FusedCopyCost(0, 0, st, contigSt)
+		m.FusedSend = fusedPass
+		if wire > m.FusedSend {
+			m.FusedSend = wire
+		}
+	}
 	return m
 }
 
@@ -106,6 +137,11 @@ func PricePacking(n int64, p *perfmodel.Profile) PackingCostModel {
 //     (parallel above the threshold), so when the cost model prices
 //     packing(c) below the datatype send, it is the fastest choice and
 //     the balanced choice for large messages.
+//   - Past the eager limit the fused rendezvous (sendv) removes even
+//     the pack pipeline's staging pass: one compiled sweep straight
+//     into the receiver's buffer, overlapped with the wire. When the
+//     model prices it below both the compiled pack and the datatype
+//     send, GoalFastest picks it.
 //   - Buffered sends are "at a disadvantage" and one-sided "may behave
 //     worse depending on the architecture"; they are never
 //     recommended.
@@ -118,6 +154,13 @@ func Recommend(n int64, contiguous bool, goal Goal, p *perfmodel.Profile) Recomm
 	}
 	if goal == GoalFastest {
 		model := PricePacking(n, p)
+		if model.FusedSend > 0 && model.FusedSend < model.CompiledPack && model.FusedSpeedup() > 1 {
+			return Recommendation{
+				Scheme: Sendv,
+				Reason: fmt.Sprintf("fused rendezvous models %.2fx over the datatype send on %s: one pass, no staging buffer, no MPI-internal chunking",
+					model.FusedSpeedup(), p.Name),
+			}
+		}
 		if model.CompiledSpeedup() > 1 {
 			return Recommendation{
 				Scheme: PackCompiled,

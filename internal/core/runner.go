@@ -68,6 +68,8 @@ func NewRunner(s Scheme) (Runner, error) {
 		return &packRunner{scheme: PackVector}, nil
 	case PackCompiled:
 		return &packRunner{scheme: PackCompiled}, nil
+	case Sendv:
+		return &sendvRunner{}, nil
 	default:
 		return nil, fmt.Errorf("core: unknown scheme %v", s)
 	}
@@ -374,6 +376,39 @@ func (r *oneSidedRunner) Teardown() error {
 	r.win = nil
 	return err
 }
+
+// sendvRunner is the fused zero-copy rendezvous scheme: the derived
+// datatype is sent with mpi.SendvType, so under rendezvous the
+// compiled plan packs the strided source straight into the receiver's
+// contiguous buffer in one pass — no staging allocation, no
+// MPI-internal chunk buffers — and eager-sized messages fall back to
+// the ordinary typed path.
+type sendvRunner struct {
+	pairState
+	ty *datatype.Type
+}
+
+func (r *sendvRunner) Scheme() Scheme { return Sendv }
+
+func (r *sendvRunner) Setup(c *mpi.Comm, w Workload, peer int) error {
+	if err := r.init(c, w, peer); err != nil {
+		return err
+	}
+	var err error
+	r.ty, err = w.VectorType()
+	return err
+}
+
+func (r *sendvRunner) Ping() error {
+	if err := r.c.SendvType(r.src, 1, r.ty, r.peer, pingTag); err != nil {
+		return err
+	}
+	return r.waitPong()
+}
+
+func (r *sendvRunner) Pong() error     { return r.pongTwoSided() }
+func (r *sendvRunner) Check() error    { return r.check() }
+func (r *sendvRunner) Teardown() error { return nil }
 
 // packRunner covers §2.6: explicit MPI_Pack into a user buffer, then a
 // contiguous send of the packed bytes. PackVector issues one pack call

@@ -20,6 +20,13 @@
 // single pack call as packing(v), but executed by a specialized kernel
 // with amortised per-segment bookkeeping instead of generic
 // interpretation — the compiled-vs-interpreted comparison column.
+//
+// Sendv ("sendv") is the tenth scheme: the fused zero-copy rendezvous
+// (mpi.SendvType), where the compiled plan scatters the sender's
+// layout straight into the receiver's buffer in one pass — no staging
+// buffer, no MPI-internal chunking, no receive-side unpack. It is the
+// engine-level answer to the paper's finding that the redundant
+// software copy, not the wire, is what non-contiguous sends pay for.
 package core
 
 import (
@@ -31,7 +38,8 @@ import (
 type Scheme int
 
 // The eight schemes of the study, in the order of the figures'
-// legend, plus the compiled-pack scheme appended after them.
+// legend, plus the compiled-pack and fused-rendezvous schemes
+// appended after them.
 const (
 	Reference Scheme = iota
 	Copying
@@ -42,6 +50,7 @@ const (
 	PackElement
 	PackVector
 	PackCompiled
+	Sendv
 )
 
 var schemeNames = map[Scheme]string{
@@ -54,6 +63,7 @@ var schemeNames = map[Scheme]string{
 	PackElement:  "packing(e)",
 	PackVector:   "packing(v)",
 	PackCompiled: "packing(c)",
+	Sendv:        "sendv",
 }
 
 // String returns the paper's legend label for the scheme.
@@ -66,7 +76,7 @@ func (s Scheme) String() string {
 
 // Schemes lists all schemes in legend order.
 func Schemes() []Scheme {
-	return []Scheme{Reference, Copying, Buffered, VectorType, Subarray, OneSided, PackElement, PackVector, PackCompiled}
+	return []Scheme{Reference, Copying, Buffered, VectorType, Subarray, OneSided, PackElement, PackVector, PackCompiled, Sendv}
 }
 
 // SchemeByName resolves a legend label (or a few aliases) to a Scheme.
@@ -86,6 +96,8 @@ func SchemeByName(name string) (Scheme, error) {
 		"packing(v)":  PackVector,
 		"packing(c)":  PackCompiled,
 		"compiled":    PackCompiled,
+		"sendv":       Sendv,
+		"fused":       Sendv,
 	}
 	if s, ok := aliases[name]; ok {
 		return s, nil

@@ -174,6 +174,45 @@ func BenchmarkPackEngines(b *testing.B) {
 			b.Run("chunkedCompiled/"+name, func(b *testing.B) {
 				benchChunkedStream(b, ty, src)
 			})
+			// The rendezvous typed→typed shapes: staged moves the
+			// payload twice (pack into staging, unpack out of it, the
+			// classic typed rendezvous), fused moves it once with no
+			// staging buffer (the sendv engine). The fused/staged
+			// MB/s ratio on everyOther is the repository's
+			// fused-rendezvous speedup evidence (≥1.5x expected).
+			b.Run("stagedPair/"+name, func(b *testing.B) {
+				dst := buf.Alloc(int(ty.Extent()))
+				staging := buf.Alloc(int(ty.Size()))
+				plan, err := ty.CompilePlan(1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.SetBytes(ty.Size())
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := plan.Pack(src, staging); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := plan.Unpack(staging, dst); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run("fusedPair/"+name, func(b *testing.B) {
+				dst := buf.Alloc(int(ty.Extent()))
+				plan, err := ty.CompilePlan(1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.SetBytes(ty.Size())
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := FusedCopy(plan, plan, src, dst); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

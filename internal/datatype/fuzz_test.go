@@ -124,6 +124,13 @@ func FuzzPackRoundtrip(f *testing.F) {
 	f.Add([]byte{2, 1, 6, 5, 5, 2, 3, 1, 29})      // subarray
 	f.Add([]byte{0, 0, 1, 0, 0, 0, 0, 0})          // byte-element vector
 	f.Add([]byte{3, 4, 3, 1, 1, 1, 1, 1, 1, 1, 1}) // nested indexed over a derived base
+	// Fused sender/receiver pairs: a first type, count and seed, then
+	// chunk splits, then a second type for the fused differential.
+	f.Add([]byte{2, 1, 1, 8, 1, 3, 2, 11, 40, 40, 2, 1, 1, 5, 2, 4, 1})  // vector -> vector, different stride
+	f.Add([]byte{2, 1, 1, 8, 1, 3, 2, 11, 40, 40, 2, 1, 0, 12, 1})       // vector -> contiguous
+	f.Add([]byte{2, 1, 3, 2, 1, 0, 0, 2, 2, 1, 30, 30, 2, 1, 1, 6, 1, 2, 2}) // indexed -> vector
+	f.Add([]byte{2, 1, 0, 12, 1, 7, 25, 25, 2, 1, 3, 2, 1, 0, 0, 2, 2})  // contiguous -> indexed
+	f.Add([]byte{2, 6, 1, 8, 1, 3, 2, 11, 40, 40, 2, 6, 2, 6, 0, 16, 1}) // resized vector -> resized hvector
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		d := &fuzzDecoder{data: data}
@@ -197,6 +204,47 @@ func FuzzPackRoundtrip(f *testing.F) {
 				t.Fatalf("chunked unpack (%v): %v", ty, err)
 			}
 			off += n
+		}
+
+		// Fused differential: draw a second (receiver) type from the
+		// remaining stream and require the one-pass fused transfer to
+		// reproduce the staged pack→unpack pipeline byte for byte —
+		// the sender/receiver pair shape of the sendv rendezvous.
+		if dstTy := decodeType(d, 1); dstTy != nil {
+			dstCount := d.intn(3) + 1
+			srcPlan, err := ty.CompilePlan(count)
+			if err != nil {
+				t.Fatalf("src plan (%v): %v", ty, err)
+			}
+			dstPlan, err := dstTy.CompilePlan(dstCount)
+			if err != nil {
+				t.Fatalf("dst plan (%v): %v", dstTy, err)
+			}
+			if dstPlan.FusedDstSafe() {
+				dstLen := userBufLen(dstTy, dstCount)
+				fusedDst := buf.Alloc(dstLen)
+				if _, err := FusedCopy(srcPlan, dstPlan, src, fusedDst); err != nil {
+					t.Fatalf("fused copy (%v -> %v): %v", ty, dstTy, err)
+				}
+				// Oracle: the staged pipeline over the shared prefix.
+				oracleDst := buf.Alloc(dstLen)
+				prefix := ty.PackSize(count)
+				if need := dstTy.PackSize(dstCount); need < prefix {
+					prefix = need
+				}
+				if prefix > 0 {
+					u, err := dstTy.NewUnpacker(oracleDst, dstCount)
+					if err != nil {
+						t.Fatalf("oracle unpacker (%v): %v", dstTy, err)
+					}
+					if _, err := u.Unpack(packed.Slice(0, int(prefix))); err != nil {
+						t.Fatalf("oracle unpack (%v): %v", dstTy, err)
+					}
+				}
+				if !bytes.Equal(fusedDst.Bytes(), oracleDst.Bytes()) {
+					t.Fatalf("fused transfer differs from staged oracle for %v count=%d -> %v count=%d", ty, count, dstTy, dstCount)
+				}
+			}
 		}
 
 		// Roundtrip: unpack into a fresh buffer; layout bytes must

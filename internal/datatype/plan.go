@@ -364,6 +364,16 @@ type PlanStats struct {
 	// their bytes are also attributed to the owning kernel above.
 	ChunkOps, ChunkBytes int64
 	CursorOps, CursorBytes int64
+
+	// FusedOps and FusedBytes count one-pass fused scatter/gather
+	// transfers (FusedCopy: user layout → user layout, no staging);
+	// StagedOps and StagedBytes count rendezvous typed transfers that
+	// went through the two-pass pack→staging→unpack pipeline instead
+	// (recorded by the mpi layer via RecordStagedTransfer). Together
+	// they attribute every typed rendezvous payload to the engine that
+	// moved it.
+	FusedOps, FusedBytes   int64
+	StagedOps, StagedBytes int64
 }
 
 // HitRate returns PlanHits/(PlanHits+PlanMisses), or 0 with no
@@ -400,15 +410,19 @@ func (s PlanStats) Sub(o PlanStats) PlanStats {
 		ChunkBytes:    s.ChunkBytes - o.ChunkBytes,
 		CursorOps:     s.CursorOps - o.CursorOps,
 		CursorBytes:   s.CursorBytes - o.CursorBytes,
+		FusedOps:      s.FusedOps - o.FusedOps,
+		FusedBytes:    s.FusedBytes - o.FusedBytes,
+		StagedOps:     s.StagedOps - o.StagedOps,
+		StagedBytes:   s.StagedBytes - o.StagedBytes,
 	}
 }
 
 // String renders the snapshot compactly for logs and study output.
 func (s PlanStats) String() string {
-	return fmt.Sprintf("plan{compiled=%d cache=%d/%d contig=%d/%dB stride=%d/%dB gather=%d/%dB parallel=%d/%dB chunk=%d/%dB cursor=%d/%dB}",
+	return fmt.Sprintf("plan{compiled=%d cache=%d/%d contig=%d/%dB stride=%d/%dB gather=%d/%dB parallel=%d/%dB chunk=%d/%dB cursor=%d/%dB fused=%d/%dB staged=%d/%dB}",
 		s.Compiled, s.PlanHits, s.PlanMisses, s.ContigOps, s.ContigBytes, s.StrideOps, s.StrideBytes,
 		s.GatherOps, s.GatherBytes, s.ParallelOps, s.ParallelBytes, s.ChunkOps, s.ChunkBytes,
-		s.CursorOps, s.CursorBytes)
+		s.CursorOps, s.CursorBytes, s.FusedOps, s.FusedBytes, s.StagedOps, s.StagedBytes)
 }
 
 // planCounters holds the live counters behind PlanStatsSnapshot.
@@ -422,6 +436,8 @@ var planCounters struct {
 	parallelOps, parallelBytes atomic.Int64
 	chunkOps, chunkBytes       atomic.Int64
 	cursorOps, cursorBytes     atomic.Int64
+	fusedOps, fusedBytes       atomic.Int64
+	stagedOps, stagedBytes     atomic.Int64
 }
 
 // PlanStatsSnapshot returns the current plan-engine counters.
@@ -442,6 +458,10 @@ func PlanStatsSnapshot() PlanStats {
 		ChunkBytes:    planCounters.chunkBytes.Load(),
 		CursorOps:     planCounters.cursorOps.Load(),
 		CursorBytes:   planCounters.cursorBytes.Load(),
+		FusedOps:      planCounters.fusedOps.Load(),
+		FusedBytes:    planCounters.fusedBytes.Load(),
+		StagedOps:     planCounters.stagedOps.Load(),
+		StagedBytes:   planCounters.stagedBytes.Load(),
 	}
 }
 
@@ -462,6 +482,10 @@ func ResetPlanStats() {
 	planCounters.chunkBytes.Store(0)
 	planCounters.cursorOps.Store(0)
 	planCounters.cursorBytes.Store(0)
+	planCounters.fusedOps.Store(0)
+	planCounters.fusedBytes.Store(0)
+	planCounters.stagedOps.Store(0)
+	planCounters.stagedBytes.Store(0)
 }
 
 // recordPlanExec attributes one full-message execution to its kernel.
@@ -489,6 +513,28 @@ func recordPlanChunk(k PlanKernel, n int64, parallel bool) {
 	recordPlanExec(k, n, parallel)
 	planCounters.chunkOps.Add(1)
 	planCounters.chunkBytes.Add(n)
+}
+
+// recordFused attributes one fused one-pass transfer.
+func recordFused(n int64) {
+	planCounters.fusedOps.Add(1)
+	planCounters.fusedBytes.Add(n)
+}
+
+// RecordFusedTransfer attributes one rendezvous typed transfer that
+// moved in a single pass without a staging buffer but outside
+// FusedCopy (the plan packing straight into a remote contiguous
+// destination), so PlanStats sees every zero-staging transfer as
+// fused.
+func RecordFusedTransfer(n int64) { recordFused(n) }
+
+// RecordStagedTransfer attributes one rendezvous typed transfer that
+// moved through the two-pass pack→staging→unpack pipeline. The mpi
+// protocol layer calls it wherever a typed rendezvous payload could
+// not be fused, so PlanStats carries fused-vs-staged attribution.
+func RecordStagedTransfer(n int64) {
+	planCounters.stagedOps.Add(1)
+	planCounters.stagedBytes.Add(n)
 }
 
 // recordCursor attributes interpreted traffic (the true-fallback tier:

@@ -32,6 +32,45 @@ func (p *Plan) Unpack(src, dst buf.Block) (int64, error) {
 	return p.execute(dst, src, unpackDirection), nil
 }
 
+// PackRange gathers the packed byte range [lo, hi) of the plan's
+// message from src into stream, whose byte 0 is packed position lo —
+// the exported compiled-chunked entry the mpi protocol layer streams
+// through without allocating a Packer. Buffers are validated; the
+// execution is attributed to the chunk counters.
+func (p *Plan) PackRange(src, stream buf.Block, lo, hi int64) error {
+	if err := p.checkRange(src, stream, lo, hi); err != nil {
+		return err
+	}
+	p.runChunk(src, stream, lo, hi, packDirection)
+	return nil
+}
+
+// UnpackRange scatters the packed byte range [lo, hi) from stream
+// (whose byte 0 is packed position lo) into the plan's layout in dst,
+// the inverse of PackRange.
+func (p *Plan) UnpackRange(stream, dst buf.Block, lo, hi int64) error {
+	if err := p.checkRange(dst, stream, lo, hi); err != nil {
+		return err
+	}
+	p.runChunk(dst, stream, lo, hi, unpackDirection)
+	return nil
+}
+
+// checkRange validates a partial-range execution: user buffer bounds
+// and the packed window against the stream block.
+func (p *Plan) checkRange(user, stream buf.Block, lo, hi int64) error {
+	if err := p.t.checkUse(int(p.count), user.Len()); err != nil {
+		return err
+	}
+	if lo < 0 || hi < lo || hi > p.total {
+		return fmt.Errorf("%w: packed range [%d,%d) of %d-byte stream", ErrArgument, lo, hi, p.total)
+	}
+	if int64(stream.Len()) < hi-lo {
+		return fmt.Errorf("%w: range needs %d bytes, stream block has %d", ErrTruncate, hi-lo, stream.Len())
+	}
+	return nil
+}
+
 // execute runs the full message through the selected kernel, splitting
 // across goroutines above the parallel threshold, and records the
 // execution in the plan counters. Buffers must already be validated.
@@ -160,9 +199,9 @@ func (p *Plan) runStride(user, stream buf.Block, lo, hi, soff int64, dir directi
 			o := inst*pr.ext + pr.start + j*step + runOff
 			sp := pos - soff
 			if dir == packDirection {
-				copy(sb[sp:sp+n], ub[o:o+n])
+				copyRun(sb[sp:], ub[o:], n)
 			} else {
-				copy(ub[o:o+n], sb[sp:sp+n])
+				copyRun(ub[o:], sb[sp:], n)
 			}
 			pos += n
 			runOff = 0
@@ -191,9 +230,9 @@ func (p *Plan) runStride(user, stream buf.Block, lo, hi, soff int64, dir directi
 				o := inst*pr.ext + pr.start + j*step
 				sp := pos - soff
 				if dir == packDirection {
-					copy(sb[sp:sp+n], ub[o:o+n])
+					copyRun(sb[sp:], ub[o:], n)
 				} else {
-					copy(ub[o:o+n], sb[sp:sp+n])
+					copyRun(ub[o:], sb[sp:], n)
 				}
 				return
 			}
@@ -229,9 +268,9 @@ func (p *Plan) runGather(user, stream buf.Block, lo, hi, soff int64, dir directi
 			o := userBase + s.off + segOff
 			sp := pos - soff
 			if dir == packDirection {
-				copy(sb[sp:sp+n], ub[o:o+n])
+				copyRun(sb[sp:], ub[o:], n)
 			} else {
-				copy(ub[o:o+n], sb[sp:sp+n])
+				copyRun(ub[o:], sb[sp:], n)
 			}
 			pos += n
 			idx++
@@ -285,7 +324,7 @@ func gatherRuns(packed, strided []byte, ppos, base, step, runLen, n int64) {
 		}
 	default:
 		for ; n > 0; n-- {
-			copy(packed[ppos:ppos+runLen], strided[base:base+runLen])
+			copyRun(packed[ppos:], strided[base:], runLen)
 			ppos += runLen
 			base += step
 		}
@@ -332,7 +371,7 @@ func scatterRuns(packed, strided []byte, ppos, base, step, runLen, n int64) {
 		}
 	default:
 		for ; n > 0; n-- {
-			copy(strided[base:base+runLen], packed[ppos:ppos+runLen])
+			copyRun(strided[base:], packed[ppos:], runLen)
 			ppos += runLen
 			base += step
 		}

@@ -88,10 +88,13 @@ type Measurement struct {
 	// receiver unpacks, plus the final verification pass). It shows
 	// which tier — compiled whole-message kernels, compiled-chunked
 	// streaming, parallel execution, or the interpreting-cursor
-	// fallback — moved the cell's bytes, and how the plan cache
-	// behaved (PlanHits/PlanMisses, PlanStats.HitRate), so studies can
-	// report compiled-vs-interpreted pack bandwidth and cache hit
-	// rates per scheme.
+	// fallback — moved the cell's bytes, how the plan cache behaved
+	// (PlanHits/PlanMisses, PlanStats.HitRate), and how each typed
+	// rendezvous payload travelled: FusedOps/FusedBytes for one-pass
+	// fused transfers (the sendv scheme's zero-staging path),
+	// StagedOps/StagedBytes for the two-pass pack→staging→unpack
+	// pipeline. Studies use the fused-vs-staged split to verify the
+	// sendv cells really skipped the staging buffer.
 	PlanStats datatype.PlanStats
 }
 

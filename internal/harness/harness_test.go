@@ -35,6 +35,47 @@ func TestMeasureAllSchemesReal(t *testing.T) {
 	}
 }
 
+// TestSendvMeasurementFusedAttribution pins the fused-vs-staged
+// attribution the harness carries: a rendezvous-sized sendv cell moves
+// every ping through the fused engine with zero staged traffic and in
+// less time than the staged datatype send, while a vector-type cell
+// of the same size reports only staged traffic.
+func TestSendvMeasurementFusedAttribution(t *testing.T) {
+	prof := perfmodel.Generic()
+	opt := fastOpts()
+	opt.MaxRealBytes = 4 << 20
+	w := core.ForBytes(1 << 20) // over the 64 KiB eager limit: rendezvous
+	fused, err := Measure(prof, core.Sendv, w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fused.Verified {
+		t.Error("sendv payload not verified")
+	}
+	if fused.PlanStats.FusedOps < int64(opt.Reps) || fused.PlanStats.FusedBytes < int64(opt.Reps)*w.Bytes() {
+		t.Errorf("sendv cell fused attribution too low: %v", fused.PlanStats)
+	}
+	if fused.PlanStats.StagedOps != 0 {
+		t.Errorf("sendv cell recorded staged transfers: %v", fused.PlanStats)
+	}
+	typed, err := Measure(prof, core.VectorType, w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The staged datatype send streams through the internal chunk
+	// loop (its receive side is contiguous, so no unpack staging);
+	// none of its traffic may claim the fused engine.
+	if typed.PlanStats.ChunkOps == 0 {
+		t.Errorf("vector-type cell recorded no chunked streaming: %v", typed.PlanStats)
+	}
+	if typed.PlanStats.FusedOps != 0 {
+		t.Errorf("vector-type cell recorded fused transfers: %v", typed.PlanStats)
+	}
+	if !(fused.Time() < typed.Time()) {
+		t.Errorf("sendv %.3gs not under the staged datatype send %.3gs", fused.Time(), typed.Time())
+	}
+}
+
 func TestMeasureDeterministic(t *testing.T) {
 	prof := perfmodel.Generic()
 	opt := fastOpts()

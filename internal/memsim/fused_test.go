@@ -1,0 +1,84 @@
+package memsim
+
+import (
+	"testing"
+
+	"repro/internal/buf"
+	"repro/internal/layout"
+)
+
+// everyOtherStats is the paper's canonical every-other-double layout
+// at 1 MiB of payload.
+func everyOtherStats() layout.Stats {
+	return layout.Stats{Segments: 1 << 17, Bytes: 1 << 20, Extent: 2 << 20, AvgBlock: 8, AvgGap: 8, MinBlock: 8, MaxBlock: 8, Density: 0.5}
+}
+
+func contigStats(n int64) layout.Stats {
+	return layout.Stats{Segments: 1, Bytes: n, Extent: n, AvgBlock: float64(n), MinBlock: n, MaxBlock: n, Density: 1}
+}
+
+// TestFusedCopyCostUnderStagedSum pins the point of the fused engine:
+// one pass must price below the staged gather+scatter pipeline it
+// replaces, for both typed→contig and typed→typed destinations, while
+// staying at or above the pure traffic floor.
+func TestFusedCopyCostUnderStagedSum(t *testing.T) {
+	st := everyOtherStats()
+	n := st.Bytes
+	srcR, stagingR, dstR := buf.Alloc(1).Region(), buf.Alloc(1).Region(), buf.Alloc(1).Region()
+
+	for _, dstSt := range []layout.Stats{contigStats(n), st} {
+		fused := NewState(testHierarchy()).FusedCopyCost(srcR, dstR, st, dstSt)
+		stagedState := NewState(testHierarchy())
+		staged := stagedState.CompiledGatherCost(srcR, stagingR, st) +
+			stagedState.CompiledScatterCost(stagingR, dstR, dstSt)
+		if fused >= staged {
+			t.Fatalf("fused %g not under staged gather+scatter %g (dst segments %d)", fused, staged, dstSt.Segments)
+		}
+		h := testHierarchy()
+		floor := float64(h.Traffic(st)) / h.CopyBW
+		// Prefetch degradation can push the fused pass above the naive
+		// floor, but it must never beat raw traffic at full bandwidth.
+		if fused < floor*0.99 {
+			t.Fatalf("fused %g beats the traffic floor %g", fused, floor)
+		}
+	}
+}
+
+// TestFusedCopyCostZero pins the trivial cases.
+func TestFusedCopyCostZero(t *testing.T) {
+	s := NewState(testHierarchy())
+	if c := s.FusedCopyCost(1, 2, layout.Stats{}, layout.Stats{}); c != 0 {
+		t.Fatalf("empty fused copy priced %g", c)
+	}
+}
+
+// TestParallelBWScaleProfileField pins the promotion of the
+// saturation cap to a per-profile field: a hierarchy with a higher
+// cap prices a saturated parallel pack cheaper, and the zero value
+// falls back to DefaultParallelBWScale.
+func TestParallelBWScaleProfileField(t *testing.T) {
+	st := everyOtherStats()
+	src, dst := buf.Alloc(1).Region(), buf.Alloc(1).Region()
+
+	low := testHierarchy()
+	low.ParallelBWScale = 2
+	high := testHierarchy()
+	high.ParallelBWScale = 8
+	costLow := NewState(low).ParallelCompiledGatherCost(src, dst, st, 16)
+	costHigh := NewState(high).ParallelCompiledGatherCost(src, dst, st, 16)
+	if costHigh >= costLow {
+		t.Fatalf("higher ParallelBWScale did not cut the saturated cost: %g >= %g", costHigh, costLow)
+	}
+
+	def := testHierarchy()
+	def.ParallelBWScale = 0
+	if got, want := def.parallelScale(), DefaultParallelBWScale; got != want {
+		t.Fatalf("zero-value scale = %g, want default %g", got, want)
+	}
+	if got := def.parallelSpeedup(16); got != DefaultParallelBWScale {
+		t.Fatalf("defaulted speedup at saturation = %g, want %g", got, DefaultParallelBWScale)
+	}
+	if got := high.parallelSpeedup(4); got != 4 {
+		t.Fatalf("under-saturation speedup = %g, want worker count 4", got)
+	}
+}

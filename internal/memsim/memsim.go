@@ -61,6 +61,16 @@ type Hierarchy struct {
 	// contiguous segment of a gather (loop control, address
 	// computation). It dominates for layouts with many tiny segments.
 	SegmentOverhead float64
+
+	// ParallelBWScale caps the bandwidth gain of goroutine-parallel
+	// packing on this memory system: one core's gather loop runs at
+	// CopyBW, and additional workers scale the read rate only until
+	// the socket's memory system saturates. The ratio is a property of
+	// the socket (aggregate DRAM bandwidth over one core's copy rate),
+	// so each profile calibrates it: a Skylake core nearly saturates
+	// its socket alone, a KNL core is far from MCDRAM's aggregate
+	// rate. Zero means DefaultParallelBWScale.
+	ParallelBWScale float64
 }
 
 // Validate checks the profile for usable values.
@@ -282,23 +292,30 @@ func (s *State) CompiledScatterCost(src buf.Region, dst buf.Region, st layout.St
 	return s.scatterCost(src, dst, st, s.h.SegmentOverhead/CompiledUnrollFactor, 1)
 }
 
-// ParallelBWScale caps the bandwidth gain of goroutine-parallel
-// packing: one core's gather loop runs at CopyBW, and additional
-// workers scale the read rate only until the socket's memory system
-// saturates — long before high core counts, which is also why the pack
-// engine caps its fan-out. The factor is the paper-era socket shape:
-// roughly 3–4 cores' worth of copy bandwidth saturates a socket.
-const ParallelBWScale = 3.5
+// DefaultParallelBWScale is the saturation cap used when a Hierarchy
+// does not calibrate its own ParallelBWScale: the paper-era socket
+// shape, where roughly 3–4 cores' worth of copy bandwidth saturates a
+// socket. (This was previously the package-wide constant
+// ParallelBWScale; it is now a per-profile Hierarchy field.)
+const DefaultParallelBWScale = 3.5
+
+// parallelScale returns the hierarchy's saturation cap, defaulted.
+func (h *Hierarchy) parallelScale() float64 {
+	if h.ParallelBWScale > 0 {
+		return h.ParallelBWScale
+	}
+	return DefaultParallelBWScale
+}
 
 // parallelSpeedup returns the effective bandwidth multiplier of a
-// w-worker parallel pack.
-func parallelSpeedup(w int) float64 {
+// w-worker parallel pack on this memory system.
+func (h *Hierarchy) parallelSpeedup(w int) float64 {
 	if w <= 1 {
 		return 1
 	}
 	sp := float64(w)
-	if sp > ParallelBWScale {
-		sp = ParallelBWScale
+	if cap := h.parallelScale(); sp > cap {
+		sp = cap
 	}
 	return sp
 }
@@ -311,13 +328,49 @@ func parallelSpeedup(w int) float64 {
 // parallel-pack term that lets the recommendation engine price
 // packing(c) against datatype sends at large sizes.
 func (s *State) ParallelCompiledGatherCost(src buf.Region, dst buf.Region, st layout.Stats, workers int) float64 {
-	return s.gatherCost(src, dst, st, s.h.SegmentOverhead/CompiledUnrollFactor/float64(maxInt(workers, 1)), parallelSpeedup(workers))
+	return s.gatherCost(src, dst, st, s.h.SegmentOverhead/CompiledUnrollFactor/float64(maxInt(workers, 1)), s.h.parallelSpeedup(workers))
 }
 
 // ParallelCompiledScatterCost is the scatter-side mirror of
 // ParallelCompiledGatherCost.
 func (s *State) ParallelCompiledScatterCost(src buf.Region, dst buf.Region, st layout.Stats, workers int) float64 {
-	return s.scatterCost(src, dst, st, s.h.SegmentOverhead/CompiledUnrollFactor/float64(maxInt(workers, 1)), parallelSpeedup(workers))
+	return s.scatterCost(src, dst, st, s.h.SegmentOverhead/CompiledUnrollFactor/float64(maxInt(workers, 1)), s.h.parallelSpeedup(workers))
+}
+
+// FusedCopyCost prices the one-pass fused scatter/gather of a
+// plan-driven transfer (datatype.FusedCopy behind the sendv
+// rendezvous): read the source through its layout and write the
+// destination through its layout in a single pass. Compared with the
+// staged pipeline it replaces — a gather into a staging buffer plus a
+// scatter out of it — the payload crosses the memory system once, the
+// staging buffer's own traffic disappears entirely, and the two
+// layers' segment walks collapse into one fused schedule whose
+// bookkeeping is the larger of the two segment counts at the
+// compiled engines' amortised per-segment cost.
+func (s *State) FusedCopyCost(src buf.Region, dst buf.Region, srcSt, dstSt layout.Stats) float64 {
+	traffic := s.h.Traffic(srcSt)
+	if traffic == 0 {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res := s.residency(src, traffic)
+	bw := s.readBandwidth(s.h.CopyBW, res, srcSt)
+	cost := float64(traffic) / bw
+	// Write-allocate fills for the partial destination lines beyond
+	// the payload itself (same charge as the scatter side of the
+	// staged pipeline; dense destinations add nothing).
+	if extra := s.h.Traffic(dstSt) - roundUp(dstSt.Bytes, s.h.LineSize); extra > 0 {
+		cost += float64(extra) / s.h.CopyBW
+	}
+	segs := srcSt.Segments
+	if dstSt.Segments > segs {
+		segs = dstSt.Segments
+	}
+	cost += float64(segs) * s.h.SegmentOverhead / CompiledUnrollFactor
+	s.touch(src, traffic)
+	s.touch(dst, s.h.Traffic(dstSt))
+	return cost
 }
 
 // gatherCost is the shared body of the gather pricers; the engines

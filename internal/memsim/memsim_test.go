@@ -219,7 +219,7 @@ func TestParallelCompiledGatherCheaper(t *testing.T) {
 	if par16 > par {
 		t.Fatalf("more workers cost more: %g > %g", par16, par)
 	}
-	if floor := float64(NewState(testHierarchy()).Hierarchy().Traffic(st)) / (testHierarchy().CopyBW * ParallelBWScale * 1.01); par16 < floor {
+	if floor := float64(NewState(testHierarchy()).Hierarchy().Traffic(st)) / (testHierarchy().CopyBW * testHierarchy().parallelScale() * 1.01); par16 < floor {
 		t.Fatalf("parallel cost %g beats the saturated-bandwidth floor %g", par16, floor)
 	}
 	// One worker must price exactly like the serial compiled pack.

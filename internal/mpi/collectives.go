@@ -116,7 +116,7 @@ func (c *Comm) Reduce(send, recv buf.Block, count int, op Op, root int) error {
 	n := count * elem.Float64Size
 	acc := elem.ToFloat64s(send.Slice(0, n))
 	// Merge scratch: pooled, fully received before each read.
-	tmpBlock := buf.GetPooled(n)
+	tmpBlock := buf.GetPooledFor(c.rank, n)
 	defer buf.PutPooled(tmpBlock)
 	rel := (c.rank - root + c.size) % c.size
 	abs := func(r int) int { return (r + root) % c.size }
@@ -279,7 +279,7 @@ func (c *Comm) Scan(send, recv buf.Block, count int, op Op) error {
 	n := count * elem.Float64Size
 	acc := elem.ToFloat64s(send.Slice(0, n))
 	if c.rank > 0 {
-		prev := buf.GetPooled(n)
+		prev := buf.GetPooledFor(c.rank, n)
 		// acc aliases prev below, and sends copy before returning, so
 		// the release can wait for function exit.
 		defer buf.PutPooled(prev)

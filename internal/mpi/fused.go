@@ -1,0 +1,196 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/buf"
+	"repro/internal/datatype"
+	"repro/internal/layout"
+	"repro/internal/simnet"
+	"repro/internal/vclock"
+)
+
+// errNegativeCount mirrors the inline ErrCount wrapping of p2p.go.
+func errNegativeCount(count int) error {
+	return fmt.Errorf("%w: %d", ErrCount, count)
+}
+
+// This file implements the fused zero-copy rendezvous: the sendv
+// path, where a plan-driven typed send copies directly from the
+// sender's user layout into the receiver's user layout in one pass.
+// The staged rendezvous moves every payload byte twice — pack into a
+// staging buffer, unpack out of it — which is exactly the redundant
+// software copy the paper blames for non-contiguous sends losing to
+// the manual-copy bound. The fused path removes the staging buffer,
+// the second pass, and the internal-chunk bookkeeping: the sender
+// walks the pair schedule of the two compiled plans
+// (datatype.FusedCopy) and the payload crosses each memory system
+// once, like an XPMEM/CMA single-copy or a scatter-capable NIC.
+//
+// Fallbacks keep the semantics of the staged path byte-for-byte:
+//
+//   - eager-sized messages take the ordinary staged typed path (the
+//     fused engine needs the rendezvous handshake to learn the
+//     receiver's layout);
+//   - receivers whose layout cannot legally take a one-pass scatter
+//     (overlapping instances, uncompilable plans) stage as before;
+//   - aliased sender/receiver buffers (a fused self-send) and
+//     mismatched payload sizes run a sender-local staged emulation, so
+//     the receiver still never unpacks.
+
+// fusedDst is the receiver→sender descriptor of a typed rendezvous
+// receive whose layout the sender may scatter into directly. It rides
+// simnet.RdvMatch.FusedDst as an opaque value; only this package
+// creates and consumes it.
+type fusedDst struct {
+	user  buf.Block
+	plan  *datatype.Plan
+	stats layout.Stats
+	need  int64
+}
+
+// SendvType is the plan-driven fused send of a derived datatype, the
+// "sendv" scheme: under the rendezvous protocol the payload moves
+// straight from this rank's user layout into the receiver's buffer in
+// a single compiled pass — no MPI-internal chunk buffers, no staging
+// allocation, no receive-side unpack. Eager-sized messages fall back
+// to the staged typed path, as do layouts the fused engine cannot
+// serve (see the file comment); the call is then semantically
+// identical to SendType.
+func (c *Comm) SendvType(b buf.Block, count int, ty *datatype.Type, dest, tag int) error {
+	if err := c.checkP2P(dest, tag); err != nil {
+		return err
+	}
+	if count < 0 {
+		return errNegativeCount(count)
+	}
+	return c.sendTypedFused(b, count, ty, dest, tag, sendFlags{})
+}
+
+// SsendvType is SendvType under forced rendezvous: even eager-sized
+// payloads take the fused handshake path.
+func (c *Comm) SsendvType(b buf.Block, count int, ty *datatype.Type, dest, tag int) error {
+	if err := c.checkP2P(dest, tag); err != nil {
+		return err
+	}
+	if count < 0 {
+		return errNegativeCount(count)
+	}
+	return c.sendTypedFused(b, count, ty, dest, tag, sendFlags{forceRdv: true})
+}
+
+// sendTypedFused is the sender side of the fused rendezvous.
+func (c *Comm) sendTypedFused(b buf.Block, count int, ty *datatype.Type, dest, tag int, fl sendFlags) error {
+	p := c.prof
+	n := ty.PackSize(count)
+	if n == 0 || (!fl.forceRdv && p.Eager(n, fl.packed)) {
+		// Eager-sized (or empty): stage through the ordinary typed path.
+		return c.sendTyped(b, count, ty, dest, tag, fl)
+	}
+	plan, err := ty.CompilePlan(count)
+	if err != nil {
+		return err
+	}
+	if err := plan.Validate(b); err != nil {
+		// Argument errors surface locally, before the rendezvous
+		// envelope enters the fabric — the same order as SendType,
+		// whose NewPacker validates before anything is delivered.
+		return err
+	}
+	st := ty.Stats(count)
+	wireBW := fl.wireBW
+	if wireBW == 0 {
+		// No MPI-internal buffers are involved, so the internal-pool
+		// degradation of large typed sends does not apply: the wire
+		// term runs at the nominal injection bandwidth, like the
+		// reference send.
+		wireBW = p.NetBandwidth
+	}
+	wire := float64(n) / wireBW
+
+	fl.sendv = true
+	c.clock.Advance(vclock.FromSeconds(p.SendOverhead))
+	m := c.newRdvMessage(dest, tag, n, fl)
+	c.fabric.Deliver(c.endpoint(dest), m)
+	fl.signalDelivered()
+	match := <-m.Match
+	ctsAt := match.MatchTime + dur(p.NetLatency)
+	c.clock.AdvanceTo(ctsAt)
+
+	var copyCost float64
+	var xferErr error
+	if fd, ok := match.FusedDst.(*fusedDst); ok && fd != nil {
+		if n == fd.need && !buf.Overlaps(b, fd.user) {
+			// The fused fast path: one pass, layout to layout.
+			copyCost = c.cache.FusedCopyCost(b.Region(), fd.user.Region(), st, fd.stats)
+			_, xferErr = datatype.FusedCopy(plan, fd.plan, b, fd.user)
+		} else {
+			// Aliased buffers or a size mismatch: sender-local staged
+			// emulation. The receiver still takes delivery in its
+			// layout; the two passes are paid here.
+			copyCost, xferErr = c.stagedScatter(plan, fd, b, st, n)
+		}
+	} else {
+		// Contiguous (or fused-declining) receiver: pack the plan
+		// straight into the remote destination block in one pass.
+		dst := match.Dst
+		nCopy := minInt64(n, int64(dst.Len()))
+		dstSt := layout.Stats{Segments: 1, Bytes: nCopy, Extent: nCopy, AvgBlock: float64(nCopy), MinBlock: nCopy, MaxBlock: nCopy, Density: 1}
+		copyCost = c.cache.FusedCopyCost(b.Region(), dst.Region(), st, dstSt)
+		if nCopy > 0 {
+			xferErr = plan.PackRange(b, dst, 0, nCopy)
+		}
+		// Attribution happens at the receiver: a contiguous receive
+		// records the transfer as fused (one pass, no staging), a
+		// fused-declining typed receiver records it as staged when it
+		// unpacks. The sender cannot tell the two destinations apart.
+	}
+	if xferErr != nil {
+		m.Done <- simnet.RdvDone{Err: xferErr}
+		return xferErr
+	}
+	// The single pass and the wire pipeline: the pass feeds the wire
+	// run-by-run, so the sender is occupied for the longer of the two.
+	c.clock.Advance(vclock.FromSeconds(math.Max(copyCost, wire)))
+	m.Done <- simnet.RdvDone{
+		Arrival: c.clock.Now() + dur(p.NetLatency),
+		Bytes:   n,
+	}
+	return nil
+}
+
+// stagedScatter is the sender-local staged emulation of a fused
+// transfer that cannot legally run in one pass: pack the plan into a
+// pooled staging block, scatter it into the receiver's layout, and
+// release the staging. Two memory passes, priced as the compiled
+// staged pipeline.
+func (c *Comm) stagedScatter(plan *datatype.Plan, fd *fusedDst, b buf.Block, st layout.Stats, n int64) (float64, error) {
+	nCopy := minInt64(n, fd.need)
+	staging := c.transitAlloc(b, nCopy)
+	defer buf.PutPooled(staging)
+	cost := c.cache.CompiledGatherCost(b.Region(), staging.Region(), st) +
+		c.cache.CompiledScatterCost(staging.Region(), fd.user.Region(), fd.stats)
+	if nCopy > 0 {
+		if err := plan.PackRange(b, staging, 0, nCopy); err != nil {
+			return cost, err
+		}
+		if err := fd.plan.UnpackRange(staging, fd.user, 0, nCopy); err != nil {
+			return cost, err
+		}
+	}
+	datatype.RecordStagedTransfer(nCopy)
+	return cost, nil
+}
+
+// offerFusedDst builds the fused descriptor a typed rendezvous
+// receiver hands to a sendv sender, or nil when the layout cannot
+// legally take a one-pass scatter (uncompilable plan, overlapping
+// repeated instances).
+func (c *Comm) offerFusedDst(b buf.Block, count int, ty *datatype.Type, need int64) *fusedDst {
+	plan, err := ty.CompilePlan(count)
+	if err != nil || !plan.FusedDstSafe() {
+		return nil
+	}
+	return &fusedDst{user: b, plan: plan, stats: ty.Stats(count), need: need}
+}

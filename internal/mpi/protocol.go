@@ -30,6 +30,10 @@ type sendFlags struct {
 	// delivered, when non-nil, is closed as soon as the envelope has
 	// entered the fabric; Isend uses it to pin program-order delivery.
 	delivered chan struct{}
+	// sendv marks a plan-driven fused rendezvous send (SendvType): the
+	// typed receiver may expose its user layout for the direct
+	// one-pass scatter instead of allocating staging.
+	sendv bool
 }
 
 // signalDelivered closes the delivery notification exactly once.
@@ -65,7 +69,7 @@ func (c *Comm) sendContig(b buf.Block, dest, tag int, fl sendFlags) error {
 		if !fl.asyncReturn {
 			c.clock.AdvanceTo(injectEnd)
 		}
-		c.deliverEager(dest, tag, transitCopy(b), n, injectEnd, fl)
+		c.deliverEager(dest, tag, c.transitCopy(b), n, injectEnd, fl)
 		fl.signalDelivered()
 		return nil
 	}
@@ -149,7 +153,7 @@ func (c *Comm) sendTyped(b buf.Block, count int, ty *datatype.Type, dest, tag in
 	}
 
 	if !fl.forceRdv && p.Eager(n, fl.packed) {
-		transit := transitAlloc(b, n)
+		transit := c.transitAlloc(b, n)
 		if _, err := packer.Pack(transit); err != nil {
 			return err
 		}
@@ -240,6 +244,7 @@ func (c *Comm) newRdvMessage(dest, tag int, n int64, fl sendFlags) *simnet.Messa
 		Bytes:   n,
 		Arrival: c.clock.Now() + dur(c.prof.NetLatency),
 		Packed:  fl.packed,
+		Sendv:   fl.sendv,
 		Match:   make(chan simnet.RdvMatch, 1),
 		Done:    make(chan simnet.RdvDone, 1),
 	}
@@ -261,27 +266,29 @@ func (c *Comm) deliverEager(dest, tag int, transit buf.Block, n int64, injectEnd
 }
 
 // transitCopy clones a payload into a fabric-owned transit block,
-// virtual when the source is virtual. Transit blocks come from the
-// size-classed pool (buf.GetPooled) and are released by the receive
-// completion that consumes them.
-func transitCopy(b buf.Block) buf.Block {
+// virtual when the source is virtual. Transit blocks come from this
+// rank's shard of the size-classed pool (buf.GetPooledFor) and are
+// released by the receive completion that consumes them — PutPooled
+// returns the storage to the allocating rank's shard, so ranks never
+// contend on one free list per class.
+func (c *Comm) transitCopy(b buf.Block) buf.Block {
 	if b.IsVirtual() {
 		return buf.Virtual(b.Len())
 	}
-	t := buf.GetPooled(b.Len())
+	t := buf.GetPooledFor(c.rank, b.Len())
 	buf.Copy(t, b)
 	return t
 }
 
 // transitAlloc allocates a transit block of n bytes matching the
-// reality of the user buffer. Real blocks come from the pool with
-// undefined contents; every caller fills them completely (eager pack,
-// rendezvous stream) before the receiver reads.
-func transitAlloc(user buf.Block, n int64) buf.Block {
+// reality of the user buffer, from this rank's pool shard. Real
+// blocks carry undefined contents; every caller fills them completely
+// (eager pack, rendezvous stream) before the receiver reads.
+func (c *Comm) transitAlloc(user buf.Block, n int64) buf.Block {
 	if user.IsVirtual() {
 		return buf.Virtual(int(n))
 	}
-	return buf.GetPooled(int(n))
+	return buf.GetPooledFor(c.rank, int(n))
 }
 
 // recvContig receives into a contiguous buffer; src and tag may be
@@ -336,6 +343,11 @@ func (c *Comm) completeRecvContig(b buf.Block, m *simnet.Message, post vclock.Ti
 		}
 		c.clock.AdvanceTo(done.Arrival)
 		c.clock.Advance(vclock.FromSeconds(p.RecvOverhead))
+		if m.Sendv {
+			// A sendv sender packed its layout straight into this
+			// contiguous buffer: one pass, no staging anywhere.
+			datatype.RecordFusedTransfer(minInt64(done.Bytes, int64(b.Len())))
+		}
 		if m.OnConsume != nil {
 			m.OnConsume()
 		}
@@ -375,6 +387,7 @@ func (c *Comm) recvTyped(b buf.Block, count int, ty *datatype.Type, src, tag int
 				m.Payload = buf.Block{}
 				return st, err
 			}
+			datatype.RecordStagedTransfer(nCopy)
 		}
 		if m.OnConsume != nil {
 			m.OnConsume()
@@ -386,7 +399,33 @@ func (c *Comm) recvTyped(b buf.Block, count int, ty *datatype.Type, src, tag int
 		}
 		return st, nil
 	case simnet.KindRendezvous:
-		staging := transitAlloc(b, minInt64(m.Bytes, need))
+		if m.Sendv {
+			if fd := c.offerFusedDst(b, count, ty, need); fd != nil {
+				// Fused: expose the user layout; the sendv sender
+				// scatters straight into it (or runs its local staged
+				// emulation) — either way the payload arrives in place
+				// and this rank never allocates staging or unpacks.
+				m.Match <- simnet.RdvMatch{MatchTime: maxTime(m.Arrival, post), Dst: b, FusedDst: fd}
+				done := <-m.Done
+				if done.Err != nil {
+					return st, done.Err
+				}
+				c.clock.AdvanceTo(done.Arrival)
+				c.clock.Advance(vclock.FromSeconds(p.RecvOverhead))
+				if m.OnConsume != nil {
+					m.OnConsume()
+				}
+				if done.Bytes > need {
+					return st, fmt.Errorf("%w: %d-byte message, %d-byte typed receive", ErrTruncate, done.Bytes, need)
+				}
+				return st, nil
+			}
+			// The layout cannot take a one-pass scatter (overlapping
+			// instances, uncompilable plan): stage like any typed
+			// rendezvous; the sendv sender packs into the staging block
+			// in one compiled pass instead.
+		}
+		staging := c.transitAlloc(b, minInt64(m.Bytes, need))
 		m.Match <- simnet.RdvMatch{MatchTime: maxTime(m.Arrival, post), Dst: staging}
 		done := <-m.Done
 		if done.Err != nil {
@@ -402,6 +441,7 @@ func (c *Comm) recvTyped(b buf.Block, count int, ty *datatype.Type, src, tag int
 				buf.PutPooled(staging)
 				return st, err
 			}
+			datatype.RecordStagedTransfer(int64(staging.Len()))
 		}
 		if m.OnConsume != nil {
 			m.OnConsume()

@@ -252,6 +252,9 @@ func SkxImpi() *Profile {
 			PrefetchMinBlock: 256,
 			PrefetchStreams:  16,
 			SegmentOverhead:  0.15e-9,
+			// A Skylake core's copy loop runs close to the socket's
+			// sustainable rate: ~3.5 cores saturate it.
+			ParallelBWScale: 3.5,
 		},
 		NetLatency:            2.0e-6,
 		SendOverhead:          0.5e-6,
@@ -311,6 +314,9 @@ func Ls5Cray() *Profile {
 			PrefetchMinBlock: 256,
 			PrefetchStreams:  16,
 			SegmentOverhead:  0.16e-9,
+			// Aries-era Haswell sockets saturate slightly earlier than
+			// Skylake under a scalar copy loop.
+			ParallelBWScale: 3.2,
 		},
 		NetLatency:            1.6e-6,
 		SendOverhead:          0.5e-6,
@@ -355,6 +361,10 @@ func KnlImpi() *Profile {
 			PrefetchMinBlock: 512,
 			PrefetchStreams:  4,
 			SegmentOverhead:  0.5e-9,
+			// A single weak in-order KNL core is nowhere near MCDRAM's
+			// aggregate bandwidth, so parallel packing keeps scaling
+			// much further than on the Xeon sockets.
+			ParallelBWScale: 6.5,
 		},
 		NetLatency:            3.0e-6,
 		SendOverhead:          1.2e-6,

@@ -56,10 +56,21 @@ type RdvMatch struct {
 	MatchTime vclock.Time
 	// Dst is the receiver's buffer view the sender streams into.
 	Dst buf.Block
+	// FusedDst, when non-nil, is an opaque descriptor of the
+	// receiver's non-contiguous user layout (owned by the mpi layer;
+	// the fabric never inspects it). A fused-capable sender scatters
+	// straight into the layout; Dst is then the raw user block the
+	// descriptor covers, NOT a packed destination, and non-fusing
+	// senders must consult the descriptor rather than streaming
+	// packed bytes into Dst.
+	FusedDst any
 }
 
 // RdvDone is the sender→receiver half: when the payload fully arrived
-// and how many bytes were written.
+// and how many bytes were written. A receiver that exposed its layout
+// through RdvMatch.FusedDst takes delivery in place — the sender
+// always lands the payload in the layout (fused one-pass or its local
+// staged equivalent), so no unpack follows.
 type RdvDone struct {
 	Arrival vclock.Time
 	Bytes   int64
@@ -89,6 +100,12 @@ type Message struct {
 	// Packed marks payloads that were packed in user space, for the
 	// Cray eager-limit artefact (perfmodel.PackedEagerFactor).
 	Packed bool
+
+	// Sendv marks a plan-driven fused rendezvous send (mpi.SendvType):
+	// a typed receiver matching it may expose its user layout through
+	// RdvMatch.FusedDst for the direct one-pass scatter instead of
+	// allocating a packed staging buffer.
+	Sendv bool
 
 	// Match and Done carry the rendezvous handshake; nil for eager.
 	Match chan RdvMatch
