@@ -135,6 +135,25 @@ const (
 // Recommendation is scheme advice with its reasoning.
 type Recommendation = core.Recommendation
 
+// CollectiveCostModel prices a p-rank fan collective of
+// non-contiguous rank layouts two ways: the typed collectives (fused
+// legs, fused self-leg) against packing explicitly around the classic
+// contiguous collective.
+type CollectiveCostModel = core.CollectiveCostModel
+
+// PriceCollective evaluates the collective cost model for ranks ranks
+// exchanging n-byte per-rank payloads of the canonical layout.
+func PriceCollective(ranks int, n int64, p *Profile) CollectiveCostModel {
+	return core.PriceCollective(ranks, n, p)
+}
+
+// RecommendCollective advises between the typed collectives and the
+// pack-then-collective pipeline for a p-rank exchange of n-byte
+// per-rank payloads.
+func RecommendCollective(ranks int, n int64, contiguous bool, goal Goal, p *Profile) Recommendation {
+	return core.RecommendCollective(ranks, n, contiguous, goal, p)
+}
+
 // Recommend operationalises the paper's conclusion for an n-byte
 // payload.
 func Recommend(n int64, contiguous bool, goal Goal, p *Profile) Recommendation {
@@ -199,6 +218,15 @@ func TypeIndexed(blocklens, displs []int, base *Datatype) (*Datatype, error) {
 // TypeSubarray mirrors MPI_Type_create_subarray (C order).
 func TypeSubarray(sizes, subsizes, starts []int, base *Datatype) (*Datatype, error) {
 	return datatype.Subarray(sizes, subsizes, starts, datatype.OrderC, base)
+}
+
+// TypeResized mirrors MPI_Type_create_resized: it overrides a type's
+// lower bound and extent without moving data. Extent-resized types are
+// how typed collectives place slots at arbitrary pitches (halo
+// columns, interleaved slabs — see the typed-collectives walkthrough
+// in examples/).
+func TypeResized(base *Datatype, lb, extent int64) (*Datatype, error) {
+	return datatype.Resized(base, lb, extent)
 }
 
 // PackPlan is an executable pack/unpack program compiled from a

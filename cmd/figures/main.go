@@ -8,6 +8,7 @@
 //	figures [-profile skx-impi|skx-mvapich|ls5-cray|knl-impi|all]
 //	        [-per-decade 4] [-reps 20] [-max-real 16777216]
 //	        [-csv dir] [-check] [-what-if] [-plan] [-plancache] [-fused]
+//	        [-halo]
 //
 // Study flags:
 //
@@ -23,6 +24,12 @@
 //	             staged pack+unpack vs interpreting cursor bandwidth
 //	             across the paper's layouts — the engine behind the
 //	             sendv scheme)
+//	-halo        E15: the halo-exchange study (2-D/3-D subarray face
+//	             exchange over typed collectives — AllgatherType with
+//	             extent-resized halo slots, fused self-legs and fused
+//	             sendv remote legs — against the manual
+//	             pack → contiguous collective → unpack pipeline, with
+//	             PlanStats fused-vs-staged attribution per cell)
 package main
 
 import (
@@ -47,6 +54,7 @@ func main() {
 	planStudy := flag.Bool("plan", false, "also print the E12 pack-plan compiler study (compiled vs interpreted packing)")
 	planCache := flag.Bool("plancache", false, "also print the E13 plan-cache study (cold vs warm compile, chunked cursor vs compiled kernels)")
 	fused := flag.Bool("fused", false, "also print the E14 fused-transfer study (fused vs staged vs cursor bandwidth)")
+	halo := flag.Bool("halo", false, "also print the E15 halo-exchange study (typed collectives vs manual pack over subarray faces)")
 	flag.Parse()
 
 	profiles := []string{"skx-impi", "skx-mvapich", "ls5-cray", "knl-impi"}
@@ -150,6 +158,21 @@ func main() {
 			}
 			fmt.Printf("fused transfer is %.2fx the staged pack+unpack on the everyOther->everyThird pair at the largest size\n\n",
 				st.FusedSpeedupAt("everyOther->everyThird", fusedSizes[len(fusedSizes)-1]))
+		}
+		if *halo {
+			haloOpt := opt
+			if haloOpt.Reps > 8 {
+				haloOpt.Reps = 8
+			}
+			st, err := figures.BuildHaloStudy(name, haloOpt)
+			if err != nil {
+				fatal(err)
+			}
+			if err := st.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("typed collectives are %.2fx manual pack on the contiguous 3-D planes at the largest tile\n\n",
+				st.TypedSpeedupAt("3d-z plane (contig)"))
 		}
 	}
 }

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/datatype"
+	"repro/internal/layout"
+	"repro/internal/memsim"
+	"repro/internal/perfmodel"
+)
+
+// CollectiveCostModel prices a p-rank fan collective (the
+// gather/scatter shape) of the canonical every-other-double layout on
+// one installation, comparing the two ways an application can move
+// non-contiguous rank layouts through a collective:
+//
+//   - typed-collective: the layout-aware collectives
+//     (mpi.GatherType & co.) — remote legs ride the fused sendv
+//     rendezvous past the eager limit and the root's self-leg is a
+//     single fused copy, so every payload crosses each memory system
+//     once;
+//   - packed-then-collective: pack every rank's layout explicitly
+//     (compiled engine), run the classic contiguous collective over
+//     the packed slots, unpack at the far side — the two extra memory
+//     passes the typed path removes.
+//
+// Leg costs come from the memsim collective terms
+// (FusedCollectiveLegCost, StagedCollectiveLegCost) and compose across
+// ranks with the fan shape the engine would pick
+// (perfmodel.CollectiveTreeLimit): a binomial tree for latency-bound
+// legs, the linear fan for bandwidth-bound ones.
+type CollectiveCostModel struct {
+	Ranks int
+	// Bytes is the per-rank payload size.
+	Bytes int64
+	// Workers is the parallel fan-out the fused/compiled engines would
+	// use per leg (1 = serial).
+	Workers int
+	// Tree reports whether the engine would fan over the binomial tree
+	// at this size (small legs) instead of the linear fan.
+	Tree bool
+	// TypedCollective and PackedCollective are modeled completion
+	// times in seconds for the two strategies.
+	TypedCollective, PackedCollective float64
+}
+
+// TypedSpeedup returns PackedCollective/TypedCollective: >1 means the
+// typed collective beats packing around the collective.
+func (m CollectiveCostModel) TypedSpeedup() float64 {
+	if m.TypedCollective <= 0 {
+		return 1
+	}
+	return m.PackedCollective / m.TypedCollective
+}
+
+// PriceCollective evaluates the collective cost model for ranks ranks
+// exchanging n-byte per-rank payloads of the canonical layout on
+// profile p.
+func PriceCollective(ranks int, n int64, p *perfmodel.Profile) CollectiveCostModel {
+	m := CollectiveCostModel{Ranks: ranks, Bytes: n, Workers: 1}
+	if n <= 0 || ranks <= 1 {
+		return m
+	}
+	st := layout.Describe(ForBytes(n).Layout())
+	mem := memsim.NewState(&p.Mem)
+	mem.SetDisabled(true) // steady-state estimate: cold, deterministic
+	wire := p.WireTime(n) + p.NetLatency
+	over := p.SendOverhead + p.RecvOverhead
+	m.Workers = datatype.ParallelWorkersFor(n)
+	// The engine's tree rule: small legs, and more than two ranks (a
+	// two-rank tree is the linear fan).
+	m.Tree = n <= p.CollectiveTreeLimit() && ranks > 2
+
+	selfLeg := mem.FusedCollectiveLegCost(0, 0, st, st, m.Workers)
+	if m.Tree {
+		// At tree sizes the legs are eager-staged (pack, forward,
+		// unpack) — the fused rendezvous needs the handshake — and
+		// every hop serialises its memory pass with the wire.
+		stagedLeg := mem.StagedCollectiveLegCost(0, 0, st, st)
+		m.TypedCollective = memsim.TreeFanCost(ranks, selfLeg, stagedLeg, wire, over)
+	} else {
+		// Linear fused fan: the remote senders' fused passes run
+		// concurrently on their own ranks, and each leg lands in place
+		// at the root — no root-side unpack. The root's critical path
+		// is its own self leg, one pipeline fill (the first remote
+		// leg's sender pass, the same fused cost as the self leg), and
+		// the serialised wire.
+		m.TypedCollective = memsim.LinearFanCost(ranks, 2*selfLeg, 0, wire, over)
+	}
+
+	// Packed-then-collective: the per-rank packs run concurrently too,
+	// but the root must unpack every remote slot itself, so the
+	// per-leg term is the larger of the wire and the root-side unpack.
+	var pack float64
+	if m.Workers > 1 {
+		pack = mem.ParallelCompiledGatherCost(0, 0, st, m.Workers)
+	} else {
+		pack = mem.CompiledGatherCost(0, 0, st)
+	}
+	unpack := mem.CompiledScatterCost(0, 0, st)
+	prologue := p.PackCallOverhead + pack + unpack // own pack + self-slot unpack
+	if m.Tree {
+		m.PackedCollective = prologue + memsim.TreeFanCost(ranks, 0, unpack, wire, over)
+	} else {
+		m.PackedCollective = prologue + memsim.LinearFanCost(ranks, 0, unpack, wire, over)
+	}
+	return m
+}
+
+// RecommendCollective operationalises the paper's conclusion for
+// collectives over non-contiguous rank layouts: contiguous slots need
+// nothing beyond the classic byte collective; non-contiguous layouts
+// should ride the typed collectives (the most user-friendly choice,
+// and past the eager limit the fused engine makes them the fastest),
+// unless the cost model prices the explicit pack-then-collective
+// pipeline below them.
+func RecommendCollective(ranks int, n int64, contiguous bool, goal Goal, p *perfmodel.Profile) Recommendation {
+	if contiguous {
+		return Recommendation{
+			Scheme: Reference,
+			Reason: "slots are contiguous; the classic byte collective already rides the dense fast path",
+		}
+	}
+	m := PriceCollective(ranks, n, p)
+	if goal == GoalFastest {
+		if m.TypedCollective <= m.PackedCollective {
+			return Recommendation{
+				Scheme: Sendv,
+				Reason: fmt.Sprintf("typed collective models %.2fx over pack-then-collective on %s: fused legs, fused self-leg, no staging",
+					m.TypedSpeedup(), p.Name),
+			}
+		}
+		return Recommendation{
+			Scheme: PackCompiled,
+			Reason: fmt.Sprintf("compiled pack around the contiguous collective models %.2fx over the typed legs on %s",
+				1/m.TypedSpeedup(), p.Name),
+		}
+	}
+	if n > LargeMessageBytes && m.PackedCollective < m.TypedCollective {
+		return Recommendation{
+			Scheme: PackCompiled,
+			Reason: fmt.Sprintf("per-rank payload %d B exceeds the %d B large-message threshold and the model favours packing around the collective on %s",
+				n, LargeMessageBytes, p.Name),
+		}
+	}
+	return Recommendation{
+		Scheme: Sendv,
+		Reason: "typed collectives are the most user-friendly and the fused engine keeps every leg single-pass (§5, extended)",
+	}
+}

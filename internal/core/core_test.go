@@ -190,7 +190,7 @@ func TestRecommendConclusion(t *testing.T) {
 	if m := PricePacking(5e8, prof); m.CompiledSpeedup() <= 1 {
 		t.Errorf("cost model does not favour compiled packing at 5e8 B: %+v", m)
 	}
-	if m := PricePacking(64 << 20, prof); runtime.GOMAXPROCS(0) > 1 && m.Workers <= 1 {
+	if m := PricePacking(64<<20, prof); runtime.GOMAXPROCS(0) > 1 && m.Workers <= 1 {
 		t.Errorf("no parallel-pack term above the threshold: %+v", m)
 	}
 	contig := Recommend(1<<20, true, GoalBalanced, prof)
@@ -201,5 +201,54 @@ func TestRecommendConclusion(t *testing.T) {
 		if strings.TrimSpace(r.Reason) == "" {
 			t.Error("recommendation without a reason")
 		}
+	}
+}
+
+func TestPriceCollective(t *testing.T) {
+	p, err := perfmodel.ByName("skx-impi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rendezvous-sized legs: linear fan, fused legs beat the
+	// pack-then-collective pipeline.
+	big := PriceCollective(8, 10_000_000, p)
+	if big.Tree {
+		t.Errorf("10 MB legs priced as tree fan")
+	}
+	if big.TypedCollective <= 0 || big.PackedCollective <= 0 {
+		t.Fatalf("non-positive collective costs: %+v", big)
+	}
+	if big.TypedSpeedup() <= 1 {
+		t.Errorf("typed collective models %.2fx vs packed at 10 MB, want >1", big.TypedSpeedup())
+	}
+	// Latency-sized legs: tree fan.
+	small := PriceCollective(8, 1024, p)
+	if !small.Tree {
+		t.Errorf("1 KB legs priced as linear fan")
+	}
+	// Degenerate shapes.
+	if m := PriceCollective(1, 1<<20, p); m.TypedCollective != 0 {
+		t.Errorf("single-rank collective has nonzero cost %+v", m)
+	}
+}
+
+func TestRecommendCollective(t *testing.T) {
+	p, err := perfmodel.ByName("skx-impi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := RecommendCollective(8, 1<<20, true, GoalFastest, p); rec.Scheme != Reference {
+		t.Errorf("contiguous slots recommended %v", rec.Scheme)
+	}
+	rec := RecommendCollective(8, 10_000_000, false, GoalFastest, p)
+	if rec.Scheme != Sendv && rec.Scheme != PackCompiled {
+		t.Errorf("fastest collective recommended %v", rec.Scheme)
+	}
+	m := PriceCollective(8, 10_000_000, p)
+	if m.TypedSpeedup() > 1 && rec.Scheme != Sendv {
+		t.Errorf("model favours typed (%.2fx) but recommendation is %v", m.TypedSpeedup(), rec.Scheme)
+	}
+	if rec := RecommendCollective(8, 1<<16, false, GoalBalanced, p); rec.Scheme != Sendv {
+		t.Errorf("balanced mid-size collective recommended %v, want the typed collectives", rec.Scheme)
 	}
 }

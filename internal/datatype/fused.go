@@ -2,6 +2,7 @@ package datatype
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/buf"
 )
@@ -152,6 +153,17 @@ func NewPairIter(src, dst *Plan) PairIter {
 	return PairIter{src: src.Segments(), dst: dst.Segments(), limit: limit}
 }
 
+// NewPairIterRange builds a pair iterator over the packed byte range
+// [lo, hi): both sides seek to lo in O(log segments) and Next yields
+// spans until hi — the schedule of one worker's share of a parallel
+// fused pass.
+func NewPairIterRange(src, dst *Plan, lo, hi int64) PairIter {
+	it := PairIter{src: src.Segments(), dst: dst.Segments(), limit: hi, pos: lo}
+	it.src.SeekTo(lo)
+	it.dst.SeekTo(lo)
+	return it
+}
+
 // Remaining returns the packed bytes the iterator has not yielded yet.
 func (it *PairIter) Remaining() int64 { return it.limit - it.pos }
 
@@ -223,20 +235,30 @@ func FusedCopy(srcPlan, dstPlan *Plan, src, dst buf.Block) (int64, error) {
 	if total == 0 {
 		return 0, nil
 	}
+	// The parallel decision depends only on the size, so virtual
+	// transfers are attributed exactly as their real counterparts
+	// (and as the parallel pricers model them).
+	parallel := total >= ParallelPackThreshold() && workersFor(total) > 1
 	if !src.IsVirtual() && !dst.IsVirtual() {
-		fusedExec(srcPlan, dstPlan, src, dst, total)
+		fusedExec(srcPlan, dstPlan, src, dst, total, parallel)
 	}
-	recordFused(total)
+	recordFused(total, parallel)
 	return total, nil
 }
 
 // fusedExec dispatches the one-pass transfer to the tightest executor
-// for the kernel pairing. A contiguous side turns the transfer into a
-// plain pack or unpack running the unrolled compiled kernels against
-// the peer's buffer window; a stride pair runs the fused stride
-// kernel; anything involving a gather table walks the generic pair
-// schedule.
-func fusedExec(srcPlan, dstPlan *Plan, src, dst buf.Block, total int64) {
+// for the kernel pairing, splitting the packed range across goroutines
+// when parallel is set (every executor can start mid-stream, so the
+// split needs no segment alignment). A contiguous side turns the
+// transfer into a plain pack or unpack running the unrolled compiled
+// kernels against the peer's buffer window; a stride pair runs the
+// fused stride kernel; anything involving a gather table walks the
+// generic pair schedule.
+func fusedExec(srcPlan, dstPlan *Plan, src, dst buf.Block, total int64, parallel bool) {
+	if parallel {
+		fusedExecParallel(srcPlan, dstPlan, src, dst, total, workersFor(total))
+		return
+	}
 	switch {
 	case dstPlan.kernel == KernelContig:
 		// Gather straight into the destination window: the source
@@ -251,6 +273,53 @@ func fusedExec(srcPlan, dstPlan *Plan, src, dst buf.Block, total int64) {
 		fusedStrideStride(dst.Bytes(), src.Bytes(), srcPlan.prog, dstPlan.prog, total)
 	default:
 		fusedGeneric(dst.Bytes(), src.Bytes(), srcPlan, dstPlan)
+	}
+}
+
+// fusedExecParallel splits the fused pass's packed byte range across w
+// workers. The destination plan is FusedDstSafe (callers fall back to
+// the staged path otherwise), so distinct packed ranges write distinct
+// user bytes and the workers need no synchronisation beyond the final
+// join — the same disjointness argument as runParallelRange.
+func fusedExecParallel(srcPlan, dstPlan *Plan, src, dst buf.Block, total int64, w int) {
+	share := total / int64(w)
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		lo := int64(i) * share
+		hi := lo + share
+		if i == w-1 {
+			hi = total
+		}
+		wg.Add(1)
+		go func(lo, hi int64) {
+			defer wg.Done()
+			fusedRange(srcPlan, dstPlan, src, dst, lo, hi, total)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// fusedRange executes the packed byte range [lo, hi) of the fused
+// schedule: contiguous sides ride the compiled runRange kernels
+// mid-stream, and layout×layout pairings walk seeked pair iterators.
+func fusedRange(srcPlan, dstPlan *Plan, src, dst buf.Block, lo, hi, total int64) {
+	switch {
+	case dstPlan.kernel == KernelContig:
+		stream := dst.Slice(int(dstPlan.contigOff), int(total))
+		srcPlan.runRange(src, stream, lo, hi, 0, packDirection)
+	case srcPlan.kernel == KernelContig:
+		stream := src.Slice(int(srcPlan.contigOff), int(total))
+		dstPlan.runRange(dst, stream, lo, hi, 0, unpackDirection)
+	default:
+		db, sb := dst.Bytes(), src.Bytes()
+		it := NewPairIterRange(srcPlan, dstPlan, lo, hi)
+		for {
+			so, do, n, ok := it.Next()
+			if !ok {
+				return
+			}
+			copyRun(db[do:], sb[so:], n)
+		}
 	}
 }
 

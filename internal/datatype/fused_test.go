@@ -290,3 +290,69 @@ func TestFusedCopySteadyStateAllocs(t *testing.T) {
 		t.Fatalf("fused copy allocated %.1f objects/op in steady state", allocs)
 	}
 }
+
+// TestFusedCopyParallelMatchesSerial pins the parallel fused pass:
+// with the threshold lowered so the pair schedule splits across
+// workers, every kernel pairing must produce byte-identical results to
+// the serial pass, and the execution must be attributed parallel.
+func TestFusedCopyParallelMatchesSerial(t *testing.T) {
+	vec := func(count, bl, str int) *Type {
+		return mustType(Vector(count, bl, str, Float64))
+	}
+	const elems = 1 << 16 // 512 KiB payload
+	cases := []struct {
+		name         string
+		srcTy, dstTy *Type
+	}{
+		{"stride->stride", vec(elems, 1, 2), vec(elems, 1, 3)},
+		{"stride->contig", vec(elems, 1, 2), mustType(Contiguous(elems, Float64))},
+		{"contig->stride", mustType(Contiguous(elems, Float64)), vec(elems, 1, 2)},
+		{"gather->stride", mustType(Indexed(
+			[]int{elems / 2, elems / 4, elems / 4},
+			[]int{0, elems/2 + 3, elems + 9}, Float64)), vec(elems, 1, 2)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srcPlan := mustPlan(t, tc.srcTy, 1)
+			dstPlan := mustPlan(t, tc.dstTy, 1)
+			src := buf.Alloc(userLen(tc.srcTy, 1))
+			src.FillPattern(0x8D)
+
+			// Serial reference: threshold above the payload.
+			SetParallelPackThreshold(int64(elems)*8 + 1)
+			defer SetParallelPackThreshold(DefaultParallelPackThreshold)
+			want := buf.Alloc(userLen(tc.dstTy, 1))
+			if _, err := FusedCopy(srcPlan, dstPlan, src, want); err != nil {
+				t.Fatal(err)
+			}
+
+			// Parallel run: threshold far below the payload.
+			SetParallelPackThreshold(64 << 10)
+			before := PlanStatsSnapshot()
+			got := buf.Alloc(userLen(tc.dstTy, 1))
+			if _, err := FusedCopy(srcPlan, dstPlan, src, got); err != nil {
+				t.Fatal(err)
+			}
+			if !buf.Equal(got, want) {
+				t.Fatal("parallel fused pass differs from serial")
+			}
+			d := PlanStatsSnapshot().Sub(before)
+			if d.FusedOps != 1 {
+				t.Fatalf("fused attribution %+v", d)
+			}
+			if workersFor(srcPlan.Bytes()) > 1 && d.ParallelOps != 1 {
+				t.Fatalf("parallel attribution %+v (workers %d)", d, workersFor(srcPlan.Bytes()))
+			}
+		})
+	}
+}
+
+// mustPlan compiles a plan or fails the test.
+func mustPlan(t *testing.T, ty *Type, count int) *Plan {
+	t.Helper()
+	p, err := ty.CompilePlan(count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

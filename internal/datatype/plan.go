@@ -293,6 +293,17 @@ func (t *Type) buildPlan(count int) *Plan {
 // Kernel returns the selected kernel.
 func (p *Plan) Kernel() PlanKernel { return p.kernel }
 
+// ContigWindow returns the user-buffer offset of the single dense run
+// when the whole message is contiguous (kernel KernelContig), so
+// protocol layers can route dense typed legs over the raw contiguous
+// paths. ok is false for strided and irregular plans.
+func (p *Plan) ContigWindow() (off int64, ok bool) {
+	if p.kernel != KernelContig {
+		return 0, false
+	}
+	return p.contigOff, true
+}
+
 // Bytes returns the packed size of the full message.
 func (p *Plan) Bytes() int64 { return p.total }
 
@@ -362,7 +373,7 @@ type PlanStats struct {
 	// ChunkOps and ChunkBytes count compiled-kernel executions of
 	// partial packed ranges (the chunked/pipelined streaming tier);
 	// their bytes are also attributed to the owning kernel above.
-	ChunkOps, ChunkBytes int64
+	ChunkOps, ChunkBytes   int64
 	CursorOps, CursorBytes int64
 
 	// FusedOps and FusedBytes count one-pass fused scatter/gather
@@ -515,10 +526,16 @@ func recordPlanChunk(k PlanKernel, n int64, parallel bool) {
 	planCounters.chunkBytes.Add(n)
 }
 
-// recordFused attributes one fused one-pass transfer.
-func recordFused(n int64) {
+// recordFused attributes one fused one-pass transfer; parallel
+// executions also count toward the parallel attribution, like plan
+// executions do.
+func recordFused(n int64, parallel bool) {
 	planCounters.fusedOps.Add(1)
 	planCounters.fusedBytes.Add(n)
+	if parallel {
+		planCounters.parallelOps.Add(1)
+		planCounters.parallelBytes.Add(n)
+	}
 }
 
 // RecordFusedTransfer attributes one rendezvous typed transfer that
@@ -526,7 +543,7 @@ func recordFused(n int64) {
 // FusedCopy (the plan packing straight into a remote contiguous
 // destination), so PlanStats sees every zero-staging transfer as
 // fused.
-func RecordFusedTransfer(n int64) { recordFused(n) }
+func RecordFusedTransfer(n int64) { recordFused(n, false) }
 
 // RecordStagedTransfer attributes one rendezvous typed transfer that
 // moved through the two-pass pack→staging→unpack pipeline. The mpi

@@ -1,0 +1,55 @@
+package figures
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// TestHaloStudyBuilds runs E15 on the Skylake profile and pins its
+// invariants: every panel measures all tiles, bandwidths are positive,
+// the typed rounds carry fused attribution (the self-leg is always a
+// fused copy), and the rendezvous-sized cells run all-fused with no
+// staged traffic.
+func TestHaloStudyBuilds(t *testing.T) {
+	st, err := BuildHaloStudy("skx-impi", harness.Options{Reps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Panels) != len(haloGeometries) {
+		t.Fatalf("panels = %d, want %d", len(st.Panels), len(haloGeometries))
+	}
+	for _, p := range st.Panels {
+		if len(p.Cells) != len(haloTiles[p.Dim]) {
+			t.Fatalf("%s: cells = %d, want %d", p.Name, len(p.Cells), len(haloTiles[p.Dim]))
+		}
+		for _, c := range p.Cells {
+			if c.TypedGBs <= 0 || c.ManualGBs <= 0 {
+				t.Errorf("%s N=%d: non-positive bandwidth typed %g manual %g", p.Name, c.TileN, c.TypedGBs, c.ManualGBs)
+			}
+			if c.Stats.FusedOps == 0 {
+				t.Errorf("%s N=%d: typed rounds carry no fused attribution: %v", p.Name, c.TileN, c.Stats)
+			}
+		}
+		// The largest tile's faces are rendezvous-sized: every typed
+		// leg must ride the fused engine.
+		last := p.Cells[len(p.Cells)-1]
+		if !last.Virtual {
+			t.Errorf("%s: largest tile N=%d expected to run virtual", p.Name, last.TileN)
+		}
+		if last.Stats.StagedOps != 0 {
+			t.Errorf("%s N=%d: staged traffic on rendezvous-sized typed rounds: %v", p.Name, last.TileN, last.Stats)
+		}
+	}
+	// The contiguous-face panels pay pack+unpack only on the manual
+	// side, so the typed collective must win there at the largest tile.
+	for _, name := range []string{"2d-y row (contig)", "3d-z plane (contig)"} {
+		if sp := st.TypedSpeedupAt(name); sp <= 1 {
+			t.Errorf("%s: typed/manual %.2fx at the largest tile, want >1", name, sp)
+		}
+	}
+	if err := st.Render(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

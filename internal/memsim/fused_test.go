@@ -82,3 +82,56 @@ func TestParallelBWScaleProfileField(t *testing.T) {
 		t.Fatalf("under-saturation speedup = %g, want worker count 4", got)
 	}
 }
+
+// TestParallelFusedCopyCostSpeedup pins the parallel fused pricer: more
+// workers cost less, saturating at the hierarchy's ParallelBWScale.
+func TestParallelFusedCopyCostSpeedup(t *testing.T) {
+	st := everyOtherStats()
+	srcR, dstR := buf.Alloc(1).Region(), buf.Alloc(1).Region()
+	serial := NewState(testHierarchy()).FusedCopyCost(srcR, dstR, st, st)
+	par4 := NewState(testHierarchy()).ParallelFusedCopyCost(srcR, dstR, st, st, 4)
+	if par4 >= serial {
+		t.Fatalf("4-worker fused pass %g not under serial %g", par4, serial)
+	}
+	// Past the saturation cap, extra workers only shave bookkeeping.
+	h := testHierarchy()
+	cap16 := NewState(testHierarchy()).ParallelFusedCopyCost(srcR, dstR, st, st, 16)
+	floor := float64(h.Traffic(st)) / (h.CopyBW * h.parallelScale())
+	if cap16 < floor*0.2 {
+		t.Fatalf("16-worker fused pass %g far below the saturated floor %g", cap16, floor)
+	}
+	one := NewState(testHierarchy()).ParallelFusedCopyCost(srcR, dstR, st, st, 1)
+	if one != serial {
+		t.Fatalf("1-worker parallel pricer %g differs from FusedCopyCost %g", one, serial)
+	}
+}
+
+// TestCollectiveLegCosts pins the collective terms: the staged leg
+// (pack + unpack) must price above the fused leg for the canonical
+// strided layout, and the fan composers must grow with rank count and
+// hold their p=1 identities.
+func TestCollectiveLegCosts(t *testing.T) {
+	st := everyOtherStats()
+	srcR, dstR := buf.Alloc(1).Region(), buf.Alloc(1).Region()
+	fused := NewState(testHierarchy()).FusedCollectiveLegCost(srcR, dstR, st, st, 1)
+	staged := NewState(testHierarchy()).StagedCollectiveLegCost(srcR, dstR, st, st)
+	if fused >= staged {
+		t.Fatalf("fused leg %g not under staged leg %g", fused, staged)
+	}
+
+	self, leg, wire, over := 1e-4, 2e-4, 1e-4, 1e-6
+	if got := LinearFanCost(1, self, leg, wire, over); got != self {
+		t.Fatalf("LinearFanCost(1) = %g, want the self leg %g", got, self)
+	}
+	if got := TreeFanCost(1, self, leg, wire, over); got != self {
+		t.Fatalf("TreeFanCost(1) = %g, want the self leg %g", got, self)
+	}
+	lin4, lin8 := LinearFanCost(4, self, leg, wire, over), LinearFanCost(8, self, leg, wire, over)
+	if lin8 <= lin4 {
+		t.Fatalf("linear fan not monotonic: p=8 %g vs p=4 %g", lin8, lin4)
+	}
+	tree8 := TreeFanCost(8, self, leg, wire, over)
+	if tree8 >= lin8 {
+		t.Fatalf("tree fan %g not under linear fan %g at p=8 for latency-shaped legs", tree8, lin8)
+	}
+}

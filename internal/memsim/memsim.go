@@ -23,6 +23,7 @@ package memsim
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"repro/internal/buf"
@@ -348,29 +349,89 @@ func (s *State) ParallelCompiledScatterCost(src buf.Region, dst buf.Region, st l
 // bookkeeping is the larger of the two segment counts at the
 // compiled engines' amortised per-segment cost.
 func (s *State) FusedCopyCost(src buf.Region, dst buf.Region, srcSt, dstSt layout.Stats) float64 {
+	return s.fusedCopyCost(src, dst, srcSt, dstSt, 1)
+}
+
+// ParallelFusedCopyCost prices the fused one-pass transfer when the
+// pair schedule splits across workers goroutines (messages of at least
+// datatype.SetParallelPackThreshold bytes): the single pass's traffic
+// scales by the saturating parallel speedup (ParallelBWScale, the same
+// cap as parallel compiled packing) and the fused segment bookkeeping
+// divides across the workers.
+func (s *State) ParallelFusedCopyCost(src buf.Region, dst buf.Region, srcSt, dstSt layout.Stats, workers int) float64 {
+	return s.fusedCopyCost(src, dst, srcSt, dstSt, workers)
+}
+
+// fusedCopyCost is the shared body of the fused pricers.
+func (s *State) fusedCopyCost(src buf.Region, dst buf.Region, srcSt, dstSt layout.Stats, workers int) float64 {
 	traffic := s.h.Traffic(srcSt)
 	if traffic == 0 {
 		return 0
 	}
+	speedup := s.h.parallelSpeedup(workers)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	res := s.residency(src, traffic)
-	bw := s.readBandwidth(s.h.CopyBW, res, srcSt)
+	bw := s.readBandwidth(s.h.CopyBW, res, srcSt) * speedup
 	cost := float64(traffic) / bw
 	// Write-allocate fills for the partial destination lines beyond
 	// the payload itself (same charge as the scatter side of the
 	// staged pipeline; dense destinations add nothing).
 	if extra := s.h.Traffic(dstSt) - roundUp(dstSt.Bytes, s.h.LineSize); extra > 0 {
-		cost += float64(extra) / s.h.CopyBW
+		cost += float64(extra) / (s.h.CopyBW * speedup)
 	}
 	segs := srcSt.Segments
 	if dstSt.Segments > segs {
 		segs = dstSt.Segments
 	}
-	cost += float64(segs) * s.h.SegmentOverhead / CompiledUnrollFactor
+	cost += float64(segs) * s.h.SegmentOverhead / CompiledUnrollFactor / float64(maxInt(workers, 1))
 	s.touch(src, traffic)
 	s.touch(dst, s.h.Traffic(dstSt))
 	return cost
+}
+
+// Collective cost terms. A fan collective (gather/scatter shape) is a
+// set of per-leg layout transfers serialised at the root; the two
+// terms below price one leg under each engine, and the fan composers
+// fold legs across the communicator. core.PriceCollective composes
+// them into the packed-then-collective vs typed-collective comparison.
+
+// FusedCollectiveLegCost prices one leg of a typed collective riding
+// the fused engine: the payload crosses the memory system once,
+// straight between the two rank layouts (the root's self-leg, or a
+// fused sendv remote leg), parallel-pack aware.
+func (s *State) FusedCollectiveLegCost(src buf.Region, dst buf.Region, srcSt, dstSt layout.Stats, workers int) float64 {
+	return s.fusedCopyCost(src, dst, srcSt, dstSt, workers)
+}
+
+// StagedCollectiveLegCost prices one leg of the packed-then-collective
+// pipeline: a compiled pack of the layout into a contiguous slot plus
+// the matching compiled unpack on the far side — two memory passes per
+// leg, the cost the typed collective removes.
+func (s *State) StagedCollectiveLegCost(src buf.Region, dst buf.Region, srcSt, dstSt layout.Stats) float64 {
+	return s.CompiledGatherCost(src, dst, srcSt) + s.CompiledScatterCost(src, dst, dstSt)
+}
+
+// LinearFanCost composes a per-leg cost across a p-rank linear
+// (rank-sequential) fan: the root performs its own self leg once, then
+// serialises p-1 remote legs, each occupying the larger of its memory
+// pass and its wire time plus the fixed per-leg overhead.
+func LinearFanCost(p int, selfLeg, remoteLeg, wire, perLegOverhead float64) float64 {
+	if p <= 1 {
+		return selfLeg
+	}
+	return selfLeg + float64(p-1)*(perLegOverhead+math.Max(remoteLeg, wire))
+}
+
+// TreeFanCost is the binomial-tree counterpart: ⌈log₂ p⌉ rounds, each
+// paying a full leg (forwarding ranks re-run the memory pass, so leg
+// and wire serialise) plus the per-leg overhead.
+func TreeFanCost(p int, selfLeg, remoteLeg, wire, perLegOverhead float64) float64 {
+	if p <= 1 {
+		return selfLeg
+	}
+	rounds := math.Ceil(math.Log2(float64(p)))
+	return selfLeg + rounds*(perLegOverhead+remoteLeg+wire)
 }
 
 // gatherCost is the shared body of the gather pricers; the engines

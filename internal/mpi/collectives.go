@@ -39,36 +39,15 @@ func (c *Comm) Barrier() {
 }
 
 // Bcast broadcasts root's buffer to all ranks over a binomial tree,
-// like MPI_Bcast.
+// like MPI_Bcast. It is a thin wrapper over BcastType with a
+// datatype.Contiguous layout; dense legs ride the raw contiguous
+// protocol paths unchanged.
 func (c *Comm) Bcast(b buf.Block, root int) error {
-	if err := c.checkRank(root); err != nil {
+	count, ty, err := contigView(b.Len())
+	if err != nil {
 		return err
 	}
-	if c.size == 1 {
-		return nil
-	}
-	rel := (c.rank - root + c.size) % c.size
-	abs := func(r int) int { return (r + root) % c.size }
-	mask := 1
-	for mask < c.size {
-		if rel&mask != 0 {
-			if err := c.crecv(b, abs(rel-mask)); err != nil {
-				return err
-			}
-			break
-		}
-		mask <<= 1
-	}
-	mask >>= 1
-	for mask > 0 {
-		if rel&mask == 0 && rel+mask < c.size {
-			if err := c.csend(b, abs(rel+mask)); err != nil {
-				return err
-			}
-		}
-		mask >>= 1
-	}
-	return nil
+	return c.BcastType(b, count, ty, root)
 }
 
 // Op is a reduction operator over float64 element slices: it folds in
@@ -161,113 +140,50 @@ func (c *Comm) Allreduce(send, recv buf.Block, count int, op Op) error {
 
 // Gather concentrates equal-sized contributions at the root in rank
 // order, like MPI_Gather. recv is only read at the root and must hold
-// size*send.Len() bytes.
+// size*send.Len() bytes. It is a thin wrapper over GatherType with a
+// datatype.Contiguous layout.
 func (c *Comm) Gather(send buf.Block, recv buf.Block, root int) error {
-	if err := c.checkRank(root); err != nil {
+	count, ty, err := contigView(send.Len())
+	if err != nil {
 		return err
 	}
-	n := send.Len()
-	if c.rank != root {
-		return c.csend(send, root)
-	}
-	if recv.Len() < n*c.size {
-		return fmt.Errorf("%w: gather needs %d bytes at root, have %d", ErrTruncate, n*c.size, recv.Len())
-	}
-	for r := 0; r < c.size; r++ {
-		dst := recv.Slice(r*n, n)
-		if r == root {
-			buf.Copy(dst, send)
-			c.clock.Advance(vclock.FromSeconds(c.cache.CopyCost(send.Region(), recv.Region(), int64(n))))
-			continue
-		}
-		if err := c.crecv(dst, r); err != nil {
-			return err
-		}
-	}
-	return nil
+	return c.GatherType(send, count, ty, recv, count, ty, root)
 }
 
 // Scatter distributes equal slices of the root's buffer, like
 // MPI_Scatter. send is only read at the root; each rank receives
-// recv.Len() bytes.
+// recv.Len() bytes. It is a thin wrapper over ScatterType with a
+// datatype.Contiguous layout.
 func (c *Comm) Scatter(send buf.Block, recv buf.Block, root int) error {
-	if err := c.checkRank(root); err != nil {
+	count, ty, err := contigView(recv.Len())
+	if err != nil {
 		return err
 	}
-	n := recv.Len()
-	if c.rank != root {
-		return c.crecv(recv, root)
-	}
-	if send.Len() < n*c.size {
-		return fmt.Errorf("%w: scatter needs %d bytes at root, have %d", ErrTruncate, n*c.size, send.Len())
-	}
-	for r := 0; r < c.size; r++ {
-		src := send.Slice(r*n, n)
-		if r == root {
-			buf.Copy(recv, src)
-			c.clock.Advance(vclock.FromSeconds(c.cache.CopyCost(send.Region(), recv.Region(), int64(n))))
-			continue
-		}
-		if err := c.csend(src, r); err != nil {
-			return err
-		}
-	}
-	return nil
+	return c.ScatterType(send, count, ty, recv, count, ty, root)
 }
 
 // Allgather concentrates every rank's contribution at every rank using
 // the ring algorithm, like MPI_Allgather. recv must hold
-// size*send.Len() bytes; slot r receives rank r's contribution.
+// size*send.Len() bytes; slot r receives rank r's contribution. It is
+// a thin wrapper over AllgatherType with a datatype.Contiguous layout.
 func (c *Comm) Allgather(send buf.Block, recv buf.Block) error {
-	n := send.Len()
-	if recv.Len() < n*c.size {
-		return fmt.Errorf("%w: allgather needs %d bytes, have %d", ErrTruncate, n*c.size, recv.Len())
+	count, ty, err := contigView(send.Len())
+	if err != nil {
+		return err
 	}
-	buf.Copy(recv.Slice(c.rank*n, n), send)
-	right := (c.rank + 1) % c.size
-	left := (c.rank - 1 + c.size) % c.size
-	// Step k: forward the block that originated k hops upstream.
-	blk := c.rank
-	for k := 0; k < c.size-1; k++ {
-		req, err := c.Isend(recv.Slice(blk*n, n), right, 0)
-		if err != nil {
-			return err
-		}
-		// Internal ring traffic uses the collective tag via Isend on
-		// tag 0 — fine, since Allgather is a collective called in the
-		// same order everywhere and tags match pairwise.
-		blk = (blk - 1 + c.size) % c.size
-		if _, err := c.Recv(recv.Slice(blk*n, n), left, 0); err != nil {
-			return err
-		}
-		if _, err := req.Wait(); err != nil {
-			return err
-		}
-	}
-	return nil
+	return c.AllgatherType(send, count, ty, recv, count, ty)
 }
 
 // Alltoall exchanges the r-th slice of send with rank r, like
 // MPI_Alltoall with equal block sizes. send and recv hold size blocks
-// of blockLen bytes each.
+// of blockLen bytes each. It is a thin wrapper over AlltoallType with
+// a datatype.Contiguous layout.
 func (c *Comm) Alltoall(send, recv buf.Block, blockLen int) error {
-	need := blockLen * c.size
-	if send.Len() < need || recv.Len() < need {
-		return fmt.Errorf("%w: alltoall needs %d bytes each way, have %d/%d",
-			ErrTruncate, need, send.Len(), recv.Len())
+	count, ty, err := contigView(blockLen)
+	if err != nil {
+		return err
 	}
-	buf.Copy(recv.Slice(c.rank*blockLen, blockLen), send.Slice(c.rank*blockLen, blockLen))
-	for step := 1; step < c.size; step++ {
-		dst := (c.rank + step) % c.size
-		src := (c.rank - step + c.size) % c.size
-		if _, err := c.Sendrecv(
-			send.Slice(dst*blockLen, blockLen), dst, 0,
-			recv.Slice(src*blockLen, blockLen), src, 0,
-		); err != nil {
-			return err
-		}
-	}
-	return nil
+	return c.AlltoallType(send, count, ty, recv, count, ty)
 }
 
 // Scan computes the inclusive prefix reduction over ranks, like

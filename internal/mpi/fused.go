@@ -80,6 +80,39 @@ func (c *Comm) SsendvType(b buf.Block, count int, ty *datatype.Type, dest, tag i
 	return c.sendTypedFused(b, count, ty, dest, tag, sendFlags{forceRdv: true})
 }
 
+// IsendvType starts a non-blocking fused send with SendvType
+// semantics, like an MPI_Isend that scatters straight into the typed
+// receiver's layout: the envelope enters the fabric before the call
+// returns (program order holds), the rendezvous completes in the
+// background, and the fused path still performs zero staging
+// allocations.
+func (c *Comm) IsendvType(b buf.Block, count int, ty *datatype.Type, dest, tag int) (*Request, error) {
+	if err := c.checkP2P(dest, tag); err != nil {
+		return nil, err
+	}
+	if count < 0 {
+		return nil, errNegativeCount(count)
+	}
+	return c.startAsyncSend(func(cc *Comm, fl sendFlags) error {
+		return cc.sendTypedFused(b, count, ty, dest, tag, fl)
+	})
+}
+
+// IssendvType is IsendvType under forced rendezvous: even eager-sized
+// payloads take the fused handshake path.
+func (c *Comm) IssendvType(b buf.Block, count int, ty *datatype.Type, dest, tag int) (*Request, error) {
+	if err := c.checkP2P(dest, tag); err != nil {
+		return nil, err
+	}
+	if count < 0 {
+		return nil, errNegativeCount(count)
+	}
+	return c.startAsyncSend(func(cc *Comm, fl sendFlags) error {
+		fl.forceRdv = true
+		return cc.sendTypedFused(b, count, ty, dest, tag, fl)
+	})
+}
+
 // sendTypedFused is the sender side of the fused rendezvous.
 func (c *Comm) sendTypedFused(b buf.Block, count int, ty *datatype.Type, dest, tag int, fl sendFlags) error {
 	p := c.prof
@@ -122,8 +155,14 @@ func (c *Comm) sendTypedFused(b buf.Block, count int, ty *datatype.Type, dest, t
 	var xferErr error
 	if fd, ok := match.FusedDst.(*fusedDst); ok && fd != nil {
 		if n == fd.need && !buf.Overlaps(b, fd.user) {
-			// The fused fast path: one pass, layout to layout.
-			copyCost = c.cache.FusedCopyCost(b.Region(), fd.user.Region(), st, fd.stats)
+			// The fused fast path: one pass, layout to layout, split
+			// across workers (and priced at the saturating parallel
+			// speedup) above the parallel-pack threshold.
+			if w := datatype.ParallelWorkersFor(n); w > 1 {
+				copyCost = c.cache.ParallelFusedCopyCost(b.Region(), fd.user.Region(), st, fd.stats, w)
+			} else {
+				copyCost = c.cache.FusedCopyCost(b.Region(), fd.user.Region(), st, fd.stats)
+			}
 			_, xferErr = datatype.FusedCopy(plan, fd.plan, b, fd.user)
 		} else {
 			// Aliased buffers or a size mismatch: sender-local staged
@@ -137,7 +176,11 @@ func (c *Comm) sendTypedFused(b buf.Block, count int, ty *datatype.Type, dest, t
 		dst := match.Dst
 		nCopy := minInt64(n, int64(dst.Len()))
 		dstSt := layout.Stats{Segments: 1, Bytes: nCopy, Extent: nCopy, AvgBlock: float64(nCopy), MinBlock: nCopy, MaxBlock: nCopy, Density: 1}
-		copyCost = c.cache.FusedCopyCost(b.Region(), dst.Region(), st, dstSt)
+		if w := datatype.ParallelWorkersFor(nCopy); w > 1 {
+			copyCost = c.cache.ParallelFusedCopyCost(b.Region(), dst.Region(), st, dstSt, w)
+		} else {
+			copyCost = c.cache.FusedCopyCost(b.Region(), dst.Region(), st, dstSt)
+		}
 		if nCopy > 0 {
 			xferErr = plan.PackRange(b, dst, 0, nCopy)
 		}

@@ -440,6 +440,158 @@ func TestSendvFasterThanTyped(t *testing.T) {
 	}
 }
 
+// TestIsendvTypeZeroStagingAsync pins the non-blocking fused variant:
+// driving the fused rendezvous through IsendvType still draws zero
+// pooled staging blocks and keeps fused attribution, and the payload
+// lands exactly as the blocking SendvType delivers it.
+func TestIsendvTypeZeroStagingAsync(t *testing.T) {
+	const count = 1 << 16 // 512 KiB payload, past every eager limit
+	poolBefore := buf.PoolStatsSnapshot()
+	planBefore := datatype.PlanStatsSnapshot()
+	err := Run(2, Options{}, func(c *Comm) error {
+		ty := everyOther(t, count)
+		if c.Rank() == 0 {
+			src := buf.Alloc(int(ty.Extent()))
+			src.FillPattern(0x9E)
+			req, err := c.IsendvType(src, 1, ty, 1, 6)
+			if err != nil {
+				return err
+			}
+			_, err = req.Wait()
+			return err
+		}
+		dst := buf.Alloc(int(ty.Extent()))
+		if _, err := c.RecvType(dst, 1, ty, 0, 6); err != nil {
+			return err
+		}
+		want := buf.Alloc(int(ty.Extent()))
+		want.FillPattern(0x9E)
+		for i := 0; i < dst.Len(); i += 16 {
+			if !bytes.Equal(dst.Bytes()[i:i+8], want.Bytes()[i:i+8]) {
+				t.Fatalf("async fused layout byte %d differs", i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := buf.PoolStatsSnapshot().Sub(poolBefore); d.Gets != 0 {
+		t.Fatalf("async fused path drew %d pooled staging blocks, want 0 (%+v)", d.Gets, d)
+	}
+	d := datatype.PlanStatsSnapshot().Sub(planBefore)
+	if d.FusedOps != 1 || d.StagedOps != 0 {
+		t.Fatalf("async fused attribution fused=%d staged=%d, want 1/0", d.FusedOps, d.StagedOps)
+	}
+}
+
+// TestIssendvTypeForcesRendezvous pins the synchronous non-blocking
+// variant: an eager-sized payload still takes the fused handshake.
+func TestIssendvTypeForcesRendezvous(t *testing.T) {
+	const count = 64 // tiny, would be eager normally
+	planBefore := datatype.PlanStatsSnapshot()
+	err := Run(2, Options{}, func(c *Comm) error {
+		ty := everyOther(t, count)
+		if c.Rank() == 0 {
+			src := buf.Alloc(int(ty.Extent()))
+			src.FillPattern(0x4B)
+			req, err := c.IssendvType(src, 1, ty, 1, 0)
+			if err != nil {
+				return err
+			}
+			if _, err := req.Wait(); err != nil {
+				return err
+			}
+			if got := c.Counters().RendezvousSends; got != 1 {
+				t.Errorf("IssendvType not rendezvous: %+v", c.Counters())
+			}
+			return nil
+		}
+		dst := buf.Alloc(int(ty.Extent()))
+		_, err := c.RecvType(dst, 1, ty, 0, 0)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := datatype.PlanStatsSnapshot().Sub(planBefore); d.FusedOps != 1 {
+		t.Fatalf("forced-rendezvous fused attribution %+v", d)
+	}
+}
+
+// TestIrecvTypeOverlappedExchange pins the typed non-blocking receive:
+// two ranks post IrecvType, fire IsendvType at each other, and both
+// layouts arrive fused — the overlap shape a typed halo exchange uses.
+func TestIrecvTypeOverlappedExchange(t *testing.T) {
+	const count = 1 << 15
+	err := Run(2, Options{}, func(c *Comm) error {
+		ty := everyOther(t, count)
+		peer := 1 - c.Rank()
+		src := buf.Alloc(int(ty.Extent()))
+		src.FillPattern(byte(0x60 + c.Rank()))
+		dst := buf.Alloc(int(ty.Extent()))
+		rreq, err := c.IrecvType(dst, 1, ty, peer, 0)
+		if err != nil {
+			return err
+		}
+		sreq, err := c.IsendvType(src, 1, ty, peer, 0)
+		if err != nil {
+			return err
+		}
+		if _, err := rreq.Wait(); err != nil {
+			return err
+		}
+		if _, err := sreq.Wait(); err != nil {
+			return err
+		}
+		want := buf.Alloc(int(ty.Extent()))
+		want.FillPattern(byte(0x60 + peer))
+		for i := 0; i < dst.Len(); i += 16 {
+			if !bytes.Equal(dst.Bytes()[i:i+8], want.Bytes()[i:i+8]) {
+				t.Fatalf("rank %d overlapped layout byte %d differs", c.Rank(), i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIrecvTypeMatchesSendType pins IrecvType against the classic
+// staged typed send, including the status count.
+func TestIrecvTypeMatchesSendType(t *testing.T) {
+	const count = 1 << 12
+	run2(t, func(c *Comm) error {
+		ty := everyOther(t, count)
+		if c.Rank() == 0 {
+			src := buf.Alloc(int(ty.Extent()))
+			src.FillPattern(3)
+			return c.SendType(src, 1, ty, 1, 0)
+		}
+		dst := buf.Alloc(int(ty.Extent()))
+		req, err := c.IrecvType(dst, 1, ty, 0, 0)
+		if err != nil {
+			return err
+		}
+		st, err := req.Wait()
+		if err != nil {
+			return err
+		}
+		if st.Count != ty.Size() {
+			t.Errorf("IrecvType status count %d, want %d", st.Count, ty.Size())
+		}
+		want := buf.Alloc(int(ty.Extent()))
+		want.FillPattern(3)
+		for i := 0; i < dst.Len(); i += 16 {
+			if !bytes.Equal(dst.Bytes()[i:i+8], want.Bytes()[i:i+8]) {
+				t.Fatalf("IrecvType layout byte %d differs", i)
+			}
+		}
+		return nil
+	})
+}
+
 // BenchmarkFusedRendezvous is the CI smoke cell for the zero-staging
 // contract: one fused exchange per iteration; any pooled staging or
 // transit draw on the fused path fails the bench.

@@ -95,6 +95,31 @@ func (c *Comm) Irecv(b buf.Block, src, tag int) (*Request, error) {
 	if err := c.checkRecvArgs(src, tag); err != nil {
 		return nil, err
 	}
+	return c.startAsyncRecv(func(cc *Comm) (Status, error) {
+		return cc.recvContig(b, src, tag)
+	}), nil
+}
+
+// IrecvType starts a non-blocking derived-datatype receive, like
+// MPI_Irecv with a non-contiguous type: the payload is scattered into
+// b's layout when the matching send completes, and a rendezvous sendv
+// sender is offered the layout for the fused one-pass scatter exactly
+// as RecvType offers it. The matching-order caveat of Irecv applies.
+func (c *Comm) IrecvType(b buf.Block, count int, ty *datatype.Type, src, tag int) (*Request, error) {
+	if err := c.checkRecvArgs(src, tag); err != nil {
+		return nil, err
+	}
+	if count < 0 {
+		return nil, fmt.Errorf("%w: %d", ErrCount, count)
+	}
+	return c.startAsyncRecv(func(cc *Comm) (Status, error) {
+		return cc.recvTyped(b, count, ty, src, tag)
+	}), nil
+}
+
+// startAsyncRecv runs a receive op on a clone in the background; the
+// receive posts when the op first touches the fabric, like MPI_Irecv.
+func (c *Comm) startAsyncRecv(op func(*Comm) (Status, error)) *Request {
 	cc := c.asyncClone()
 	c.reqSeq++
 	r := &Request{owner: c, async: cc, done: make(chan struct{}), id: c.reqSeq}
@@ -105,9 +130,9 @@ func (c *Comm) Irecv(b buf.Block, src, tag int) (*Request, error) {
 				r.err = fmt.Errorf("mpi: async op panicked: %v", p)
 			}
 		}()
-		r.status, r.err = cc.recvContig(b, src, tag)
+		r.status, r.err = op(cc)
 	}()
-	return r, nil
+	return r
 }
 
 // Wait blocks until the operation completes and folds its virtual time

@@ -206,6 +206,25 @@ func (p *Profile) Chunks(n int64) int64 {
 	return (n + p.InternalChunk - 1) / p.InternalChunk
 }
 
+// CollectiveTreeLimit returns the per-leg payload size up to which
+// fan-in/fan-out collectives (gather/scatter shapes) prefer the
+// binomial tree over the linear fan. Tree rounds forward payloads
+// through intermediate ranks — every hop is another full memory pass
+// and another wire crossing — so the tree only wins while the latency
+// it saves dominates the copies it adds: at or below the eager limit
+// (where a leg is latency-bound anyway), and below the size whose
+// single-core copy time overtakes the wire latency, a bound derived
+// from the installation's memory hierarchy (bytes/CopyBW ≤
+// NetLatency). Above the limit the engines run the linear fan, whose
+// legs each cross the memory system once.
+func (p *Profile) CollectiveTreeLimit() int64 {
+	limit := p.EagerLimit
+	if byMem := int64(p.NetLatency * p.Mem.CopyBW); byMem > limit {
+		limit = byMem
+	}
+	return limit
+}
+
 // registry of the four installations, keyed by canonical name.
 var registry = map[string]func() *Profile{
 	"skx-impi":    SkxImpi,

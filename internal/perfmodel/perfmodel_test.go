@@ -153,3 +153,19 @@ func TestZeroByteLatencyNearPaperMinimum(t *testing.T) {
 		t.Fatalf("zero-byte ping-pong = %g s, want on the order of 6 µs", rt)
 	}
 }
+
+func TestCollectiveTreeLimit(t *testing.T) {
+	for _, name := range Names() {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		limit := p.CollectiveTreeLimit()
+		if limit < p.EagerLimit {
+			t.Errorf("%s: tree limit %d under the eager limit %d", name, limit, p.EagerLimit)
+		}
+		if limit <= 0 {
+			t.Errorf("%s: non-positive tree limit %d", name, limit)
+		}
+	}
+}
