@@ -52,18 +52,19 @@ import (
 type Scheme = core.Scheme
 
 // The schemes, in the order of the paper's figure legends, plus the
-// compiled-pack and fused-rendezvous schemes.
+// compiled-pack, fused-rendezvous and pipelined-typed schemes.
 const (
-	Reference    = core.Reference
-	Copying      = core.Copying
-	Buffered     = core.Buffered
-	VectorType   = core.VectorType
-	Subarray     = core.Subarray
-	OneSided     = core.OneSided
-	PackElement  = core.PackElement
-	PackVector   = core.PackVector
-	PackCompiled = core.PackCompiled
-	Sendv        = core.Sendv
+	Reference      = core.Reference
+	Copying        = core.Copying
+	Buffered       = core.Buffered
+	VectorType     = core.VectorType
+	Subarray       = core.Subarray
+	OneSided       = core.OneSided
+	PackElement    = core.PackElement
+	PackVector     = core.PackVector
+	PackCompiled   = core.PackCompiled
+	Sendv          = core.Sendv
+	TypedPipelined = core.TypedPipelined
 )
 
 // Schemes lists all schemes in legend order.

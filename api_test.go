@@ -40,9 +40,9 @@ func TestFacadeProfiles(t *testing.T) {
 }
 
 func TestFacadeSchemes(t *testing.T) {
-	// The paper's eight schemes plus the compiled-pack column and the
-	// fused-rendezvous sendv column.
-	if len(repro.Schemes()) != 10 {
+	// The paper's eight schemes plus the compiled-pack,
+	// fused-rendezvous and pipelined-typed columns.
+	if len(repro.Schemes()) != 11 {
 		t.Fatalf("schemes = %v", repro.Schemes())
 	}
 	s, err := repro.SchemeByName("packing(v)")
@@ -95,7 +95,7 @@ func TestFacadeBuildFigure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(fig.Time) != 10 || len(fig.Slowdown) != 10 {
+	if len(fig.Time) != 11 || len(fig.Slowdown) != 11 {
 		t.Fatalf("panels: %d time, %d slowdown", len(fig.Time), len(fig.Slowdown))
 	}
 }

@@ -8,7 +8,7 @@
 //	figures [-profile skx-impi|skx-mvapich|ls5-cray|knl-impi|all]
 //	        [-per-decade 4] [-reps 20] [-max-real 16777216]
 //	        [-csv dir] [-check] [-what-if] [-plan] [-plancache] [-fused]
-//	        [-halo]
+//	        [-halo] [-pipeline]
 //
 // Study flags:
 //
@@ -30,6 +30,13 @@
 //	             sendv remote legs — against the manual
 //	             pack → contiguous collective → unpack pipeline, with
 //	             PlanStats fused-vs-staged attribution per cell)
+//	-pipeline    E16: the pipelined chunk-engine study (serial chunk
+//	             loop vs SendpType's pack/inject overlap vs the fused
+//	             sendv bound, swept across internal chunk sizes on the
+//	             paper's layouts, plus the pipelined scatter+allgather
+//	             BcastType against the binomial tree at 8 ranks — every
+//	             pipelined cell reports its PipelinedOps/PipelinedBytes
+//	             overlap attribution)
 package main
 
 import (
@@ -55,6 +62,7 @@ func main() {
 	planCache := flag.Bool("plancache", false, "also print the E13 plan-cache study (cold vs warm compile, chunked cursor vs compiled kernels)")
 	fused := flag.Bool("fused", false, "also print the E14 fused-transfer study (fused vs staged vs cursor bandwidth)")
 	halo := flag.Bool("halo", false, "also print the E15 halo-exchange study (typed collectives vs manual pack over subarray faces)")
+	pipeline := flag.Bool("pipeline", false, "also print the E16 pipelined chunk-engine study (serial vs pipelined vs fused across chunk sizes)")
 	flag.Parse()
 
 	profiles := []string{"skx-impi", "skx-mvapich", "ls5-cray", "knl-impi"}
@@ -173,6 +181,18 @@ func main() {
 			}
 			fmt.Printf("typed collectives are %.2fx manual pack on the contiguous 3-D planes at the largest tile\n\n",
 				st.TypedSpeedupAt("3d-z plane (contig)"))
+		}
+		if *pipeline {
+			st, err := figures.BuildPipelineStudy(name, nil, nil)
+			if err != nil {
+				fatal(err)
+			}
+			if err := st.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+			chunk := st.Profile.InternalChunk()
+			fmt.Printf("the pipelined chunk engine is %.2fx the serial loop on every-other doubles at the profile's %d-byte chunks\n\n",
+				st.PipelinedSpeedupAt("everyOther", chunk), chunk)
 		}
 	}
 }

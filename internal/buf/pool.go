@@ -48,8 +48,25 @@ const PoolShards = 8
 var blockPools [PoolShards][poolClasses]sync.Pool
 
 // poolCounters feed PoolStats so tests and studies can verify reuse.
+// The totals are kept alongside the per-shard breakdown so the cheap
+// whole-pool read never sums an array.
 var poolCounters struct {
 	gets, hits, puts atomic.Int64
+
+	shard [PoolShards]struct {
+		gets, hits, puts atomic.Int64
+	}
+}
+
+// ShardPoolStats is one free-list shard's slice of the pool counters.
+// Gets and Hits are attributed to the shard the block was drawn from;
+// Puts to the block's home shard — the shard the storage returns to —
+// wherever the release runs, so a pipeline's slot ring (or any other
+// per-rank transit churn) is attributable shard by shard.
+type ShardPoolStats struct {
+	Gets int64
+	Hits int64
+	Puts int64
 }
 
 // PoolStats is a snapshot of the block-pool counters.
@@ -57,20 +74,40 @@ type PoolStats struct {
 	Gets int64 // pooled-range GetPooled calls
 	Hits int64 // Gets served by recycled storage
 	Puts int64 // blocks returned
+
+	// Shards is the per-shard breakdown; the totals above are its sums.
+	Shards [PoolShards]ShardPoolStats
 }
 
 // Sub returns the counter-wise difference s - o.
 func (s PoolStats) Sub(o PoolStats) PoolStats {
-	return PoolStats{Gets: s.Gets - o.Gets, Hits: s.Hits - o.Hits, Puts: s.Puts - o.Puts}
+	d := PoolStats{Gets: s.Gets - o.Gets, Hits: s.Hits - o.Hits, Puts: s.Puts - o.Puts}
+	for i := range d.Shards {
+		d.Shards[i] = ShardPoolStats{
+			Gets: s.Shards[i].Gets - o.Shards[i].Gets,
+			Hits: s.Shards[i].Hits - o.Shards[i].Hits,
+			Puts: s.Shards[i].Puts - o.Shards[i].Puts,
+		}
+	}
+	return d
 }
 
-// PoolStatsSnapshot returns the current block-pool counters.
+// PoolStatsSnapshot returns the current block-pool counters with the
+// per-shard breakdown.
 func PoolStatsSnapshot() PoolStats {
-	return PoolStats{
+	st := PoolStats{
 		Gets: poolCounters.gets.Load(),
 		Hits: poolCounters.hits.Load(),
 		Puts: poolCounters.puts.Load(),
 	}
+	for i := range st.Shards {
+		st.Shards[i] = ShardPoolStats{
+			Gets: poolCounters.shard[i].gets.Load(),
+			Hits: poolCounters.shard[i].hits.Load(),
+			Puts: poolCounters.shard[i].puts.Load(),
+		}
+	}
+	return st
 }
 
 // poolClassFor returns the class index for an n-byte request, or -1
@@ -108,8 +145,10 @@ func GetPooledFor(rank, n int) Block {
 		shard = 0
 	}
 	poolCounters.gets.Add(1)
+	poolCounters.shard[shard].gets.Add(1)
 	if v := blockPools[shard][c].Get(); v != nil {
 		poolCounters.hits.Add(1)
+		poolCounters.shard[shard].hits.Add(1)
 		sl := *(v.(*[]byte))
 		return Block{data: sl[:n], n: n, region: nextRegion(), pool: int8(c) + 1, shard: int8(shard)}
 	}
@@ -127,5 +166,6 @@ func PutPooled(b Block) {
 	}
 	sl := b.data[:cap(b.data)]
 	poolCounters.puts.Add(1)
+	poolCounters.shard[b.shard].puts.Add(1)
 	blockPools[b.shard][b.pool-1].Put(&sl)
 }

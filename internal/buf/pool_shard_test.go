@@ -62,6 +62,79 @@ func TestPoolShardRankMapping(t *testing.T) {
 	PutPooled(z)
 }
 
+// TestPoolCrossShardRelease pins the home-shard contract across
+// goroutines: a block drawn from rank r's shard and released on a
+// goroutine serving a different rank (the receive-completion shape of
+// internal/mpi) must return its storage to shard r — and the release
+// must be attributed to shard r in the per-shard stats.
+func TestPoolCrossShardRelease(t *testing.T) {
+	const n = 8 << 10
+	// Drain the two shards of this class so recycling is observable.
+	for _, shard := range []int{3, 5} {
+		for i := 0; i < 64; i++ {
+			GetPooledFor(shard, n)
+		}
+	}
+	before := PoolStatsSnapshot()
+	b := GetPooledFor(3, n)
+	mark := b.Bytes()
+	mark[0] = 0xAB
+
+	// Release on a goroutine that is churning a different shard, as a
+	// peer rank's receive completion would.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		other := GetPooledFor(5, n)
+		PutPooled(b) // cross-shard release of shard 3's block
+		PutPooled(other)
+	}()
+	<-done
+
+	d := PoolStatsSnapshot().Sub(before)
+	if d.Shards[3].Puts != 1 {
+		t.Errorf("shard 3 puts = %d, want 1 (cross-shard release must be attributed home)", d.Shards[3].Puts)
+	}
+	if d.Shards[5].Puts != 1 {
+		t.Errorf("shard 5 puts = %d, want 1", d.Shards[5].Puts)
+	}
+	// Shard 3 recycles its own storage; shard 5 must not see it.
+	c := GetPooledFor(5, n)
+	if len(c.Bytes()) > 0 && &c.Bytes()[0] == &mark[0] {
+		t.Fatal("shard 5 was served shard 3's released storage")
+	}
+	d3 := GetPooledFor(3, n)
+	if len(d3.Bytes()) == 0 || &d3.Bytes()[0] != &mark[0] {
+		t.Fatal("shard 3 did not recycle the cross-shard-released storage")
+	}
+	PutPooled(c)
+	PutPooled(d3)
+}
+
+// TestPoolShardStatsBreakdown pins that the per-shard counters sum to
+// the whole-pool totals and attribute gets to the drawing shard.
+func TestPoolShardStatsBreakdown(t *testing.T) {
+	before := PoolStatsSnapshot()
+	a := GetPooledFor(1, 4<<10)
+	b := GetPooledFor(6, 4<<10)
+	PutPooled(a)
+	PutPooled(b)
+	d := PoolStatsSnapshot().Sub(before)
+	if d.Shards[1].Gets != 1 || d.Shards[6].Gets != 1 {
+		t.Errorf("shard gets = %+v, want one each on shards 1 and 6", d.Shards)
+	}
+	var gets, hits, puts int64
+	for _, s := range d.Shards {
+		gets += s.Gets
+		hits += s.Hits
+		puts += s.Puts
+	}
+	if gets != d.Gets || hits != d.Hits || puts != d.Puts {
+		t.Errorf("per-shard sums (%d/%d/%d) disagree with totals (%d/%d/%d)",
+			gets, hits, puts, d.Gets, d.Hits, d.Puts)
+	}
+}
+
 // BenchmarkPoolContention measures the free-list contention the
 // per-rank shards remove: many rank goroutines churning transit-sized
 // blocks through one shared shard versus through their own shards.

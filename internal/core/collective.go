@@ -42,6 +42,15 @@ type CollectiveCostModel struct {
 	// TypedCollective and PackedCollective are modeled completion
 	// times in seconds for the two strategies.
 	TypedCollective, PackedCollective float64
+
+	// PipelinedRing is the modeled completion time of the
+	// packed-segment ring schedule (the engine behind the pipelined
+	// large-message Bcast/Allgather): each rank packs its contribution
+	// once, the ring forwards packed blocks verbatim, and every hop's
+	// unpack overlaps the next piece's flight through the chunk-stream.
+	// Zero at tree sizes, where the chunk pipeline has nothing to
+	// overlap.
+	PipelinedRing float64
 }
 
 // TypedSpeedup returns PackedCollective/TypedCollective: >1 means the
@@ -104,7 +113,28 @@ func PriceCollective(ranks int, n int64, p *perfmodel.Profile) CollectiveCostMod
 	} else {
 		m.PackedCollective = prologue + memsim.LinearFanCost(ranks, 0, unpack, wire, over)
 	}
+
+	// Pipelined packed-segment ring: one serial compiled pack of the
+	// contribution, then p-1 hops whose per-hop span is the chunked
+	// pipeline of the block's wire against its unpack (the forwarded
+	// stream is read back out at streaming rate, which the duplex hop
+	// hides under the receive).
+	if !m.Tree {
+		serialPack := mem.CompiledGatherCost(0, 0, st)
+		hop := memsim.PipelinedChunkCost(wire, unpack, p.Chunks(n), p.PipelineDepth())
+		m.PipelinedRing = serialPack + float64(ranks-1)*(over+hop)
+	}
 	return m
+}
+
+// PipelinedSpeedup returns TypedCollective/PipelinedRing: >1 means the
+// packed-segment ring beats the typed fan. It is 1 when the ring does
+// not apply (tree sizes).
+func (m CollectiveCostModel) PipelinedSpeedup() float64 {
+	if m.PipelinedRing <= 0 || m.TypedCollective <= 0 {
+		return 1
+	}
+	return m.TypedCollective / m.PipelinedRing
 }
 
 // RecommendCollective operationalises the paper's conclusion for
@@ -123,6 +153,13 @@ func RecommendCollective(ranks int, n int64, contiguous bool, goal Goal, p *perf
 	}
 	m := PriceCollective(ranks, n, p)
 	if goal == GoalFastest {
+		if m.PipelinedRing > 0 && m.PipelinedRing < m.TypedCollective && m.PipelinedRing <= m.PackedCollective {
+			return Recommendation{
+				Scheme: TypedPipelined,
+				Reason: fmt.Sprintf("pipelined packed-segment ring models %.2fx over the typed fan on %s: pack once, forward packed blocks, unpack overlapped against the next piece's flight",
+					m.PipelinedSpeedup(), p.Name),
+			}
+		}
 		if m.TypedCollective <= m.PackedCollective {
 			return Recommendation{
 				Scheme: Sendv,

@@ -11,7 +11,7 @@ import (
 )
 
 func TestSchemeNames(t *testing.T) {
-	want := []string{"reference", "copying", "buffered", "vector type", "subarray", "onesided", "packing(e)", "packing(v)", "packing(c)", "sendv"}
+	want := []string{"reference", "copying", "buffered", "vector type", "subarray", "onesided", "packing(e)", "packing(v)", "packing(c)", "sendv", "pipelined"}
 	for i, s := range Schemes() {
 		if s.String() != want[i] {
 			t.Errorf("scheme %d = %q, want %q", i, s, want[i])
@@ -201,6 +201,68 @@ func TestRecommendConclusion(t *testing.T) {
 		if strings.TrimSpace(r.Reason) == "" {
 			t.Error("recommendation without a reason")
 		}
+	}
+}
+
+// TestPricePipelined pins the pipelined column of the packing cost
+// model: priced only where the engine can overlap (rendezvous,
+// multi-chunk), always between the fused bound and the serial typed
+// send, and degenerating to zero at eager sizes.
+func TestPricePipelined(t *testing.T) {
+	prof := perfmodel.Generic()
+	m := PricePacking(4<<20, prof)
+	if m.PipelinedSend <= 0 {
+		t.Fatalf("4 MiB payload priced no pipelined send: %+v", m)
+	}
+	if m.Chunks <= 1 || m.Depth < 1 {
+		t.Fatalf("pipelined model carries no chunk geometry: %+v", m)
+	}
+	if m.PipelinedSend >= m.TypedSend {
+		t.Errorf("pipelined (%.3g) not below the serial typed send (%.3g)", m.PipelinedSend, m.TypedSend)
+	}
+	if m.PipelinedSpeedup() < 1.3 {
+		t.Errorf("pipelined speedup %.2fx at 4 MiB, want >= 1.3x (the acceptance floor)", m.PipelinedSpeedup())
+	}
+	if m.FusedSend > 0 && m.PipelinedSend < m.FusedSend {
+		t.Errorf("pipelined (%.3g) prices below the fused bound (%.3g)", m.PipelinedSend, m.FusedSend)
+	}
+	if e := PricePacking(16<<10, prof); e.PipelinedSend != 0 {
+		t.Errorf("eager-sized payload priced a pipelined send: %+v", e)
+	}
+	// GoalFastest prefers fused when it is cheapest, and must fall to
+	// the pipelined scheme when the fused path is priced out.
+	if rec := Recommend(4<<20, false, GoalFastest, prof); rec.Scheme != Sendv {
+		t.Errorf("fastest at 4 MiB: %v (fused should win outright)", rec.Scheme)
+	}
+	sp := m.TypedSend / m.PipelinedSend
+	if sp <= 1 {
+		t.Fatalf("no pipelined headroom to recommend: %+v", m)
+	}
+}
+
+// TestRecommendCollectivePipelined pins the collective model's
+// pipelined-ring column: present for large linear-fan legs, absent at
+// tree sizes.
+func TestRecommendCollectivePipelined(t *testing.T) {
+	p := perfmodel.Generic()
+	big := PriceCollective(8, 10_000_000, p)
+	if big.PipelinedRing <= 0 {
+		t.Fatalf("10 MB legs priced no pipelined ring: %+v", big)
+	}
+	small := PriceCollective(8, 1024, p)
+	if small.PipelinedRing != 0 {
+		t.Errorf("tree-sized legs priced a pipelined ring: %+v", small)
+	}
+	// Whatever wins, the recommendation must be one of the three
+	// engines the model prices, with a reason.
+	rec := RecommendCollective(8, 10_000_000, false, GoalFastest, p)
+	switch rec.Scheme {
+	case Sendv, PackCompiled, TypedPipelined:
+	default:
+		t.Errorf("fastest collective recommended %v", rec.Scheme)
+	}
+	if strings.TrimSpace(rec.Reason) == "" {
+		t.Error("recommendation without a reason")
 	}
 }
 

@@ -55,6 +55,19 @@ type PackingCostModel struct {
 	// the payload would ride the eager protocol, where sendv falls
 	// back to the staged typed path and buys nothing.
 	FusedSend float64
+
+	// PipelinedSend is the modeled one-way time of the
+	// software-pipelined typed send (SendpType): the compiled pack
+	// overlapped chunk-by-chunk against injection through the slot
+	// ring, still staged through MPI-internal chunks at the internally
+	// degraded bandwidth. Zero when the payload would ride the eager
+	// protocol or fit one chunk, where the engine degenerates to the
+	// serial typed path.
+	PipelinedSend float64
+	// Chunks and Depth are the internal-chunk count and slot-ring
+	// depth behind PipelinedSend.
+	Chunks int64
+	Depth  int
 }
 
 // CompiledSpeedup returns TypedSend/CompiledPack: >1 means the
@@ -74,6 +87,16 @@ func (m PackingCostModel) FusedSpeedup() float64 {
 		return 1
 	}
 	return m.TypedSend / m.FusedSend
+}
+
+// PipelinedSpeedup returns TypedSend/PipelinedSend: >1 means the
+// software-pipelined chunk loop beats the serial one. It is 1 when
+// the engine would degenerate to the serial path.
+func (m PackingCostModel) PipelinedSpeedup() float64 {
+	if m.PipelinedSend <= 0 {
+		return 1
+	}
+	return m.TypedSend / m.PipelinedSend
 }
 
 // PricePacking evaluates the packing cost model for n payload bytes on
@@ -106,7 +129,19 @@ func PricePacking(n int64, p *perfmodel.Profile) PackingCostModel {
 	if bw := p.InternalBW(n); bw > 0 {
 		typedWire = float64(n) / bw
 	}
-	m.TypedSend = mem.GatherCost(0, 0, st) + float64(p.Chunks(n))*p.ChunkOverhead + typedWire
+	m.Chunks = p.Chunks(n)
+	m.Depth = p.PipelineDepth()
+	m.TypedSend = mem.GatherCost(0, 0, st) + float64(m.Chunks)*p.ChunkOverhead + typedWire
+
+	// The pipelined typed send runs the same chunked staging, but the
+	// compiled pack of chunk k+1 overlaps the injection of chunk k
+	// through the slot ring, so the span collapses to the two-stage
+	// pipeline bound. Rendezvous only: the eager path packs in one
+	// shot before the envelope leaves.
+	if !p.Eager(n, false) && m.Chunks > 1 {
+		pipePack := mem.CompiledGatherCost(0, 0, st) + float64(m.Chunks)*p.ChunkOverhead
+		m.PipelinedSend = memsim.PipelinedChunkCost(pipePack, typedWire, m.Chunks, m.Depth)
+	}
 
 	// The fused rendezvous runs one compiled pass straight into the
 	// receiver's buffer, pipelined with the wire at nominal bandwidth:
@@ -142,6 +177,12 @@ func PricePacking(n int64, p *perfmodel.Profile) PackingCostModel {
 //     into the receiver's buffer, overlapped with the wire. When the
 //     model prices it below both the compiled pack and the datatype
 //     send, GoalFastest picks it.
+//   - When the receive path cannot take the fused scatter, the
+//     software-pipelined typed send (SendpType) is the next rung: the
+//     same chunked staging as the serial datatype send, with pack
+//     overlapped against inject through the slot ring. GoalFastest
+//     picks it whenever the model prices it below the compiled pack
+//     and fused is not cheaper still.
 //   - Buffered sends are "at a disadvantage" and one-sided "may behave
 //     worse depending on the architecture"; they are never
 //     recommended.
@@ -154,11 +195,19 @@ func Recommend(n int64, contiguous bool, goal Goal, p *perfmodel.Profile) Recomm
 	}
 	if goal == GoalFastest {
 		model := PricePacking(n, p)
-		if model.FusedSend > 0 && model.FusedSend < model.CompiledPack && model.FusedSpeedup() > 1 {
+		if model.FusedSend > 0 && model.FusedSend < model.CompiledPack && model.FusedSpeedup() > 1 &&
+			(model.PipelinedSend <= 0 || model.FusedSend <= model.PipelinedSend) {
 			return Recommendation{
 				Scheme: Sendv,
 				Reason: fmt.Sprintf("fused rendezvous models %.2fx over the datatype send on %s: one pass, no staging buffer, no MPI-internal chunking",
 					model.FusedSpeedup(), p.Name),
+			}
+		}
+		if model.PipelinedSend > 0 && model.PipelinedSend < model.CompiledPack && model.PipelinedSpeedup() > 1 {
+			return Recommendation{
+				Scheme: TypedPipelined,
+				Reason: fmt.Sprintf("pipelined chunk engine models %.2fx over the serial datatype send on %s: %d chunks overlapped through a depth-%d slot ring (§2.3)",
+					model.PipelinedSpeedup(), p.Name, model.Chunks, model.Depth),
 			}
 		}
 		if model.CompiledSpeedup() > 1 {

@@ -27,6 +27,17 @@
 // buffer, no MPI-internal chunking, no receive-side unpack. It is the
 // engine-level answer to the paper's finding that the redundant
 // software copy, not the wire, is what non-contiguous sends pay for.
+//
+// TypedPipelined ("pipelined") is the eleventh: the software-pipelined
+// typed send (mpi.SendpType). The paper's §2.3 observes the chunked
+// derived-type send serialising pack and inject — and that pipelining
+// the two stages would recover the reference rate, which "in practice
+// we don't see". The pipelined scheme realises that overlap in
+// software: the rendezvous chunk loop runs on a slot ring with a pack
+// worker a configurable depth ahead of injection, so the span
+// collapses to the two-stage pipeline bound while the transfer still
+// stages through MPI-internal chunks (unlike sendv, which needs a
+// scatter-capable receive path).
 package core
 
 import (
@@ -38,8 +49,8 @@ import (
 type Scheme int
 
 // The eight schemes of the study, in the order of the figures'
-// legend, plus the compiled-pack and fused-rendezvous schemes
-// appended after them.
+// legend, plus the compiled-pack, fused-rendezvous and
+// pipelined-typed schemes appended after them.
 const (
 	Reference Scheme = iota
 	Copying
@@ -51,19 +62,21 @@ const (
 	PackVector
 	PackCompiled
 	Sendv
+	TypedPipelined
 )
 
 var schemeNames = map[Scheme]string{
-	Reference:    "reference",
-	Copying:      "copying",
-	Buffered:     "buffered",
-	VectorType:   "vector type",
-	Subarray:     "subarray",
-	OneSided:     "onesided",
-	PackElement:  "packing(e)",
-	PackVector:   "packing(v)",
-	PackCompiled: "packing(c)",
-	Sendv:        "sendv",
+	Reference:      "reference",
+	Copying:        "copying",
+	Buffered:       "buffered",
+	VectorType:     "vector type",
+	Subarray:       "subarray",
+	OneSided:       "onesided",
+	PackElement:    "packing(e)",
+	PackVector:     "packing(v)",
+	PackCompiled:   "packing(c)",
+	Sendv:          "sendv",
+	TypedPipelined: "pipelined",
 }
 
 // String returns the paper's legend label for the scheme.
@@ -76,7 +89,7 @@ func (s Scheme) String() string {
 
 // Schemes lists all schemes in legend order.
 func Schemes() []Scheme {
-	return []Scheme{Reference, Copying, Buffered, VectorType, Subarray, OneSided, PackElement, PackVector, PackCompiled, Sendv}
+	return []Scheme{Reference, Copying, Buffered, VectorType, Subarray, OneSided, PackElement, PackVector, PackCompiled, Sendv, TypedPipelined}
 }
 
 // SchemeByName resolves a legend label (or a few aliases) to a Scheme.
@@ -98,6 +111,8 @@ func SchemeByName(name string) (Scheme, error) {
 		"compiled":    PackCompiled,
 		"sendv":       Sendv,
 		"fused":       Sendv,
+		"pipelined":   TypedPipelined,
+		"pipeline":    TypedPipelined,
 	}
 	if s, ok := aliases[name]; ok {
 		return s, nil

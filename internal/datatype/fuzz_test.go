@@ -126,11 +126,17 @@ func FuzzPackRoundtrip(f *testing.F) {
 	f.Add([]byte{3, 4, 3, 1, 1, 1, 1, 1, 1, 1, 1}) // nested indexed over a derived base
 	// Fused sender/receiver pairs: a first type, count and seed, then
 	// chunk splits, then a second type for the fused differential.
-	f.Add([]byte{2, 1, 1, 8, 1, 3, 2, 11, 40, 40, 2, 1, 1, 5, 2, 4, 1})  // vector -> vector, different stride
-	f.Add([]byte{2, 1, 1, 8, 1, 3, 2, 11, 40, 40, 2, 1, 0, 12, 1})       // vector -> contiguous
+	f.Add([]byte{2, 1, 1, 8, 1, 3, 2, 11, 40, 40, 2, 1, 1, 5, 2, 4, 1})      // vector -> vector, different stride
+	f.Add([]byte{2, 1, 1, 8, 1, 3, 2, 11, 40, 40, 2, 1, 0, 12, 1})           // vector -> contiguous
 	f.Add([]byte{2, 1, 3, 2, 1, 0, 0, 2, 2, 1, 30, 30, 2, 1, 1, 6, 1, 2, 2}) // indexed -> vector
-	f.Add([]byte{2, 1, 0, 12, 1, 7, 25, 25, 2, 1, 3, 2, 1, 0, 0, 2, 2})  // contiguous -> indexed
-	f.Add([]byte{2, 6, 1, 8, 1, 3, 2, 11, 40, 40, 2, 6, 2, 6, 0, 16, 1}) // resized vector -> resized hvector
+	f.Add([]byte{2, 1, 0, 12, 1, 7, 25, 25, 2, 1, 3, 2, 1, 0, 0, 2, 2})      // contiguous -> indexed
+	f.Add([]byte{2, 6, 1, 8, 1, 3, 2, 11, 40, 40, 2, 6, 2, 6, 0, 16, 1})     // resized vector -> resized hvector
+	// Pipelined chunk splits: the trailing byte pair after the chunked
+	// splits draws the slot-ring chunk size and depth.
+	f.Add([]byte{2, 1, 1, 8, 1, 3, 2, 11, 16, 16, 16, 16, 0, 1})     // vector through 1-byte chunks, depth 2
+	f.Add([]byte{2, 1, 3, 2, 1, 0, 0, 2, 2, 1, 9, 9, 9, 9, 6, 3})    // indexed through 7-byte chunks, depth 4
+	f.Add([]byte{2, 6, 1, 8, 1, 3, 2, 11, 12, 12, 12, 12, 254, 0})   // resized vector through 255-byte chunks, depth 1
+	f.Add([]byte{3, 4, 3, 1, 1, 1, 1, 1, 1, 1, 1, 8, 8, 8, 8, 2, 2}) // nested indexed, 3-byte chunks
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		d := &fuzzDecoder{data: data}
@@ -204,6 +210,36 @@ func FuzzPackRoundtrip(f *testing.F) {
 				t.Fatalf("chunked unpack (%v): %v", ty, err)
 			}
 			off += n
+		}
+
+		// Pipelined differential: drive the chunk-slot pipeline over a
+		// fuzz-drawn chunk size and ring depth and require the
+		// reassembled stream to match the whole-message pack — the
+		// chunk-split shape of the pipelined rendezvous.
+		if total := ty.PackSize(count); total > 0 {
+			chunk := int64(d.byte()) + 1
+			depth := d.intn(4) + 1
+			plan, err := ty.CompilePlan(count)
+			if err != nil {
+				t.Fatalf("plan (%v): %v", ty, err)
+			}
+			cp, err := NewChunkPipeline(plan, src, 0, total, chunk, depth, 0)
+			if err != nil {
+				t.Fatalf("pipeline (%v chunk=%d depth=%d): %v", ty, chunk, depth, err)
+			}
+			piped := make([]byte, 0, total)
+			for {
+				ch, ok := cp.Next()
+				if !ok {
+					break
+				}
+				piped = append(piped, ch.Data.Bytes()...)
+				cp.Recycle(ch)
+			}
+			cp.Close()
+			if !bytes.Equal(piped, packed.Bytes()) {
+				t.Fatalf("pipelined stream differs from whole-message pack for %v count=%d chunk=%d depth=%d", ty, count, chunk, depth)
+			}
 		}
 
 		// Fused differential: draw a second (receiver) type from the

@@ -376,6 +376,13 @@ type PlanStats struct {
 	ChunkOps, ChunkBytes   int64
 	CursorOps, CursorBytes int64
 
+	// PipelinedOps and PipelinedBytes count chunks executed by the
+	// chunk-slot pipeline's pack worker (ChunkPipeline) — the overlap
+	// attribution of the software-pipelined rendezvous and collective
+	// paths. Pipelined chunks are also counted in ChunkOps/ChunkBytes
+	// and their owning kernel, like any partial-range execution.
+	PipelinedOps, PipelinedBytes int64
+
 	// FusedOps and FusedBytes count one-pass fused scatter/gather
 	// transfers (FusedCopy: user layout → user layout, no staging);
 	// StagedOps and StagedBytes count rendezvous typed transfers that
@@ -406,34 +413,37 @@ func (s PlanStats) CompiledBytes() int64 { return s.ContigBytes + s.StrideBytes 
 // Sub returns the counter-wise difference s - o, for windowed deltas.
 func (s PlanStats) Sub(o PlanStats) PlanStats {
 	return PlanStats{
-		Compiled:      s.Compiled - o.Compiled,
-		PlanHits:      s.PlanHits - o.PlanHits,
-		PlanMisses:    s.PlanMisses - o.PlanMisses,
-		ContigOps:     s.ContigOps - o.ContigOps,
-		ContigBytes:   s.ContigBytes - o.ContigBytes,
-		StrideOps:     s.StrideOps - o.StrideOps,
-		StrideBytes:   s.StrideBytes - o.StrideBytes,
-		GatherOps:     s.GatherOps - o.GatherOps,
-		GatherBytes:   s.GatherBytes - o.GatherBytes,
-		ParallelOps:   s.ParallelOps - o.ParallelOps,
-		ParallelBytes: s.ParallelBytes - o.ParallelBytes,
-		ChunkOps:      s.ChunkOps - o.ChunkOps,
-		ChunkBytes:    s.ChunkBytes - o.ChunkBytes,
-		CursorOps:     s.CursorOps - o.CursorOps,
-		CursorBytes:   s.CursorBytes - o.CursorBytes,
-		FusedOps:      s.FusedOps - o.FusedOps,
-		FusedBytes:    s.FusedBytes - o.FusedBytes,
-		StagedOps:     s.StagedOps - o.StagedOps,
-		StagedBytes:   s.StagedBytes - o.StagedBytes,
+		Compiled:       s.Compiled - o.Compiled,
+		PlanHits:       s.PlanHits - o.PlanHits,
+		PlanMisses:     s.PlanMisses - o.PlanMisses,
+		ContigOps:      s.ContigOps - o.ContigOps,
+		ContigBytes:    s.ContigBytes - o.ContigBytes,
+		StrideOps:      s.StrideOps - o.StrideOps,
+		StrideBytes:    s.StrideBytes - o.StrideBytes,
+		GatherOps:      s.GatherOps - o.GatherOps,
+		GatherBytes:    s.GatherBytes - o.GatherBytes,
+		ParallelOps:    s.ParallelOps - o.ParallelOps,
+		ParallelBytes:  s.ParallelBytes - o.ParallelBytes,
+		ChunkOps:       s.ChunkOps - o.ChunkOps,
+		ChunkBytes:     s.ChunkBytes - o.ChunkBytes,
+		CursorOps:      s.CursorOps - o.CursorOps,
+		CursorBytes:    s.CursorBytes - o.CursorBytes,
+		PipelinedOps:   s.PipelinedOps - o.PipelinedOps,
+		PipelinedBytes: s.PipelinedBytes - o.PipelinedBytes,
+		FusedOps:       s.FusedOps - o.FusedOps,
+		FusedBytes:     s.FusedBytes - o.FusedBytes,
+		StagedOps:      s.StagedOps - o.StagedOps,
+		StagedBytes:    s.StagedBytes - o.StagedBytes,
 	}
 }
 
 // String renders the snapshot compactly for logs and study output.
 func (s PlanStats) String() string {
-	return fmt.Sprintf("plan{compiled=%d cache=%d/%d contig=%d/%dB stride=%d/%dB gather=%d/%dB parallel=%d/%dB chunk=%d/%dB cursor=%d/%dB fused=%d/%dB staged=%d/%dB}",
+	return fmt.Sprintf("plan{compiled=%d cache=%d/%d contig=%d/%dB stride=%d/%dB gather=%d/%dB parallel=%d/%dB chunk=%d/%dB pipelined=%d/%dB cursor=%d/%dB fused=%d/%dB staged=%d/%dB}",
 		s.Compiled, s.PlanHits, s.PlanMisses, s.ContigOps, s.ContigBytes, s.StrideOps, s.StrideBytes,
 		s.GatherOps, s.GatherBytes, s.ParallelOps, s.ParallelBytes, s.ChunkOps, s.ChunkBytes,
-		s.CursorOps, s.CursorBytes, s.FusedOps, s.FusedBytes, s.StagedOps, s.StagedBytes)
+		s.PipelinedOps, s.PipelinedBytes, s.CursorOps, s.CursorBytes, s.FusedOps, s.FusedBytes,
+		s.StagedOps, s.StagedBytes)
 }
 
 // planCounters holds the live counters behind PlanStatsSnapshot.
@@ -441,38 +451,41 @@ var planCounters struct {
 	compiled             atomic.Int64
 	planHits, planMisses atomic.Int64
 
-	contigOps, contigBytes     atomic.Int64
-	strideOps, strideBytes     atomic.Int64
-	gatherOps, gatherBytes     atomic.Int64
-	parallelOps, parallelBytes atomic.Int64
-	chunkOps, chunkBytes       atomic.Int64
-	cursorOps, cursorBytes     atomic.Int64
-	fusedOps, fusedBytes       atomic.Int64
-	stagedOps, stagedBytes     atomic.Int64
+	contigOps, contigBytes       atomic.Int64
+	strideOps, strideBytes       atomic.Int64
+	gatherOps, gatherBytes       atomic.Int64
+	parallelOps, parallelBytes   atomic.Int64
+	chunkOps, chunkBytes         atomic.Int64
+	pipelinedOps, pipelinedBytes atomic.Int64
+	cursorOps, cursorBytes       atomic.Int64
+	fusedOps, fusedBytes         atomic.Int64
+	stagedOps, stagedBytes       atomic.Int64
 }
 
 // PlanStatsSnapshot returns the current plan-engine counters.
 func PlanStatsSnapshot() PlanStats {
 	return PlanStats{
-		Compiled:      planCounters.compiled.Load(),
-		PlanHits:      planCounters.planHits.Load(),
-		PlanMisses:    planCounters.planMisses.Load(),
-		ContigOps:     planCounters.contigOps.Load(),
-		ContigBytes:   planCounters.contigBytes.Load(),
-		StrideOps:     planCounters.strideOps.Load(),
-		StrideBytes:   planCounters.strideBytes.Load(),
-		GatherOps:     planCounters.gatherOps.Load(),
-		GatherBytes:   planCounters.gatherBytes.Load(),
-		ParallelOps:   planCounters.parallelOps.Load(),
-		ParallelBytes: planCounters.parallelBytes.Load(),
-		ChunkOps:      planCounters.chunkOps.Load(),
-		ChunkBytes:    planCounters.chunkBytes.Load(),
-		CursorOps:     planCounters.cursorOps.Load(),
-		CursorBytes:   planCounters.cursorBytes.Load(),
-		FusedOps:      planCounters.fusedOps.Load(),
-		FusedBytes:    planCounters.fusedBytes.Load(),
-		StagedOps:     planCounters.stagedOps.Load(),
-		StagedBytes:   planCounters.stagedBytes.Load(),
+		Compiled:       planCounters.compiled.Load(),
+		PlanHits:       planCounters.planHits.Load(),
+		PlanMisses:     planCounters.planMisses.Load(),
+		ContigOps:      planCounters.contigOps.Load(),
+		ContigBytes:    planCounters.contigBytes.Load(),
+		StrideOps:      planCounters.strideOps.Load(),
+		StrideBytes:    planCounters.strideBytes.Load(),
+		GatherOps:      planCounters.gatherOps.Load(),
+		GatherBytes:    planCounters.gatherBytes.Load(),
+		ParallelOps:    planCounters.parallelOps.Load(),
+		ParallelBytes:  planCounters.parallelBytes.Load(),
+		ChunkOps:       planCounters.chunkOps.Load(),
+		ChunkBytes:     planCounters.chunkBytes.Load(),
+		PipelinedOps:   planCounters.pipelinedOps.Load(),
+		PipelinedBytes: planCounters.pipelinedBytes.Load(),
+		CursorOps:      planCounters.cursorOps.Load(),
+		CursorBytes:    planCounters.cursorBytes.Load(),
+		FusedOps:       planCounters.fusedOps.Load(),
+		FusedBytes:     planCounters.fusedBytes.Load(),
+		StagedOps:      planCounters.stagedOps.Load(),
+		StagedBytes:    planCounters.stagedBytes.Load(),
 	}
 }
 
@@ -491,6 +504,8 @@ func ResetPlanStats() {
 	planCounters.parallelBytes.Store(0)
 	planCounters.chunkOps.Store(0)
 	planCounters.chunkBytes.Store(0)
+	planCounters.pipelinedOps.Store(0)
+	planCounters.pipelinedBytes.Store(0)
 	planCounters.cursorOps.Store(0)
 	planCounters.cursorBytes.Store(0)
 	planCounters.fusedOps.Store(0)
@@ -524,6 +539,13 @@ func recordPlanChunk(k PlanKernel, n int64, parallel bool) {
 	recordPlanExec(k, n, parallel)
 	planCounters.chunkOps.Add(1)
 	planCounters.chunkBytes.Add(n)
+}
+
+// recordPipelined attributes one chunk executed by the chunk-slot
+// pipeline's pack worker.
+func recordPipelined(n int64) {
+	planCounters.pipelinedOps.Add(1)
+	planCounters.pipelinedBytes.Add(n)
 }
 
 // recordFused attributes one fused one-pass transfer; parallel

@@ -72,6 +72,52 @@ type Hierarchy struct {
 	// its socket alone, a KNL core is far from MCDRAM's aggregate
 	// rate. Zero means DefaultParallelBWScale.
 	ParallelBWScale float64
+
+	// InternalChunk is the size of the runtime's internal pack-buffer
+	// chunks: a chunked derived-type transfer packs and transmits the
+	// payload through pieces of this size. It is a property of how the
+	// installation's MPI stages messages through its buffer pool, so
+	// each profile calibrates it (it was previously a perfmodel.Profile
+	// field; the promotion mirrors ParallelBWScale's). Zero means
+	// DefaultInternalChunk.
+	InternalChunk int64
+
+	// PipelineDepth is the slot-ring depth of the software-pipelined
+	// chunk engine on this memory system: how many internal chunks the
+	// pack worker may run ahead of injection. Depth 1 is plain double
+	// buffering of the two stages; deeper rings absorb chunk-to-chunk
+	// jitter (which the deterministic cost model does not price, but
+	// the real executor exhibits), at the cost of depth×InternalChunk
+	// of pooled staging per transfer. Zero means DefaultPipelineDepth.
+	PipelineDepth int
+}
+
+// DefaultInternalChunk is the internal pack-buffer chunk size used
+// when a Hierarchy does not calibrate its own: the 512 KiB staging
+// granularity of the paper-era Intel MPI installations.
+const DefaultInternalChunk = 512 << 10
+
+// DefaultPipelineDepth is the slot-ring depth used when a Hierarchy
+// does not calibrate its own: double buffering, the minimum that
+// overlaps the pack of chunk k+1 with the injection of chunk k.
+const DefaultPipelineDepth = 2
+
+// InternalChunkSize returns the hierarchy's internal chunk size,
+// defaulted.
+func (h *Hierarchy) InternalChunkSize() int64 {
+	if h.InternalChunk > 0 {
+		return h.InternalChunk
+	}
+	return DefaultInternalChunk
+}
+
+// ChunkPipelineDepth returns the hierarchy's pipeline slot-ring depth,
+// defaulted.
+func (h *Hierarchy) ChunkPipelineDepth() int {
+	if h.PipelineDepth > 0 {
+		return h.PipelineDepth
+	}
+	return DefaultPipelineDepth
 }
 
 // Validate checks the profile for usable values.
@@ -83,6 +129,12 @@ func (h *Hierarchy) Validate() error {
 		return fmt.Errorf("memsim: non-positive bandwidth (copy %g stream %g cache %g)", h.CopyBW, h.StreamBW, h.CacheBW)
 	case h.LLC <= 0:
 		return fmt.Errorf("memsim: LLC %d", h.LLC)
+	case h.InternalChunk < 0:
+		return fmt.Errorf("memsim: InternalChunk %d", h.InternalChunk)
+	case h.PipelineDepth < 0:
+		return fmt.Errorf("memsim: PipelineDepth %d", h.PipelineDepth)
+	case h.ParallelBWScale < 0:
+		return fmt.Errorf("memsim: ParallelBWScale %g", h.ParallelBWScale)
 	}
 	return nil
 }
@@ -388,6 +440,31 @@ func (s *State) fusedCopyCost(src buf.Region, dst buf.Region, srcSt, dstSt layou
 	s.touch(src, traffic)
 	s.touch(dst, s.h.Traffic(dstSt))
 	return cost
+}
+
+// PipelinedChunkCost composes the two stages of a chunked transfer
+// under the software-pipelined chunk engine: the pack pass (total
+// seconds, per-chunk bookkeeping included) and the consume pass (wire
+// injection, or the unpack of a staged scatter), overlapped chunk by
+// chunk through a slot ring. The classic two-stage pipeline bound
+// applies: fill with the first chunk's pack, steady state at the
+// slower stage, drain with the last chunk's consume —
+//
+//	T = pack/C + (C-1)·max(pack/C, consume/C) + consume/C
+//
+// for C chunks. Depth 1 (double buffering) already attains this bound
+// in the deterministic model — the pack worker only ever needs one
+// chunk of lookahead when both stages are jitter-free — so the ring
+// depth does not appear in the formula; a depth below 1 (pipelining
+// disabled) degenerates to the serial sum, exactly what the measured
+// installations do (§2.3: "in practice we don't see this
+// performance").
+func PipelinedChunkCost(pack, consume float64, chunks int64, depth int) float64 {
+	if chunks <= 1 || depth < 1 {
+		return pack + consume
+	}
+	c := float64(chunks)
+	return pack/c + (c-1)*math.Max(pack/c, consume/c) + consume/c
 }
 
 // Collective cost terms. A fan collective (gather/scatter shape) is a

@@ -200,6 +200,64 @@ func TestFlushCostPositive(t *testing.T) {
 	}
 }
 
+// TestPipelinedChunkCost pins the two-stage pipeline bound: the
+// overlapped span sits between max(pack, consume) + one fill and the
+// serial sum, degenerates to the serial sum for single chunks or a
+// disabled ring, and is monotone in the chunk count.
+func TestPipelinedChunkCost(t *testing.T) {
+	const pack, wire = 1.0, 0.6
+	serial := pack + wire
+	if got := PipelinedChunkCost(pack, wire, 1, 2); got != serial {
+		t.Errorf("single chunk = %g, want the serial sum %g", got, serial)
+	}
+	if got := PipelinedChunkCost(pack, wire, 8, 0); got != serial {
+		t.Errorf("depth 0 = %g, want the serial sum %g", got, serial)
+	}
+	for _, chunks := range []int64{2, 8, 64} {
+		got := PipelinedChunkCost(pack, wire, chunks, 2)
+		if got >= serial {
+			t.Errorf("%d chunks: %g not below serial %g", chunks, got, serial)
+		}
+		slow := pack
+		if wire > slow {
+			slow = wire
+		}
+		if got < slow {
+			t.Errorf("%d chunks: %g below the slower stage %g", chunks, got, slow)
+		}
+	}
+	// Finer chunking approaches the slower-stage bound.
+	coarse := PipelinedChunkCost(pack, wire, 2, 2)
+	fine := PipelinedChunkCost(pack, wire, 64, 2)
+	if fine >= coarse {
+		t.Errorf("finer chunking (%g) not below coarser (%g)", fine, coarse)
+	}
+}
+
+// TestHierarchyChunkValidation pins the promoted chunk/depth fields'
+// validation and defaults.
+func TestHierarchyChunkValidation(t *testing.T) {
+	h := Hierarchy{LineSize: 64, LLC: 1 << 20, CopyBW: 1e9, StreamBW: 1e9, CacheBW: 1e9}
+	if err := h.Validate(); err != nil {
+		t.Fatalf("zero chunk/depth must validate (defaults apply): %v", err)
+	}
+	if h.InternalChunkSize() != DefaultInternalChunk {
+		t.Errorf("InternalChunkSize = %d, want default %d", h.InternalChunkSize(), DefaultInternalChunk)
+	}
+	if h.ChunkPipelineDepth() != DefaultPipelineDepth {
+		t.Errorf("ChunkPipelineDepth = %d, want default %d", h.ChunkPipelineDepth(), DefaultPipelineDepth)
+	}
+	h.InternalChunk = -1
+	if err := h.Validate(); err == nil {
+		t.Error("negative InternalChunk accepted")
+	}
+	h.InternalChunk = 0
+	h.PipelineDepth = -1
+	if err := h.Validate(); err == nil {
+		t.Error("negative PipelineDepth accepted")
+	}
+}
+
 func TestParallelCompiledGatherCheaper(t *testing.T) {
 	// The parallel-pack term: a many-small-segment layout priced for a
 	// multi-worker compiled pack must undercut the serial compiled

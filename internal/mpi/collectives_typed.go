@@ -212,11 +212,16 @@ func (c *Comm) typedSelfCopy(sb buf.Block, scount int, sty *datatype.Type, db bu
 }
 
 // BcastType broadcasts count instances of a derived datatype from
-// root's buffer into every rank's layout over a binomial tree, like
-// MPI_Bcast with a non-contiguous type. Every rank relays the same
-// layout, so the tree applies at all sizes; past the eager limit each
-// hop is a fused sendv leg that scatters straight into the receiver's
-// layout with zero staging.
+// root's buffer into every rank's layout, like MPI_Bcast with a
+// non-contiguous type. Small messages relay the same layout over a
+// binomial tree — past the eager limit each hop is a fused sendv leg
+// that scatters straight into the receiver's layout with zero staging.
+// Non-contiguous messages past the installation's CollectiveTreeLimit
+// switch to the pipelined scatter+allgather schedule (bcastPipelined):
+// the packed stream scatters as per-rank segments and a chunk-streamed
+// ring circulates them, so each payload byte crosses a relay's memory
+// twice instead of ⌈log₂ p⌉ whole-message passes, with every piece's
+// unpack overlapped against the next piece's flight.
 func (c *Comm) BcastType(b buf.Block, count int, ty *datatype.Type, root int) error {
 	if err := c.checkRank(root); err != nil {
 		return err
@@ -233,6 +238,14 @@ func (c *Comm) BcastType(b buf.Block, count int, ty *datatype.Type, root int) er
 	}
 	if c.size == 1 {
 		return nil
+	}
+	if n := plan.Bytes(); c.size > 2 && n > c.prof.CollectiveTreeLimit() && pipelineEnabled() {
+		// Dense layouts keep the tree of raw contiguous hops; the
+		// scatter+allgather win is the relay's pack passes, which a
+		// dense relay does not pay.
+		if _, dense := plan.ContigWindow(); !dense {
+			return c.bcastPipelined(b, count, ty, root, plan)
+		}
 	}
 	rel := (c.rank - root + c.size) % c.size
 	abs := func(r int) int { return (r + root) % c.size }
@@ -716,6 +729,14 @@ func (c *Comm) AllgatherType(send buf.Block, sendCount int, sendTy *datatype.Typ
 	}
 	if c.size == 1 {
 		return nil
+	}
+	if n := rp.Bytes(); c.size > 2 && n > c.prof.CollectiveTreeLimit() && !rp.FusedDstSafe() && pipelineEnabled() {
+		// Large slots the fused engine cannot scatter into (overlapping
+		// repeated instances — the extent-resized halo slots) would
+		// stage a pack+unpack at every hop of the typed ring; the
+		// packed-segment ring packs once and streams each hop through
+		// the pipelined chunk engine instead.
+		return c.allgatherPipelined(send, sendCount, sendTy, recv, recvCount, recvTy, sp, rp)
 	}
 	right := (c.rank + 1) % c.size
 	left := (c.rank - 1 + c.size) % c.size

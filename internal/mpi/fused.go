@@ -7,6 +7,7 @@ import (
 	"repro/internal/buf"
 	"repro/internal/datatype"
 	"repro/internal/layout"
+	"repro/internal/memsim"
 	"repro/internal/simnet"
 	"repro/internal/vclock"
 )
@@ -204,16 +205,46 @@ func (c *Comm) sendTypedFused(b buf.Block, count int, ty *datatype.Type, dest, t
 }
 
 // stagedScatter is the sender-local staged emulation of a fused
-// transfer that cannot legally run in one pass: pack the plan into a
-// pooled staging block, scatter it into the receiver's layout, and
-// release the staging. Two memory passes, priced as the compiled
-// staged pipeline.
+// transfer that cannot legally run in one pass: pack the plan into
+// staging, scatter it into the receiver's layout, release the staging.
+// Two memory passes — but when the payload spans several internal
+// chunks the passes run on the chunk-slot pipeline: the pack worker
+// fills slot k+1 while this goroutine scatters slot k into the
+// receiver's layout, so the cost collapses from gather+scatter to the
+// two-stage pipeline bound and the staging footprint shrinks from the
+// whole message to the slot ring.
 func (c *Comm) stagedScatter(plan *datatype.Plan, fd *fusedDst, b buf.Block, st layout.Stats, n int64) (float64, error) {
 	nCopy := minInt64(n, fd.need)
+	gather := c.cache.CompiledGatherCost(b.Region(), c.internal.Region(), st)
+	scatter := c.cache.CompiledScatterCost(c.internal.Region(), fd.user.Region(), fd.stats)
+	chunk := c.prof.InternalChunk()
+	chunks := c.prof.Chunks(nCopy)
+	// Aliased buffers (a fused self-send) must stage the whole message:
+	// the pipeline's pack worker would read user bytes the consumer is
+	// concurrently scattering over.
+	if chunks > 1 && pipelineEnabled() && !buf.Overlaps(b, fd.user) {
+		cost := memsim.PipelinedChunkCost(gather, scatter, chunks, c.prof.PipelineDepth())
+		cp, err := datatype.NewChunkPipeline(plan, b, 0, nCopy, chunk, c.prof.PipelineDepth(), c.rank)
+		if err != nil {
+			return cost, err
+		}
+		defer cp.Close()
+		for {
+			ch, ok := cp.Next()
+			if !ok {
+				break
+			}
+			if err := fd.plan.UnpackRange(ch.Data, fd.user, ch.Lo, ch.Hi); err != nil {
+				return cost, err
+			}
+			cp.Recycle(ch)
+		}
+		datatype.RecordStagedTransfer(nCopy)
+		return cost, nil
+	}
 	staging := c.transitAlloc(b, nCopy)
 	defer buf.PutPooled(staging)
-	cost := c.cache.CompiledGatherCost(b.Region(), staging.Region(), st) +
-		c.cache.CompiledScatterCost(staging.Region(), fd.user.Region(), fd.stats)
+	cost := gather + scatter
 	if nCopy > 0 {
 		if err := plan.PackRange(b, staging, 0, nCopy); err != nil {
 			return cost, err

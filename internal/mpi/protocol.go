@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/buf"
 	"repro/internal/datatype"
+	"repro/internal/memsim"
 	"repro/internal/simnet"
 	"repro/internal/vclock"
 )
@@ -34,6 +35,13 @@ type sendFlags struct {
 	// typed receiver may expose its user layout for the direct
 	// one-pass scatter instead of allocating staging.
 	sendv bool
+	// pipelined routes the rendezvous chunk loop through the
+	// software-pipelined chunk engine (SendpType, collective legs):
+	// chunk k+1 packs into the slot ring while chunk k injects, priced
+	// by memsim.PipelinedChunkCost. The measured installations
+	// serialise the two stages (§2.3), so the paper schemes leave it
+	// unset.
+	pipelined bool
 }
 
 // signalDelivered closes the delivery notification exactly once.
@@ -101,7 +109,10 @@ func (c *Comm) sendContig(b buf.Block, dest, tag int, fl sendFlags) error {
 // sendTyped implements the derived-datatype direct send: MPI packs the
 // payload through its internal chunk buffers and transmits, without
 // pack/inject overlap (§2.3), at the internally degraded bandwidth
-// (§4.1).
+// (§4.1). Under fl.pipelined the rendezvous chunk loop runs on the
+// software-pipelined chunk engine instead: chunk k+1 packs into the
+// slot ring while chunk k injects, and the span collapses to the
+// two-stage pipeline bound (memsim.PipelinedChunkCost).
 func (c *Comm) sendTyped(b buf.Block, count int, ty *datatype.Type, dest, tag int, fl sendFlags) error {
 	p := c.prof
 	n := ty.PackSize(count)
@@ -110,8 +121,22 @@ func (c *Comm) sendTyped(b buf.Block, count int, ty *datatype.Type, dest, tag in
 		return err
 	}
 	st := ty.Stats(count)
-	gather := c.cache.GatherCost(b.Region(), c.internal.Region(), st)
 	chunks := p.Chunks(n)
+	eager := !fl.forceRdv && p.Eager(n, fl.packed)
+	// The pipelined engine needs the rendezvous chunk loop (eager
+	// sends pack in one shot before the envelope leaves) and the
+	// compiled kernels (the cursor is the true fallback); under the
+	// reference-[2] NIC what-if the hardware already overlaps, so the
+	// software ring would only add a copy.
+	pipelined := fl.pipelined && !eager && chunks > 1 && !p.NICPipelining && pipelineEnabled()
+	var gather float64
+	if pipelined {
+		// The slot ring is filled by the compiled kernels, with their
+		// amortised per-segment bookkeeping.
+		gather = c.cache.CompiledGatherCost(b.Region(), c.internal.Region(), st)
+	} else {
+		gather = c.cache.GatherCost(b.Region(), c.internal.Region(), st)
+	}
 	wireBW := fl.wireBW
 	if wireBW == 0 {
 		if p.NICPipelining {
@@ -136,7 +161,9 @@ func (c *Comm) sendTyped(b buf.Block, count int, ty *datatype.Type, dest, tag in
 	// pack loop disappears entirely: the span is the maximum of the
 	// wire time and the NIC's own line-granular memory traffic at
 	// streaming bandwidth, plus per-chunk registration bookkeeping
-	// exposed as pipeline fill.
+	// exposed as pipeline fill. The software-pipelined engine keeps
+	// the core pack loop but overlaps it chunk-by-chunk with the
+	// injection through the slot ring.
 	transferSpan := packWork + wire
 	if p.NICPipelining {
 		h := c.cache.Hierarchy()
@@ -151,8 +178,11 @@ func (c *Comm) sendTyped(b buf.Block, count int, ty *datatype.Type, dest, tag in
 			transferSpan = nicRead
 		}
 	}
+	if pipelined {
+		transferSpan = memsim.PipelinedChunkCost(packWork, wire, chunks, p.PipelineDepth())
+	}
 
-	if !fl.forceRdv && p.Eager(n, fl.packed) {
+	if eager {
 		transit := c.transitAlloc(b, n)
 		if _, err := packer.Pack(transit); err != nil {
 			return err
@@ -191,11 +221,18 @@ func (c *Comm) sendTyped(b buf.Block, count int, ty *datatype.Type, dest, tag in
 		packFrom = ctsAt
 	}
 	c.clock.AdvanceTo(packFrom)
-	// Chunk loop: pack a chunk, inject a chunk — serialised, or
-	// overlapped under NIC pipelining.
-	if err := c.drainPacker(packer, match.Dst, n); err != nil {
-		m.Done <- simnet.RdvDone{Err: err}
-		return err
+	// Chunk loop: pack a chunk, inject a chunk — serialised in the
+	// measured installations, overlapped under NIC pipelining or the
+	// software-pipelined slot ring.
+	var drainErr error
+	if pipelined {
+		drainErr = c.drainPipelined(packer.Plan(), b, match.Dst, n)
+	} else {
+		drainErr = c.drainPacker(packer, match.Dst, n)
+	}
+	if drainErr != nil {
+		m.Done <- simnet.RdvDone{Err: drainErr}
+		return drainErr
 	}
 	c.clock.Advance(vclock.FromSeconds(transferSpan))
 	if end := ctsAt + dur(wire); c.clock.Now() < end {
@@ -218,7 +255,7 @@ func (c *Comm) drainPacker(packer *datatype.Packer, dst buf.Block, n int64) erro
 	if n < limit {
 		limit = n
 	}
-	chunk := c.prof.InternalChunk
+	chunk := c.prof.InternalChunk()
 	var off int64
 	for off < limit {
 		sz := chunk
@@ -231,6 +268,36 @@ func (c *Comm) drainPacker(packer *datatype.Packer, dst buf.Block, n int64) erro
 		off += sz
 	}
 	return nil
+}
+
+// drainPipelined is the software-pipelined counterpart of drainPacker:
+// a pack worker fills the bounded slot ring a configurable depth ahead
+// (datatype.ChunkPipeline) while this goroutine injects each packed
+// slot into the destination, so chunk k+1 packs while chunk k injects.
+// The ring is the path's entire allocation footprint — depth pooled
+// slots from this rank's shard, recycled in place and released on
+// return.
+func (c *Comm) drainPipelined(plan *datatype.Plan, user, dst buf.Block, n int64) error {
+	limit := int64(dst.Len())
+	if n < limit {
+		limit = n
+	}
+	cp, err := datatype.NewChunkPipeline(plan, user, 0, limit, c.prof.InternalChunk(), c.prof.PipelineDepth(), c.rank)
+	if err != nil {
+		return err
+	}
+	defer cp.Close()
+	real := !user.IsVirtual() && !dst.IsVirtual()
+	for {
+		ch, ok := cp.Next()
+		if !ok {
+			return nil
+		}
+		if real {
+			buf.CopyAt(dst, int(ch.Lo), ch.Data, 0, int(ch.Hi-ch.Lo))
+		}
+		cp.Recycle(ch)
+	}
 }
 
 // newRdvMessage builds a rendezvous envelope with its RTS arrival

@@ -61,11 +61,13 @@ type Profile struct {
 	// the first chunk's packing.
 	ContigOnlyEagerDrop bool
 
-	// InternalChunk is the size of MPI's internal pack buffer chunks:
-	// a derived-type send packs and transmits the payload through
-	// these pieces, without pipelining overlap (§2.3: "in practice we
-	// don't see this performance").
-	InternalChunk int64
+	// The size of MPI's internal pack buffer chunks — a derived-type
+	// send packs and transmits the payload through these pieces,
+	// without pipelining overlap (§2.3: "in practice we don't see this
+	// performance") — lives in Mem.InternalChunk, calibrated per
+	// profile like the other memory-system constants, together with
+	// the software pipeline's slot-ring depth (Mem.PipelineDepth).
+	// Read them through InternalChunk() and PipelineDepth().
 
 	// DegradeBytes and DegradeFactor model §4.1: "a drop in
 	// performance for messages beyond a few tens of megabytes. We
@@ -146,8 +148,6 @@ func (p *Profile) Validate() error {
 		return fmt.Errorf("profile %s: negative latency/overhead", p.Name)
 	case p.EagerLimit < 0:
 		return fmt.Errorf("profile %s: EagerLimit %d", p.Name, p.EagerLimit)
-	case p.InternalChunk <= 0:
-		return fmt.Errorf("profile %s: InternalChunk %d", p.Name, p.InternalChunk)
 	case p.PackedEagerFactor <= 0:
 		return fmt.Errorf("profile %s: PackedEagerFactor %g", p.Name, p.PackedEagerFactor)
 	case p.OneSidedBWFactor <= 0 || p.OneSidedBWFactor > 1:
@@ -198,12 +198,22 @@ func (p *Profile) deratedBW(n int64, factor float64) float64 {
 	return bw / (1 + factor*math.Log10(float64(n)/float64(p.DegradeBytes)))
 }
 
+// InternalChunk returns the installation's internal pack-buffer chunk
+// size (Mem.InternalChunk, defaulted).
+func (p *Profile) InternalChunk() int64 { return p.Mem.InternalChunkSize() }
+
+// PipelineDepth returns the slot-ring depth the software-pipelined
+// chunk engine uses on this installation (Mem.PipelineDepth,
+// defaulted).
+func (p *Profile) PipelineDepth() int { return p.Mem.ChunkPipelineDepth() }
+
 // Chunks returns the internal chunk count for an n-byte payload.
 func (p *Profile) Chunks(n int64) int64 {
+	chunk := p.InternalChunk()
 	if n <= 0 {
 		return 0
 	}
-	return (n + p.InternalChunk - 1) / p.InternalChunk
+	return (n + chunk - 1) / chunk
 }
 
 // CollectiveTreeLimit returns the per-leg payload size up to which
@@ -274,6 +284,12 @@ func SkxImpi() *Profile {
 			// A Skylake core's copy loop runs close to the socket's
 			// sustainable rate: ~3.5 cores saturate it.
 			ParallelBWScale: 3.5,
+			// Intel MPI stages derived-type sends through 512 KiB
+			// internal chunks; with the core packing near the OmniPath
+			// injection rate, triple buffering keeps the NIC fed when
+			// pack and inject alternate which stage is slower.
+			InternalChunk: 512 << 10,
+			PipelineDepth: 3,
 		},
 		NetLatency:            2.0e-6,
 		SendOverhead:          0.5e-6,
@@ -281,7 +297,6 @@ func SkxImpi() *Profile {
 		NetBandwidth:          12.3e9,
 		EagerLimit:            64 << 10,
 		PackedEagerFactor:     1,
-		InternalChunk:         512 << 10,
 		DegradeBytes:          32 << 20,
 		DegradeFactor:         1.8,
 		ChunkOverhead:         0.7e-6,
@@ -336,6 +351,11 @@ func Ls5Cray() *Profile {
 			// Aries-era Haswell sockets saturate slightly earlier than
 			// Skylake under a scalar copy loop.
 			ParallelBWScale: 3.2,
+			// Cray MPICH's smaller 256 KiB staging chunks double the
+			// chunk rate, so plain double buffering already hides the
+			// faster stage behind the slower one.
+			InternalChunk: 256 << 10,
+			PipelineDepth: 2,
 		},
 		NetLatency:            1.6e-6,
 		SendOverhead:          0.5e-6,
@@ -344,7 +364,6 @@ func Ls5Cray() *Profile {
 		EagerLimit:            8 << 10,
 		PackedEagerFactor:     2, // §4.5: drop at double the size for packing
 		ContigOnlyEagerDrop:   true,
-		InternalChunk:         256 << 10,
 		DegradeBytes:          24 << 20,
 		DegradeFactor:         1.6,
 		ChunkOverhead:         0.6e-6,
@@ -384,6 +403,12 @@ func KnlImpi() *Profile {
 			// aggregate bandwidth, so parallel packing keeps scaling
 			// much further than on the Xeon sockets.
 			ParallelBWScale: 6.5,
+			// The weak core packs far below the injection rate, so the
+			// pipeline is pack-bound: a deeper ring of the 512 KiB
+			// chunks keeps the wire busy across the in-order core's
+			// erratic chunk times.
+			InternalChunk: 512 << 10,
+			PipelineDepth: 4,
 		},
 		NetLatency:            3.0e-6,
 		SendOverhead:          1.2e-6,
@@ -391,7 +416,6 @@ func KnlImpi() *Profile {
 		NetBandwidth:          10.2e9,
 		EagerLimit:            64 << 10,
 		PackedEagerFactor:     1,
-		InternalChunk:         512 << 10,
 		DegradeBytes:          32 << 20,
 		DegradeFactor:         1.5,
 		ChunkOverhead:         2.5e-6,

@@ -2,6 +2,8 @@ package perfmodel
 
 import (
 	"testing"
+
+	"repro/internal/memsim"
 )
 
 func TestAllProfilesValidate(t *testing.T) {
@@ -110,8 +112,59 @@ func TestChunks(t *testing.T) {
 	if p.Chunks(1) != 1 {
 		t.Fatal("tiny payload needs one chunk")
 	}
-	if got := p.Chunks(p.InternalChunk*3 + 1); got != 4 {
+	if got := p.Chunks(p.InternalChunk()*3 + 1); got != 4 {
 		t.Fatalf("chunks = %d, want 4", got)
+	}
+}
+
+// TestInternalChunkPromotion pins the per-profile calibration of the
+// internal chunk size and the pipeline slot-ring depth on the memory
+// hierarchy, with the documented defaults for uncalibrated profiles —
+// the same promotion shape as ParallelBWScale.
+func TestInternalChunkPromotion(t *testing.T) {
+	cases := []struct {
+		prof  *Profile
+		chunk int64
+		depth int
+	}{
+		{SkxImpi(), 512 << 10, 3},
+		{SkxMvapich(), 512 << 10, 3},
+		{Ls5Cray(), 256 << 10, 2},
+		{KnlImpi(), 512 << 10, 4},
+	}
+	for _, c := range cases {
+		if got := c.prof.InternalChunk(); got != c.chunk {
+			t.Errorf("%s: InternalChunk = %d, want %d", c.prof.Name, got, c.chunk)
+		}
+		if got := c.prof.PipelineDepth(); got != c.depth {
+			t.Errorf("%s: PipelineDepth = %d, want %d", c.prof.Name, got, c.depth)
+		}
+		if err := c.prof.Validate(); err != nil {
+			t.Errorf("%s: %v", c.prof.Name, err)
+		}
+	}
+	// Uncalibrated hierarchies fall back to the documented defaults.
+	p := SkxImpi()
+	p.Mem.InternalChunk = 0
+	p.Mem.PipelineDepth = 0
+	if got := p.InternalChunk(); got != memsim.DefaultInternalChunk {
+		t.Errorf("default InternalChunk = %d, want %d", got, memsim.DefaultInternalChunk)
+	}
+	if got := p.PipelineDepth(); got != memsim.DefaultPipelineDepth {
+		t.Errorf("default PipelineDepth = %d, want %d", got, memsim.DefaultPipelineDepth)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("defaulted profile must validate: %v", err)
+	}
+	// Negative calibrations are rejected by the hierarchy validation.
+	p.Mem.InternalChunk = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative InternalChunk accepted")
+	}
+	p.Mem.InternalChunk = 0
+	p.Mem.PipelineDepth = -2
+	if err := p.Validate(); err == nil {
+		t.Error("negative PipelineDepth accepted")
 	}
 }
 
