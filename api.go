@@ -43,7 +43,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/datatype"
 	"repro/internal/figures"
+	"repro/internal/guidelines"
 	"repro/internal/harness"
+	"repro/internal/memsim"
 	"repro/internal/mpi"
 	"repro/internal/perfmodel"
 )
@@ -159,6 +161,59 @@ func RecommendCollective(ranks int, n int64, contiguous bool, goal Goal, p *Prof
 // payload.
 func Recommend(n int64, contiguous bool, goal Goal, p *Profile) Recommendation {
 	return core.Recommend(n, contiguous, goal, p)
+}
+
+// ObservedHierarchy accumulates measured (bytes, seconds) samples per
+// transfer path and fits latency+bandwidth lines to them — the sink
+// of the self-tuning loop. Attach one to a communicator with
+// Comm.ObserveInto and persistent operations (SendInit/SendTypeInit
+// Start/Wait cycles) feed it their virtual-clock cost; pass it to
+// RecommendTuned to prefer observed behaviour over calibration.
+type ObservedHierarchy = memsim.ObservedHierarchy
+
+// NewObservedHierarchy creates an empty observed model (the base
+// hierarchy may be nil when only fits are wanted).
+func NewObservedHierarchy() *ObservedHierarchy { return memsim.NewObservedHierarchy(nil) }
+
+// Transfer-path names recorded by persistent operations and consumed
+// by the tuned recommender.
+const (
+	PathTypedSend  = memsim.PathTypedSend
+	PathPackedSend = memsim.PathPackedSend
+	PathContigSend = memsim.PathContigSend
+)
+
+// RecommendTuned is the self-tuned Recommend: once the observed
+// hierarchy has enough samples on a transfer path, the choice becomes
+// a strict argmin over observed costs, so the recommender guideline
+// ("recommended ≤ every alternative") holds by construction. Without
+// usable fits it degrades to the calibrated Recommend.
+func RecommendTuned(n int64, contiguous bool, goal Goal, p *Profile, o *ObservedHierarchy) Recommendation {
+	return core.RecommendTuned(n, contiguous, goal, p, o)
+}
+
+// PersistentRequest is a reusable posted operation in the style of
+// MPI_Send_init/MPI_Recv_init: build once with Comm.SendInit,
+// Comm.SendTypeInit, Comm.RecvInit or Comm.RecvTypeInit, then cycle
+// Start/Wait. Each completed send cycle reports its virtual-clock
+// cost to the communicator's observed hierarchy.
+type PersistentRequest = mpi.PersistentRequest
+
+// GuidelinesConfig parameterises a performance-guidelines sweep;
+// GuidelinesReport is its outcome (see internal/guidelines for the
+// rule table).
+type (
+	GuidelinesConfig = guidelines.Config
+	GuidelinesReport = guidelines.Report
+)
+
+// GuidelinesSweep executes the Hunold/Träff-style performance
+// guidelines as measured properties over the virtual clock: each rule
+// bounds one engine by an alternative moving the same bytes, and
+// violated cells come back as structured records with PlanStats
+// attribution. A zero Config sweeps the default acceptance grid.
+func GuidelinesSweep(cfg GuidelinesConfig) (*GuidelinesReport, error) {
+	return guidelines.Sweep(cfg)
 }
 
 // Comm is one rank's communicator handle in the MPI-like runtime; Run

@@ -63,6 +63,73 @@ func TestFacadeRecommend(t *testing.T) {
 	}
 }
 
+func TestFacadeSelfTuning(t *testing.T) {
+	prof, _ := repro.ProfileByName("generic")
+	o := repro.NewObservedHierarchy()
+	// Observation says the typed send is 10x the explicit pack: the
+	// tuned recommender must abandon it.
+	for i := 0; i < 4; i++ {
+		o.Observe(repro.PathTypedSend, 1<<20, 1e-3)
+		o.Observe(repro.PathPackedSend, 1<<20, 1e-4)
+	}
+	r := repro.RecommendTuned(1<<20, false, repro.GoalFastest, prof, o)
+	if r.Scheme == repro.VectorType {
+		t.Fatalf("tuned recommendation kept the typed send: %+v", r)
+	}
+	// A persistent typed send feeds the communicator's sink.
+	obs := repro.NewObservedHierarchy()
+	err := repro.Run(2, repro.RunOptions{}, func(c *repro.Comm) error {
+		c.ObserveInto(obs)
+		ty, err := repro.TypeVector(64, 1, 2, repro.TypeFloat64)
+		if err != nil {
+			return err
+		}
+		if err := ty.Commit(); err != nil {
+			return err
+		}
+		b := buf.Alloc(int(ty.Extent()))
+		peer := 1 - c.Rank()
+		var req *repro.PersistentRequest
+		if c.Rank() == 0 {
+			req, err = c.SendTypeInit(b, 1, ty, peer, 0)
+		} else {
+			req, err = c.RecvTypeInit(b, 1, ty, peer, 0)
+		}
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 3; i++ {
+			if err := req.Start(); err != nil {
+				return err
+			}
+			if _, err := req.Wait(); err != nil {
+				return err
+			}
+		}
+		return req.Free()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := obs.Samples(repro.PathTypedSend); n != 3 {
+		t.Fatalf("persistent sends recorded %d typed-send samples, want 3", n)
+	}
+}
+
+func TestFacadeGuidelinesSweep(t *testing.T) {
+	rp, err := repro.GuidelinesSweep(repro.GuidelinesConfig{
+		Profiles: []string{"skx-impi"},
+		Sizes:    []int64{8 << 10},
+		Reps:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rp.Results) == 0 {
+		t.Fatal("empty guidelines report")
+	}
+}
+
 func TestFacadeRunAndTypes(t *testing.T) {
 	err := repro.Run(2, repro.RunOptions{WallLimit: 30 * time.Second}, func(c *repro.Comm) error {
 		ty, err := repro.TypeVector(16, 1, 2, repro.TypeFloat64)

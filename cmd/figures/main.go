@@ -8,7 +8,7 @@
 //	figures [-profile skx-impi|skx-mvapich|ls5-cray|knl-impi|all]
 //	        [-per-decade 4] [-reps 20] [-max-real 16777216]
 //	        [-csv dir] [-check] [-what-if] [-plan] [-plancache] [-fused]
-//	        [-halo] [-pipeline]
+//	        [-halo] [-pipeline] [-guidelines]
 //
 // Study flags:
 //
@@ -37,6 +37,15 @@
 //	             BcastType against the binomial tree at 8 ranks — every
 //	             pipelined cell reports its PipelinedOps/PipelinedBytes
 //	             overlap attribution)
+//	-guidelines  E17: the performance-guidelines verifier (Hunold/Träff
+//	             rules as executable properties: typed ≤ pack+send,
+//	             sendv ≤ staged, pipelined ≤ serial, each typed
+//	             collective ≤ its p2p decomposition, recommended ≤
+//	             every alternative — swept over layout × size ×
+//	             installation with per-cell PlanStats attribution,
+//	             violations diffed against the waiver baseline exactly
+//	             as the CI gate does, plus the self-tuned recommender
+//	             panel fed from observed virtual-clock fits)
 package main
 
 import (
@@ -63,6 +72,7 @@ func main() {
 	fused := flag.Bool("fused", false, "also print the E14 fused-transfer study (fused vs staged vs cursor bandwidth)")
 	halo := flag.Bool("halo", false, "also print the E15 halo-exchange study (typed collectives vs manual pack over subarray faces)")
 	pipeline := flag.Bool("pipeline", false, "also print the E16 pipelined chunk-engine study (serial vs pipelined vs fused across chunk sizes)")
+	guidelinesFlag := flag.Bool("guidelines", false, "also print the E17 performance-guidelines verifier (rule table, baseline-diffed violations, self-tuned recommender)")
 	flag.Parse()
 
 	profiles := []string{"skx-impi", "skx-mvapich", "ls5-cray", "knl-impi"}
@@ -193,6 +203,21 @@ func main() {
 			chunk := st.Profile.InternalChunk()
 			fmt.Printf("the pipelined chunk engine is %.2fx the serial loop on every-other doubles at the profile's %d-byte chunks\n\n",
 				st.PipelinedSpeedupAt("everyOther", chunk), chunk)
+		}
+		if *guidelinesFlag {
+			st, err := figures.BuildGuidelinesStudy(name)
+			if err != nil {
+				fatal(err)
+			}
+			if err := st.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+			verdict := "passes"
+			if !st.Clean() {
+				verdict = "FAILS"
+			}
+			fmt.Printf("the guidelines gate %s against the checked-in baseline (%d waived cells)\n\n",
+				verdict, st.Baseline.Len())
 		}
 	}
 }

@@ -76,9 +76,10 @@ func PriceCollective(ranks int, n int64, p *perfmodel.Profile) CollectiveCostMod
 	wire := p.WireTime(n) + p.NetLatency
 	over := p.SendOverhead + p.RecvOverhead
 	m.Workers = datatype.ParallelWorkersFor(n)
-	// The engine's tree rule: small legs, and more than two ranks (a
-	// two-rank tree is the linear fan).
-	m.Tree = n <= p.CollectiveTreeLimit() && ranks > 2
+	// The engine's tree rule: small legs, more than two ranks (a
+	// two-rank tree is the linear fan), and every aggregated
+	// store-and-forward hop still eager.
+	m.Tree = p.UseCollectiveTree(ranks, n)
 
 	selfLeg := mem.FusedCollectiveLegCost(0, 0, st, st, m.Workers)
 	if m.Tree {

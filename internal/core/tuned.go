@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/memsim"
+	"repro/internal/perfmodel"
+)
+
+// PricePackingTuned evaluates the packing cost model with calibrated
+// predictions replaced by observed fits wherever the observed
+// hierarchy has enough samples: the typed-send and packed-send terms
+// become the fitted latency+bandwidth lines of the installation as it
+// actually behaved on the virtual clock, while paths with too few
+// observations keep the static model. A nil observed hierarchy is the
+// pure calibrated model.
+func PricePackingTuned(n int64, p *perfmodel.Profile, o *memsim.ObservedHierarchy) PackingCostModel {
+	m := PricePacking(n, p)
+	if o == nil {
+		return m
+	}
+	if t, ok := o.Predict(memsim.PathTypedSend, n); ok {
+		m.TypedSend = t
+	}
+	if t, ok := o.Predict(memsim.PathPackedSend, n); ok {
+		m.CompiledPack = t
+	}
+	return m
+}
+
+// RecommendTuned is the self-tuned recommender: Recommend, upgraded to
+// prefer observed behaviour over calibration. When the observed
+// hierarchy has fitted at least one transfer path, the choice becomes
+// a strict argmin over the candidate scheme costs of the tuned model —
+// so the recommended scheme's modeled cost never exceeds any
+// alternative's, and the Hunold/Träff recommender guideline
+// ("recommender-choice ≤ every alternative scheme") holds by
+// construction: when the fitted model says the typed send loses, the
+// recommendation falls back to the faster decomposition. Under
+// GoalBalanced ties break toward the derived datatype, the most
+// user-friendly choice. Without usable fits (or a nil hierarchy) it
+// degrades to the calibrated Recommend.
+func RecommendTuned(n int64, contiguous bool, goal Goal, p *perfmodel.Profile, o *memsim.ObservedHierarchy) Recommendation {
+	if contiguous {
+		return Recommend(n, contiguous, goal, p)
+	}
+	usable := false
+	if o != nil {
+		for _, path := range []string{memsim.PathTypedSend, memsim.PathPackedSend} {
+			if _, ok := o.Fit(path); ok {
+				usable = true
+				break
+			}
+		}
+	}
+	if !usable {
+		return Recommend(n, contiguous, goal, p)
+	}
+	m := PricePackingTuned(n, p, o)
+	type candidate struct {
+		scheme Scheme
+		cost   float64
+	}
+	cands := []candidate{
+		{VectorType, m.TypedSend},
+		{PackCompiled, m.CompiledPack},
+	}
+	if m.FusedSend > 0 {
+		cands = append(cands, candidate{Sendv, m.FusedSend})
+	}
+	if m.PipelinedSend > 0 {
+		cands = append(cands, candidate{TypedPipelined, m.PipelinedSend})
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.cost < best.cost {
+			best = c
+		}
+	}
+	if goal == GoalBalanced && m.TypedSend <= best.cost {
+		best = candidate{VectorType, m.TypedSend}
+	}
+	return Recommendation{
+		Scheme: best.scheme,
+		Reason: fmt.Sprintf("self-tuned on %s from observed virtual-clock fits: %s models %.3g s at %d B, no alternative cheaper",
+			p.Name, best.scheme, best.cost, n),
+	}
+}

@@ -1,0 +1,45 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGuidelinesStudyRender(t *testing.T) {
+	st, err := BuildGuidelinesStudy("skx-impi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := st.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"E17 performance-guidelines verifier — skx-impi",
+		"typed<=pack+send",
+		"recommended<=alternatives",
+		"collective<=p2p",
+		"lhs plan: fused",
+		"gate vs baseline:",
+		"self-tuned recommender",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// skx-impi has no waivers: the study must pass the gate and every
+	// tuned choice must satisfy the recommender guideline.
+	if !st.Clean() {
+		t.Errorf("skx-impi study failed the gate: %v", st.Fresh)
+	}
+	if len(st.Tuned) == 0 {
+		t.Fatal("no self-tuning cells")
+	}
+	for _, tc := range st.Tuned {
+		if !tc.Satisfied(st.Report.Tolerance) {
+			t.Errorf("tuned choice %v at %d B misses the guideline (%.3g s vs best %.3g s)",
+				tc.Tuned, tc.Bytes, tc.TunedTime, tc.BestTime)
+		}
+	}
+}

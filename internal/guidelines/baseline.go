@@ -1,0 +1,86 @@
+package guidelines
+
+import (
+	"bufio"
+	_ "embed"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// BaselineSlack is how much a waived cell's ratio may worsen before
+// the gate fails it again: a waiver documents a known magnitude, not a
+// blank cheque.
+const BaselineSlack = 1.10
+
+//go:embed baseline.txt
+var baselineRaw string
+
+// Baseline is the checked-in set of known/waived violations, keyed by
+// cell (Cell.Key) with the ratio each was waived at.
+type Baseline struct {
+	waived map[string]float64
+}
+
+// ParseBaseline reads the waiver format: one `key ratio` pair per
+// line, `#` comments, blank lines ignored.
+func ParseBaseline(s string) (*Baseline, error) {
+	b := &Baseline{waived: make(map[string]float64)}
+	sc := bufio.NewScanner(strings.NewReader(s))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("guidelines: baseline line %d: want `key ratio`, have %q", lineNo, line)
+		}
+		ratio, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || ratio <= 0 {
+			return nil, fmt.Errorf("guidelines: baseline line %d: bad ratio %q", lineNo, fields[1])
+		}
+		b.waived[fields[0]] = ratio
+	}
+	return b, sc.Err()
+}
+
+// LoadBaseline returns the embedded checked-in baseline.
+func LoadBaseline() *Baseline {
+	b, err := ParseBaseline(baselineRaw)
+	if err != nil {
+		// The embedded file is part of the build; a parse failure is a
+		// programming error, not an input error.
+		panic(err)
+	}
+	return b
+}
+
+// Waived returns the ratio a cell was waived at, if present.
+func (b *Baseline) Waived(key string) (float64, bool) {
+	r, ok := b.waived[key]
+	return r, ok
+}
+
+// Len returns the waiver count.
+func (b *Baseline) Len() int { return len(b.waived) }
+
+// Gate diffs a report against the baseline: every violated cell must
+// either appear in the baseline with a ratio no more than BaselineSlack
+// worse than recorded, or it is a new violation. This is the CI
+// failure condition.
+func (b *Baseline) Gate(rp *Report) []Result {
+	var fresh []Result
+	for _, v := range rp.Violations() {
+		if waived, ok := b.Waived(v.Key()); ok && v.Ratio <= waived*BaselineSlack {
+			continue
+		}
+		fresh = append(fresh, v)
+	}
+	return fresh
+}

@@ -1,0 +1,31 @@
+package guidelines
+
+import "testing"
+
+// BenchmarkGuidelinesSweep is the CI smoke for the verifier itself: a
+// minimal one-cell sweep, allocation-reported so a regression that
+// starts churning per-measurement garbage (the sweep brackets
+// PlanStats reads, not allocations) shows up in -benchmem. The bench
+// fails internally on a sweep error or a fresh gate violation, so the
+// `-benchtime=1x` CI invocation doubles as a cheap gate run.
+func BenchmarkGuidelinesSweep(b *testing.B) {
+	cfg := Config{
+		Profiles: []string{"skx-impi"},
+		Layouts:  []LayoutSpec{{Name: "alt", BlockLen: 1, Stride: 2}},
+		Sizes:    []int64{8 << 10},
+		Ranks:    2,
+		Reps:     1,
+	}
+	base := LoadBaseline()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rp, err := Sweep(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if fresh := base.Gate(rp); len(fresh) != 0 {
+			b.Fatalf("fresh violations in smoke sweep: %v", fresh)
+		}
+	}
+}

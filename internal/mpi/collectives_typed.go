@@ -323,7 +323,7 @@ func (c *Comm) GatherType(send buf.Block, sendCount int, sendTy *datatype.Type, 
 		}
 		return c.typedSelfCopy(send, sendCount, sendTy, view, recvCount, recvTy)
 	}
-	if n > 0 && n <= c.prof.CollectiveTreeLimit() && c.size > 2 {
+	if c.prof.UseCollectiveTree(c.size, n) {
 		return c.gatherTree(send, sendCount, sendTy, recv, recvCount, recvTy, root, n)
 	}
 	if c.rank != root {
@@ -531,7 +531,7 @@ func (c *Comm) ScatterType(send buf.Block, sendCount int, sendTy *datatype.Type,
 		}
 		return c.typedSelfCopy(view, sendCount, sendTy, recv, recvCount, recvTy)
 	}
-	if n > 0 && n <= c.prof.CollectiveTreeLimit() && c.size > 2 {
+	if c.prof.UseCollectiveTree(c.size, n) {
 		return c.scatterTree(send, sendCount, sendTy, recv, recvCount, recvTy, root, n)
 	}
 	if c.rank != root {

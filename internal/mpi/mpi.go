@@ -155,6 +155,11 @@ type Comm struct {
 
 	internal buf.Block // region identity for MPI-internal staging
 
+	// observed, when set, receives the per-Start virtual-clock cost of
+	// persistent operations (the self-tuning feedback loop; see
+	// ObserveInto).
+	observed *memsim.ObservedHierarchy
+
 	reqSeq int // request numbering for diagnostics
 	winSeq int // window numbering; identical across ranks (collective)
 }
@@ -199,6 +204,18 @@ func (c *Comm) Cache() *memsim.State { return c.cache }
 
 // Profile returns the installation profile of the run.
 func (c *Comm) Profile() *perfmodel.Profile { return c.prof }
+
+// ObserveInto attaches an observed-cost sink: from now on, persistent
+// operations on this Comm record their measured virtual-clock cost per
+// Start/Wait cycle into o (memsim.PathTypedSend for typed sends,
+// memsim.PathPackedSend for packed-buffer sends, memsim.PathContigSend
+// for contiguous ones). The sink is safe to share across ranks; nil
+// detaches. This is the measurement half of the self-tuning loop —
+// core.RecommendTuned consumes the fitted coefficients.
+func (c *Comm) ObserveInto(o *memsim.ObservedHierarchy) { c.observed = o }
+
+// Observed returns the attached observed-cost sink, or nil.
+func (c *Comm) Observed() *memsim.ObservedHierarchy { return c.observed }
 
 // Charge advances the rank's virtual clock by a user-space cost in
 // seconds. The benchmark schemes charge their own gather loops and

@@ -5,17 +5,31 @@ import (
 
 	"repro/internal/buf"
 	"repro/internal/datatype"
+	"repro/internal/memsim"
 )
 
 // PersistentRequest is a reusable communication request, the analogue
 // of MPI_Send_init / MPI_Recv_init. Start launches one instance;
-// Wait completes it; the request can then be started again. Real
-// ping-pong benchmarks (and the paper's public code base) often use
-// persistent requests to amortise setup, so the runtime supports them.
+// Wait completes it; the request can then be started again; Free
+// retires it. Real ping-pong benchmarks (and the paper's public code
+// base) often use persistent requests to amortise setup, so the
+// runtime supports them — and because the same transfer repeats, they
+// are the natural measurement vehicle of the self-tuning loop: when
+// the Comm has an observed-cost sink attached (ObserveInto), every
+// Start/Wait cycle records its virtual-clock cost against the
+// operation's transfer path, and the fitted coefficients feed
+// core.RecommendTuned.
 type PersistentRequest struct {
 	owner  *Comm
 	start  func() (*Request, error)
 	active *Request
+	freed  bool
+
+	// observation of the send side: path names the engine
+	// (memsim.Path*), bytes the payload; zero path disables.
+	path    string
+	bytes   int64
+	startAt float64
 }
 
 // SendInit creates a persistent contiguous send request.
@@ -26,6 +40,8 @@ func (c *Comm) SendInit(b buf.Block, dest, tag int) (*PersistentRequest, error) 
 	return &PersistentRequest{
 		owner: c,
 		start: func() (*Request, error) { return c.Isend(b, dest, tag) },
+		path:  memsim.PathContigSend,
+		bytes: int64(b.Len()),
 	}, nil
 }
 
@@ -40,6 +56,8 @@ func (c *Comm) SendTypeInit(b buf.Block, count int, ty *datatype.Type, dest, tag
 	return &PersistentRequest{
 		owner: c,
 		start: func() (*Request, error) { return c.IsendType(b, count, ty, dest, tag) },
+		path:  memsim.PathTypedSend,
+		bytes: ty.PackSize(count),
 	}, nil
 }
 
@@ -54,11 +72,33 @@ func (c *Comm) RecvInit(b buf.Block, src, tag int) (*PersistentRequest, error) {
 	}, nil
 }
 
+// RecvTypeInit creates a persistent derived-datatype receive request:
+// count instances of ty land in b's layout on every Start/Wait cycle,
+// like MPI_Recv_init with a derived type.
+func (c *Comm) RecvTypeInit(b buf.Block, count int, ty *datatype.Type, src, tag int) (*PersistentRequest, error) {
+	if err := c.checkRecvArgs(src, tag); err != nil {
+		return nil, err
+	}
+	if count < 0 {
+		return nil, fmt.Errorf("%w: %d", ErrCount, count)
+	}
+	return &PersistentRequest{
+		owner: c,
+		start: func() (*Request, error) { return c.IrecvType(b, count, ty, src, tag) },
+	}, nil
+}
+
 // Start launches one instance of the operation, like MPI_Start. It is
-// an error to start an already-active request.
+// an error to start an already-active or freed request.
 func (p *PersistentRequest) Start() error {
+	if p.freed {
+		return fmt.Errorf("mpi: persistent request started after Free")
+	}
 	if p.active != nil {
 		return fmt.Errorf("mpi: persistent request started while active")
+	}
+	if p.path != "" && p.owner.observed != nil {
+		p.startAt = p.owner.Wtime()
 	}
 	r, err := p.start()
 	if err != nil {
@@ -70,14 +110,36 @@ func (p *PersistentRequest) Start() error {
 
 // Wait completes the active instance, like MPI_Wait on a started
 // persistent request, and re-arms the request for the next Start.
+// When the owning Comm has an observed-cost sink, the cycle's
+// virtual-clock cost is recorded against the operation's path.
 func (p *PersistentRequest) Wait() (Status, error) {
 	if p.active == nil {
 		return Status{}, fmt.Errorf("mpi: persistent request waited while inactive")
 	}
 	st, err := p.active.Wait()
 	p.active = nil
+	if err == nil && p.path != "" {
+		if o := p.owner.observed; o != nil {
+			o.Observe(p.path, p.bytes, p.owner.Wtime()-p.startAt)
+		}
+	}
 	return st, err
 }
+
+// Free retires the request, like MPI_Request_free on an inactive
+// persistent request. Freeing an active (started, un-waited) request
+// is an error; freeing twice is a no-op.
+func (p *PersistentRequest) Free() error {
+	if p.active != nil {
+		return fmt.Errorf("mpi: persistent request freed while active")
+	}
+	p.freed = true
+	return nil
+}
+
+// Active reports whether the request has a started, un-waited
+// instance.
+func (p *PersistentRequest) Active() bool { return p.active != nil }
 
 // StartAll starts a set of persistent requests, like MPI_Startall.
 func StartAll(reqs ...*PersistentRequest) error {
@@ -87,6 +149,19 @@ func StartAll(reqs ...*PersistentRequest) error {
 		}
 	}
 	return nil
+}
+
+// WaitAllPersistent completes a set of started persistent requests,
+// like MPI_Waitall over persistent requests: every request is waited
+// even after an error, and the first error is returned.
+func WaitAllPersistent(reqs ...*PersistentRequest) error {
+	var first error
+	for _, r := range reqs {
+		if _, err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Gatherv concentrates variable-sized contributions at the root in

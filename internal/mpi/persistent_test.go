@@ -1,10 +1,289 @@
 package mpi
 
 import (
+	"bytes"
+	"fmt"
 	"testing"
 
 	"repro/internal/buf"
+	"repro/internal/datatype"
+	"repro/internal/memsim"
 )
+
+// mustResized builds a committed gapped vector whose extent is
+// stretched by pad bytes (MPI_Type_create_resized over a vector).
+func mustResized(t *testing.T, count, blocklen, stride int, pad int64) *datatype.Type {
+	t.Helper()
+	base, err := datatype.Vector(count, blocklen, stride, datatype.Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ty, err := datatype.Resized(base, 0, base.Extent()+pad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ty.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return ty
+}
+
+// TestPersistentDifferentialRoundTrip pins persistent typed round
+// trips byte-for-byte against blocking sends: every rank passes the
+// same payload around a ring twice — once through
+// SendTypeInit/RecvTypeInit requests restarted with StartAll, once
+// through SendType/RecvType — and the two received buffers must be
+// identical at every world size from 1 to 8 and on both a gapped and
+// a resized layout. Payloads are eager-sized, so the blocking ring
+// (and the one-rank self-loop) cannot deadlock.
+func TestPersistentDifferentialRoundTrip(t *testing.T) {
+	layouts := []struct {
+		name string
+		ty   *datatype.Type
+	}{
+		{"gapped", mustVec(t, 32, 2, 5)},
+		{"resized", mustResized(t, 16, 1, 3, 64)},
+	}
+	const reps = 3
+	for _, lay := range layouts {
+		for n := 1; n <= 8; n++ {
+			ty := lay.ty
+			t.Run(fmt.Sprintf("%s/ranks=%d", lay.name, n), func(t *testing.T) {
+				runN(t, n, func(c *Comm) error {
+					r := c.Rank()
+					next, prev := (r+1)%n, (r+n-1)%n
+					ext := int(ty.Extent())
+					src := buf.Alloc(ext)
+					pdst := buf.Alloc(ext) // persistent-path landing zone
+					bdst := buf.Alloc(ext) // blocking-path landing zone
+					sreq, err := c.SendTypeInit(src, 1, ty, next, 7)
+					if err != nil {
+						return err
+					}
+					rreq, err := c.RecvTypeInit(pdst, 1, ty, prev, 7)
+					if err != nil {
+						return err
+					}
+					for rep := 0; rep < reps; rep++ {
+						src.FillPattern(byte(16*r ^ rep))
+						pdst.Zero()
+						bdst.Zero()
+						// Persistent round: the receive must be started
+						// alongside the send so the one-rank self-loop
+						// has its receive posted.
+						if err := StartAll(sreq, rreq); err != nil {
+							return err
+						}
+						if err := WaitAllPersistent(sreq, rreq); err != nil {
+							return err
+						}
+						got := append([]byte(nil), pdst.Bytes()...)
+						// Blocking round over the same layout and seed.
+						if err := c.SendType(src, 1, ty, next, 8); err != nil {
+							return err
+						}
+						if _, err := c.RecvType(bdst, 1, ty, prev, 8); err != nil {
+							return err
+						}
+						if !bytes.Equal(got, bdst.Bytes()) {
+							t.Errorf("%s ranks=%d rep %d: persistent and blocking receives differ", lay.name, n, rep)
+						}
+					}
+					if err := sreq.Free(); err != nil {
+						return err
+					}
+					return rreq.Free()
+				})
+			})
+		}
+	}
+}
+
+// TestPersistentContigDifferential does the same differential over the
+// contiguous SendInit/RecvInit pair.
+func TestPersistentContigDifferential(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		t.Run(fmt.Sprintf("ranks=%d", n), func(t *testing.T) {
+			runN(t, n, func(c *Comm) error {
+				r := c.Rank()
+				next, prev := (r+1)%n, (r+n-1)%n
+				src, pdst, bdst := buf.Alloc(512), buf.Alloc(512), buf.Alloc(512)
+				sreq, err := c.SendInit(src, next, 7)
+				if err != nil {
+					return err
+				}
+				rreq, err := c.RecvInit(pdst, prev, 7)
+				if err != nil {
+					return err
+				}
+				for rep := 0; rep < 3; rep++ {
+					src.FillPattern(byte(32*r ^ rep))
+					pdst.Zero()
+					bdst.Zero()
+					if err := StartAll(sreq, rreq); err != nil {
+						return err
+					}
+					if err := WaitAllPersistent(sreq, rreq); err != nil {
+						return err
+					}
+					got := append([]byte(nil), pdst.Bytes()...)
+					if err := c.Send(src, next, 8); err != nil {
+						return err
+					}
+					if _, err := c.Recv(bdst, prev, 8); err != nil {
+						return err
+					}
+					if !bytes.Equal(got, bdst.Bytes()) {
+						t.Errorf("ranks=%d rep %d: persistent and blocking receives differ", n, rep)
+					}
+				}
+				if err := sreq.Free(); err != nil {
+					return err
+				}
+				return rreq.Free()
+			})
+		})
+	}
+}
+
+// TestPersistentFree pins the Free error path: freeing an active
+// request fails, freeing an inactive one retires it, Start after Free
+// fails, and double Free is a no-op.
+func TestPersistentFree(t *testing.T) {
+	run2(t, func(c *Comm) error {
+		if c.Rank() != 0 {
+			_, err := c.Recv(buf.Alloc(8), 0, 0)
+			return err
+		}
+		req, err := c.SendInit(buf.Alloc(8), 1, 0)
+		if err != nil {
+			return err
+		}
+		if err := req.Start(); err != nil {
+			return err
+		}
+		if !req.Active() {
+			t.Error("started request not active")
+		}
+		if err := req.Free(); err == nil {
+			t.Error("Free while active succeeded")
+		}
+		if _, err := req.Wait(); err != nil {
+			return err
+		}
+		if err := req.Free(); err != nil {
+			t.Errorf("Free on inactive request: %v", err)
+		}
+		if err := req.Free(); err != nil {
+			t.Errorf("double Free: %v", err)
+		}
+		if err := req.Start(); err == nil {
+			t.Error("Start after Free succeeded")
+		}
+		return nil
+	})
+}
+
+// TestPersistentObservation pins the self-tuning hook: with an
+// observed-cost sink attached, repeated typed and contiguous
+// persistent sends record one sample per Start/Wait cycle under their
+// path names, at enough distinct sizes for a usable latency+bandwidth
+// fit; without a sink nothing is recorded.
+func TestPersistentObservation(t *testing.T) {
+	o := memsim.NewObservedHierarchy(nil)
+	counts := []int{64, 512, 4096}
+	run2(t, func(c *Comm) error {
+		c.ObserveInto(o)
+		if got := c.Observed(); got != o {
+			t.Error("Observed() does not return the attached sink")
+		}
+		for _, cnt := range counts {
+			ty, err := datatype.Vector(cnt, 1, 2, datatype.Float64)
+			if err != nil {
+				return err
+			}
+			if err := ty.Commit(); err != nil {
+				return err
+			}
+			b := buf.Alloc(int(ty.Extent()))
+			if c.Rank() == 0 {
+				req, err := c.SendTypeInit(b, 1, ty, 1, 0)
+				if err != nil {
+					return err
+				}
+				if err := req.Start(); err != nil {
+					return err
+				}
+				_, err = req.Wait()
+				if err != nil {
+					return err
+				}
+			} else {
+				req, err := c.RecvTypeInit(b, 1, ty, 0, 0)
+				if err != nil {
+					return err
+				}
+				if err := req.Start(); err != nil {
+					return err
+				}
+				if _, err := req.Wait(); err != nil {
+					return err
+				}
+			}
+		}
+		// One contiguous cycle on top.
+		b := buf.Alloc(1024)
+		if c.Rank() == 0 {
+			req, err := c.SendInit(b, 1, 1)
+			if err != nil {
+				return err
+			}
+			if err := req.Start(); err != nil {
+				return err
+			}
+			_, err = req.Wait()
+			return err
+		}
+		_, err := c.Recv(b, 0, 1)
+		return err
+	})
+	if got, want := o.Samples(memsim.PathTypedSend), len(counts); got != want {
+		t.Errorf("typed-send samples %d, want %d", got, want)
+	}
+	if got := o.Samples(memsim.PathContigSend); got != 1 {
+		t.Errorf("contig-send samples %d, want 1", got)
+	}
+	fit, ok := o.Fit(memsim.PathTypedSend)
+	if !ok {
+		t.Fatal("no typed-send fit after 3 distinct sizes")
+	}
+	if fit.InvBW <= 0 {
+		t.Errorf("typed-send fit has no marginal cost: %+v", fit)
+	}
+
+	// Without a sink, nothing is recorded.
+	quiet := memsim.NewObservedHierarchy(nil)
+	_ = quiet
+	run2(t, func(c *Comm) error {
+		b := buf.Alloc(64)
+		if c.Rank() == 0 {
+			req, err := c.SendInit(b, 1, 0)
+			if err != nil {
+				return err
+			}
+			if err := req.Start(); err != nil {
+				return err
+			}
+			_, err = req.Wait()
+			return err
+		}
+		_, err := c.Recv(b, 0, 0)
+		return err
+	})
+	if got := quiet.Samples(memsim.PathContigSend); got != 0 {
+		t.Errorf("detached sink recorded %d samples", got)
+	}
+}
 
 func TestPersistentSendRecv(t *testing.T) {
 	run2(t, func(c *Comm) error {

@@ -235,6 +235,38 @@ func (p *Profile) CollectiveTreeLimit() int64 {
 	return limit
 }
 
+// TreeAggregateHop returns the largest block a binomial fan over ranks
+// ranks forwards through an intermediate rank when every rank
+// contributes n bytes: subtree blocks combine on the way, so inner
+// hops carry multiples of the per-rank payload.
+func TreeAggregateHop(ranks int, n int64) int64 {
+	var max int64
+	for rel := 1; rel < ranks; rel++ {
+		span := int64(rel & -rel)
+		if r := int64(ranks - rel); r < span {
+			span = r
+		}
+		if span > max {
+			max = span
+		}
+	}
+	return max * n
+}
+
+// UseCollectiveTree reports whether the fan-in/fan-out engines should
+// run the binomial tree for per-rank contributions of n bytes over
+// ranks ranks: the per-leg size must sit in the latency-bound regime
+// (CollectiveTreeLimit), and every aggregated store-and-forward hop
+// must stay eager — a rendezvous handshake inside the tree costs the
+// very round trip the tree exists to avoid, which is how a tree
+// gather loses to the linear fan near the eager limit on
+// small-eager installations (the collective ≤ p2p-decomposition
+// guideline).
+func (p *Profile) UseCollectiveTree(ranks int, n int64) bool {
+	return n > 0 && ranks > 2 && n <= p.CollectiveTreeLimit() &&
+		TreeAggregateHop(ranks, n) <= p.EagerLimit
+}
+
 // registry of the four installations, keyed by canonical name.
 var registry = map[string]func() *Profile{
 	"skx-impi":    SkxImpi,
