@@ -48,6 +48,7 @@ import (
 	"repro/internal/memsim"
 	"repro/internal/mpi"
 	"repro/internal/perfmodel"
+	"repro/internal/simnet"
 )
 
 // Scheme identifies one of the paper's eight send schemes.
@@ -228,6 +229,64 @@ type RunOptions = mpi.Options
 // Run starts size rank goroutines on a simulated fabric.
 func Run(size int, opts RunOptions, body func(*Comm) error) error {
 	return mpi.Run(size, opts, body)
+}
+
+// Fault injection and recovery. A FaultPlan armed through
+// RunOptions.Faults makes the fabric drop, corrupt, truncate,
+// duplicate, reorder and delay deliveries deterministically from its
+// seed; the runtime's checksum/ACK/retry machinery recovers, and when
+// the RetryPolicy budget runs out the typed errors below surface the
+// failure instead of hanging.
+type (
+	// FaultPlan is a deterministic, seedable fault-injection plan.
+	FaultPlan = simnet.FaultPlan
+	// ScriptedFault pins one exact fault to one exact delivery.
+	ScriptedFault = simnet.ScriptedFault
+	// RetryPolicy bounds the recovery machinery (RunOptions.Retry).
+	RetryPolicy = mpi.RetryPolicy
+
+	// TimeoutError reports a deadline exceeded on a request wait;
+	// DeliveryError a retry budget exhausted; IntegrityError a
+	// checksum mismatch the budget could not clear; DeadlockError a
+	// quiescent world with the structured stuck-endpoint report;
+	// CollectiveError wraps a failed collective leg.
+	TimeoutError    = mpi.TimeoutError
+	DeliveryError   = mpi.DeliveryError
+	IntegrityError  = mpi.IntegrityError
+	DeadlockError   = mpi.DeadlockError
+	CollectiveError = mpi.CollectiveError
+
+	// FaultProfile prices the recovery machinery for the cost model
+	// (expected retries, backoff, delivery probability).
+	FaultProfile = memsim.FaultProfile
+)
+
+// Sentinel errors matchable with errors.Is against the typed errors
+// above.
+var (
+	ErrTimeout          = mpi.ErrTimeout
+	ErrIntegrity        = mpi.ErrIntegrity
+	ErrRetriesExhausted = mpi.ErrRetriesExhausted
+	ErrDeadlock         = mpi.ErrDeadlock
+)
+
+// UniformFaults builds a plan injecting every fault kind uniformly at
+// the given total rate on every link; DropOnly injects only drops.
+// Identical seeds reproduce identical fault sequences.
+func UniformFaults(seed uint64, rate float64) *FaultPlan { return simnet.UniformFaults(seed, rate) }
+
+// DropOnly builds a drop-only fault plan.
+func DropOnly(seed uint64, rate float64) *FaultPlan { return simnet.DropOnly(seed, rate) }
+
+// DefaultRetryPolicy is the recovery budget used when RunOptions.Retry
+// is zero: 8 retries, 20 µs base backoff doubling to a 2 ms cap.
+func DefaultRetryPolicy() RetryPolicy { return mpi.DefaultRetryPolicy() }
+
+// RecommendUnderFaults is the fault-adjusted Recommend: the same
+// scheme ladder priced with expected retries and backoff folded in.
+// With a disabled FaultProfile it reduces exactly to Recommend.
+func RecommendUnderFaults(n int64, contiguous bool, goal Goal, p *Profile, fp FaultProfile) Recommendation {
+	return core.RecommendUnderFaults(n, contiguous, goal, p, fp)
 }
 
 // Cart is a Cartesian process topology over a communicator, with

@@ -8,7 +8,7 @@
 //	figures [-profile skx-impi|skx-mvapich|ls5-cray|knl-impi|all]
 //	        [-per-decade 4] [-reps 20] [-max-real 16777216]
 //	        [-csv dir] [-check] [-what-if] [-plan] [-plancache] [-fused]
-//	        [-halo] [-pipeline] [-guidelines]
+//	        [-halo] [-pipeline] [-guidelines] [-chaos]
 //
 // Study flags:
 //
@@ -46,6 +46,15 @@
 //	             violations diffed against the waiver baseline exactly
 //	             as the CI gate does, plus the self-tuned recommender
 //	             panel fed from observed virtual-clock fits)
+//	-chaos       E18: the fault-recovery chaos study (the serial,
+//	             pipelined and fused engines moving the same typed
+//	             payload while the fabric injects a swept rate of
+//	             drops/corruption/truncation/duplication/reordering/
+//	             delays — goodput and p99 completion tails per rate,
+//	             retry and integrity-reject attribution from the
+//	             fabric counters, and the first-order reliability
+//	             model's predicted slowdown, delivery probability and
+//	             fault-adjusted recommendation alongside)
 package main
 
 import (
@@ -73,6 +82,7 @@ func main() {
 	halo := flag.Bool("halo", false, "also print the E15 halo-exchange study (typed collectives vs manual pack over subarray faces)")
 	pipeline := flag.Bool("pipeline", false, "also print the E16 pipelined chunk-engine study (serial vs pipelined vs fused across chunk sizes)")
 	guidelinesFlag := flag.Bool("guidelines", false, "also print the E17 performance-guidelines verifier (rule table, baseline-diffed violations, self-tuned recommender)")
+	chaos := flag.Bool("chaos", false, "also print the E18 fault-recovery chaos study (goodput and p99 tail vs injected fault rate with retry attribution and the reliability model)")
 	flag.Parse()
 
 	profiles := []string{"skx-impi", "skx-mvapich", "ls5-cray", "knl-impi"}
@@ -218,6 +228,17 @@ func main() {
 			}
 			fmt.Printf("the guidelines gate %s against the checked-in baseline (%d waived cells)\n\n",
 				verdict, st.Baseline.Len())
+		}
+		if *chaos {
+			st, err := figures.BuildChaosStudy(name, nil, 0)
+			if err != nil {
+				fatal(err)
+			}
+			if err := st.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("at a 5%% fault rate the fused engine retains %.0f%% of its clean goodput\n\n",
+				100*st.CleanOverheadAt("fused zero-copy (SendvType)", 0.05))
 		}
 	}
 }

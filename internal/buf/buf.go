@@ -118,6 +118,23 @@ func (b Block) Slice(off, n int) Block {
 	return Block{data: b.data[off : off+n : off+n], n: n, region: b.region}
 }
 
+// Truncate returns the block shortened to n bytes from its start,
+// keeping its pool identity: unlike a Slice view, the result can still
+// release the backing storage through PutPooled. The fabric uses it
+// for truncation faults on pooled transit payloads.
+func (b Block) Truncate(n int) Block {
+	if n < 0 || n > b.n {
+		panic(fmt.Sprintf("buf: truncate to %d bytes of block of %d bytes", n, b.n))
+	}
+	if b.IsVirtual() {
+		return Block{data: nil, n: n, region: b.region}
+	}
+	t := b
+	t.data = b.data[:n]
+	t.n = n
+	return t
+}
+
 // Zero clears a real block; it is a no-op for virtual blocks.
 func (b Block) Zero() {
 	for i := range b.data {

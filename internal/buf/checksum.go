@@ -1,0 +1,101 @@
+package buf
+
+import "encoding/binary"
+
+// Checksum is the streaming word-wise integrity hash over a payload's
+// packed byte stream: an FNV-1a-style 64-bit fold taken eight bytes
+// per step, with a carry buffer so the value is a pure function of the
+// byte stream regardless of how the stream was chunked. Sender and
+// receiver walk the same packed-stream order (possibly through
+// different segmentations — internal chunks, pipeline slots, fused
+// runs) and must arrive at the same Sum64.
+//
+// The kernel is deliberately cheap — one XOR and one multiply per
+// eight bytes — and allocation-free, so checksumming the zero-staging
+// paths adds a single pass over bytes already in cache and nothing
+// else. It is an integrity check against the fabric's injected
+// corruption, not a cryptographic MAC.
+type Checksum struct {
+	h    uint64
+	pend [8]byte
+	n    int   // buffered bytes in pend (0..7)
+	len  int64 // total stream length folded so far, incl. virtual
+}
+
+const (
+	csumOffset = 14695981039346656037
+	csumPrime  = 1099511628211
+)
+
+// Reset returns the checksum to its initial state.
+func (c *Checksum) Reset() { *c = Checksum{} }
+
+// Write folds p into the checksum.
+func (c *Checksum) Write(p []byte) {
+	if c.h == 0 && c.len == 0 {
+		c.h = csumOffset
+	}
+	c.len += int64(len(p))
+	// Drain the carry buffer first.
+	if c.n > 0 {
+		k := copy(c.pend[c.n:], p)
+		c.n += k
+		p = p[k:]
+		if c.n < 8 {
+			return
+		}
+		c.h = (c.h ^ binary.LittleEndian.Uint64(c.pend[:])) * csumPrime
+		c.n = 0
+	}
+	for len(p) >= 8 {
+		c.h = (c.h ^ binary.LittleEndian.Uint64(p)) * csumPrime
+		p = p[8:]
+	}
+	if len(p) > 0 {
+		c.n = copy(c.pend[:], p)
+	}
+}
+
+// SkipVirtual accounts n bytes of a virtual (storage-less) payload:
+// both ends of a virtual transfer skip identically, so their sums
+// still agree and still bind the stream length.
+func (c *Checksum) SkipVirtual(n int64) {
+	if c.h == 0 && c.len == 0 {
+		c.h = csumOffset
+	}
+	c.len += n
+}
+
+// Len returns the total stream length folded so far.
+func (c *Checksum) Len() int64 { return c.len }
+
+// Sum64 finalises over a copy of the state — the checksum remains
+// usable for further writes — folding in the pending tail and the
+// stream length, so streams differing only by a short tail or by
+// length cannot collide trivially.
+func (c *Checksum) Sum64() uint64 {
+	h := c.h
+	if h == 0 && c.len == 0 {
+		h = csumOffset
+	}
+	if c.n > 0 {
+		var tail [8]byte
+		copy(tail[:], c.pend[:c.n])
+		h = (h ^ binary.LittleEndian.Uint64(tail[:])) * csumPrime
+		h = (h ^ uint64(c.n)) * csumPrime
+	}
+	h = (h ^ uint64(c.len)) * csumPrime
+	return h
+}
+
+// ChecksumOf is the one-shot helper: the checksum of a whole block's
+// byte stream (length-only for virtual blocks).
+func ChecksumOf(b Block) uint64 {
+	var c Checksum
+	if b.IsVirtual() {
+		c.SkipVirtual(int64(b.Len()))
+	} else {
+		c.Write(b.Bytes())
+	}
+	return c.Sum64()
+}

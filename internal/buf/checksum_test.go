@@ -1,0 +1,98 @@
+package buf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestChecksumChunkInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	data := make([]byte, 4096+5)
+	rng.Read(data)
+
+	var whole Checksum
+	whole.Write(data)
+	want := whole.Sum64()
+
+	// Any segmentation of the same stream must fold to the same sum,
+	// including cuts that land mid-word and single-byte dribbles.
+	for trial := 0; trial < 50; trial++ {
+		var c Checksum
+		for p := data; len(p) > 0; {
+			k := 1 + rng.Intn(len(p))
+			c.Write(p[:k])
+			p = p[k:]
+		}
+		if c.Sum64() != want {
+			t.Fatalf("trial %d: segmented sum %#x != whole %#x", trial, c.Sum64(), want)
+		}
+		if c.Len() != int64(len(data)) {
+			t.Fatalf("trial %d: Len %d != %d", trial, c.Len(), len(data))
+		}
+	}
+}
+
+func TestChecksumBindsTailAndLength(t *testing.T) {
+	sum := func(p []byte) uint64 {
+		var c Checksum
+		c.Write(p)
+		return c.Sum64()
+	}
+	if sum([]byte{1}) == sum([]byte{1, 0}) {
+		t.Fatal("trailing zero byte not bound")
+	}
+	if sum([]byte{0}) == sum(nil) {
+		t.Fatal("single zero byte collides with empty stream")
+	}
+	if sum([]byte{1, 2, 3}) == sum([]byte{1, 2, 4}) {
+		t.Fatal("tail byte not bound")
+	}
+}
+
+func TestChecksumSum64NonDestructive(t *testing.T) {
+	var c Checksum
+	c.Write([]byte{1, 2, 3})
+	s1 := c.Sum64()
+	if c.Sum64() != s1 {
+		t.Fatal("Sum64 mutated state")
+	}
+	c.Write([]byte{4, 5})
+	var d Checksum
+	d.Write([]byte{1, 2, 3, 4, 5})
+	if c.Sum64() != d.Sum64() {
+		t.Fatal("writes after Sum64 diverge from a straight stream")
+	}
+}
+
+func TestChecksumVirtualSymmetry(t *testing.T) {
+	// Both ends skipping the same virtual length agree; length is bound.
+	var a, b Checksum
+	a.SkipVirtual(100)
+	b.SkipVirtual(60)
+	b.SkipVirtual(40)
+	if a.Sum64() != b.Sum64() {
+		t.Fatal("split virtual skips disagree")
+	}
+	var c Checksum
+	c.SkipVirtual(99)
+	if a.Sum64() == c.Sum64() {
+		t.Fatal("virtual length not bound")
+	}
+	if ChecksumOf(Virtual(100)) != a.Sum64() {
+		t.Fatal("ChecksumOf(virtual) disagrees with SkipVirtual")
+	}
+}
+
+func TestChecksumZeroAlloc(t *testing.T) {
+	data := make([]byte, 1024)
+	var c Checksum
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Reset()
+		c.Write(data[:7])
+		c.Write(data[7:])
+		_ = c.Sum64()
+	})
+	if allocs != 0 {
+		t.Fatalf("checksum path allocates %.1f times per run", allocs)
+	}
+}

@@ -58,6 +58,42 @@ var poolCounters struct {
 	}
 }
 
+// Pool occupancy accounting for bounded-memory backpressure: inUse is
+// the storage (class-rounded) currently checked out of the pool,
+// capBytes the soft occupancy cap (0 = unlimited), degradations the
+// number of sends that fell back from eager to rendezvous because a
+// transit copy would have pushed occupancy past the cap.
+var poolPressure struct {
+	inUse        atomic.Int64
+	capBytes     atomic.Int64
+	degradations atomic.Int64
+}
+
+// SetPoolCap sets the pool occupancy cap in bytes (0 disables) and
+// returns the previous cap. Senders consult PoolOverCap before drawing
+// an eager transit copy; past the cap they degrade to rendezvous,
+// which stages nothing on the send side.
+func SetPoolCap(n int64) int64 {
+	return poolPressure.capBytes.Swap(n)
+}
+
+// PoolCap returns the current occupancy cap (0 = unlimited).
+func PoolCap() int64 { return poolPressure.capBytes.Load() }
+
+// PoolInUse returns the class-rounded bytes currently checked out.
+func PoolInUse() int64 { return poolPressure.inUse.Load() }
+
+// PoolOverCap reports whether drawing extra more bytes would push the
+// pool past its occupancy cap. Always false with no cap set.
+func PoolOverCap(extra int64) bool {
+	cap := poolPressure.capBytes.Load()
+	return cap > 0 && poolPressure.inUse.Load()+extra > cap
+}
+
+// NotePoolDegradation records one eager→rendezvous backpressure
+// fallback.
+func NotePoolDegradation() { poolPressure.degradations.Add(1) }
+
 // ShardPoolStats is one free-list shard's slice of the pool counters.
 // Gets and Hits are attributed to the shard the block was drawn from;
 // Puts to the block's home shard — the shard the storage returns to —
@@ -75,13 +111,26 @@ type PoolStats struct {
 	Hits int64 // Gets served by recycled storage
 	Puts int64 // blocks returned
 
+	// InUseBytes is the class-rounded storage currently checked out;
+	// CapBytes the occupancy cap (0 = unlimited); Degradations the
+	// count of eager sends that fell back to rendezvous under the cap
+	// (see SetPoolCap). InUseBytes and CapBytes are point-in-time
+	// gauges, not counters: Sub carries the receiver's values through.
+	InUseBytes   int64
+	CapBytes     int64
+	Degradations int64
+
 	// Shards is the per-shard breakdown; the totals above are its sums.
 	Shards [PoolShards]ShardPoolStats
 }
 
 // Sub returns the counter-wise difference s - o.
 func (s PoolStats) Sub(o PoolStats) PoolStats {
-	d := PoolStats{Gets: s.Gets - o.Gets, Hits: s.Hits - o.Hits, Puts: s.Puts - o.Puts}
+	d := PoolStats{
+		Gets: s.Gets - o.Gets, Hits: s.Hits - o.Hits, Puts: s.Puts - o.Puts,
+		InUseBytes: s.InUseBytes, CapBytes: s.CapBytes,
+		Degradations: s.Degradations - o.Degradations,
+	}
 	for i := range d.Shards {
 		d.Shards[i] = ShardPoolStats{
 			Gets: s.Shards[i].Gets - o.Shards[i].Gets,
@@ -96,9 +145,12 @@ func (s PoolStats) Sub(o PoolStats) PoolStats {
 // per-shard breakdown.
 func PoolStatsSnapshot() PoolStats {
 	st := PoolStats{
-		Gets: poolCounters.gets.Load(),
-		Hits: poolCounters.hits.Load(),
-		Puts: poolCounters.puts.Load(),
+		Gets:         poolCounters.gets.Load(),
+		Hits:         poolCounters.hits.Load(),
+		Puts:         poolCounters.puts.Load(),
+		InUseBytes:   poolPressure.inUse.Load(),
+		CapBytes:     poolPressure.capBytes.Load(),
+		Degradations: poolPressure.degradations.Load(),
 	}
 	for i := range st.Shards {
 		st.Shards[i] = ShardPoolStats{
@@ -146,6 +198,7 @@ func GetPooledFor(rank, n int) Block {
 	}
 	poolCounters.gets.Add(1)
 	poolCounters.shard[shard].gets.Add(1)
+	poolPressure.inUse.Add(int64(1) << (minPoolBits + c))
 	if v := blockPools[shard][c].Get(); v != nil {
 		poolCounters.hits.Add(1)
 		poolCounters.shard[shard].hits.Add(1)
@@ -165,6 +218,7 @@ func PutPooled(b Block) {
 		return
 	}
 	sl := b.data[:cap(b.data)]
+	poolPressure.inUse.Add(-(int64(1) << (minPoolBits + int(b.pool) - 1)))
 	poolCounters.puts.Add(1)
 	poolCounters.shard[b.shard].puts.Add(1)
 	blockPools[b.shard][b.pool-1].Put(&sl)

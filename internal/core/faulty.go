@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/memsim"
+	"repro/internal/perfmodel"
+)
+
+// FaultyCostModel extends PackingCostModel with fault-adjusted
+// expected one-way times under a lossy fabric with checksum-verified
+// retransmission (memsim.FaultProfile). The adjustment follows the
+// executor's actual recovery unit: integrity covers the whole payload
+// stream, so a resend-class fault on any delivery leg — the rendezvous
+// envelope or any internal-chunk data leg — retries the entire
+// transfer, and the retry closure replays the full pack/inject pass.
+type FaultyCostModel struct {
+	PackingCostModel
+	Faults memsim.FaultProfile
+
+	// Legs is the number of faultable delivery legs per attempt: one
+	// for an eager message, envelope + internal chunks for rendezvous.
+	Legs int64
+
+	// Fault-adjusted expected one-way times, mirroring the clean
+	// fields of PackingCostModel.
+	FaultyCompiledPack  float64
+	FaultyTypedSend     float64
+	FaultyFusedSend     float64
+	FaultyPipelinedSend float64
+
+	// DeliveryProb is the probability the transfer completes within
+	// the retry budget at all; below 1 the expected times above are
+	// conditioned on the attempts actually made.
+	DeliveryProb float64
+}
+
+// Slowdown returns the fault-induced inflation of the typed send:
+// expected lossy time over clean time.
+func (m FaultyCostModel) Slowdown() float64 {
+	if m.TypedSend <= 0 {
+		return 1
+	}
+	return m.FaultyTypedSend / m.TypedSend
+}
+
+// PricePackingUnderFaults evaluates the packing cost model for n
+// payload bytes on profile p, then inflates each scheme by the
+// expected retries and backoff of the fault profile.
+func PricePackingUnderFaults(n int64, p *perfmodel.Profile, fp memsim.FaultProfile) FaultyCostModel {
+	m := FaultyCostModel{PackingCostModel: PricePacking(n, p), Faults: fp}
+	m.Legs = 1
+	if n > 0 && !p.Eager(n, false) {
+		m.Legs = 1 + p.Chunks(n)
+	}
+	m.FaultyCompiledPack = fp.InflateTransfer(m.CompiledPack, m.CompiledPack, m.Legs)
+	m.FaultyTypedSend = fp.InflateTransfer(m.TypedSend, m.TypedSend, m.Legs)
+	if m.FusedSend > 0 {
+		m.FaultyFusedSend = fp.InflateTransfer(m.FusedSend, m.FusedSend, m.Legs)
+	}
+	if m.PipelinedSend > 0 {
+		// A retry of the pipelined engine drains the slot ring and
+		// replays the span serially before the overlap refills, so the
+		// resend unit is the serial typed cost, not the pipelined one:
+		// overlap only pays off on clean attempts.
+		m.FaultyPipelinedSend = fp.InflateTransfer(m.PipelinedSend, m.TypedSend, m.Legs)
+	}
+	m.DeliveryProb = fp.TransferDeliveryProb(m.Legs)
+	return m
+}
+
+// RecommendUnderFaults is the fault-adjusted variant of Recommend: the
+// same scheme ladder, priced with expected retries and backoff folded
+// in. On a clean fabric it reduces exactly to Recommend. On a lossy
+// one the ladder can reorder — most visibly, the pipelined chunk
+// engine loses its edge first, because every retry replays its span
+// serially while the clean model's overlap is what justified it.
+func RecommendUnderFaults(n int64, contiguous bool, goal Goal, p *perfmodel.Profile, fp memsim.FaultProfile) Recommendation {
+	if !fp.Enabled() {
+		return Recommend(n, contiguous, goal, p)
+	}
+	if contiguous {
+		return Recommendation{
+			Scheme: Reference,
+			Reason: "payload is contiguous; a plain send attains the hardware rate (retries inflate every scheme equally)",
+		}
+	}
+	model := PricePackingUnderFaults(n, p, fp)
+	annotate := func(r Recommendation) Recommendation {
+		r.Reason = fmt.Sprintf("%s; fault-adjusted for leg loss %.3g over %d legs (budget %d, delivery prob %.4f, expected slowdown %.2fx)",
+			r.Reason, fp.LegLossRate, model.Legs, fp.MaxRetries, model.DeliveryProb, model.Slowdown())
+		return r
+	}
+	if goal != GoalFastest {
+		// The balanced ladder is threshold-driven, not price-driven;
+		// faults inflate all schemes by the same leg count, so the
+		// thresholds stand. Annotate with the expected inflation.
+		return annotate(Recommend(n, contiguous, goal, p))
+	}
+	if model.FaultyFusedSend > 0 && model.FaultyFusedSend < model.FaultyCompiledPack &&
+		model.FaultyFusedSend < model.FaultyTypedSend &&
+		(model.FaultyPipelinedSend <= 0 || model.FaultyFusedSend <= model.FaultyPipelinedSend) {
+		return annotate(Recommendation{
+			Scheme: Sendv,
+			Reason: fmt.Sprintf("fused rendezvous models %.2fx over the datatype send on %s under loss: one pass per attempt is the cheapest retry unit",
+				model.FaultyTypedSend/model.FaultyFusedSend, p.Name),
+		})
+	}
+	if model.FaultyPipelinedSend > 0 && model.FaultyPipelinedSend < model.FaultyCompiledPack &&
+		model.FaultyPipelinedSend < model.FaultyTypedSend {
+		return annotate(Recommendation{
+			Scheme: TypedPipelined,
+			Reason: fmt.Sprintf("pipelined chunk engine still models %.2fx over the serial datatype send on %s despite serial retries",
+				model.FaultyTypedSend/model.FaultyPipelinedSend, p.Name),
+		})
+	}
+	if model.FaultyCompiledPack < model.FaultyTypedSend {
+		return annotate(Recommendation{
+			Scheme: PackCompiled,
+			Reason: fmt.Sprintf("compiled pack (%d worker(s)) models %.2fx over the datatype send on %s under loss",
+				model.Workers, model.FaultyTypedSend/model.FaultyCompiledPack, p.Name),
+		})
+	}
+	return annotate(Recommendation{
+		Scheme: PackVector,
+		Reason: "MPI_Pack of a derived datatype matches the manual copy; loss inflates every scheme by the same leg count here",
+	})
+}

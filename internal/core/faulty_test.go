@@ -1,0 +1,96 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/memsim"
+	"repro/internal/perfmodel"
+)
+
+func TestRecommendUnderFaultsCleanReducesToRecommend(t *testing.T) {
+	p := perfmodel.Generic()
+	for _, n := range []int64{1 << 10, 1 << 20, 1 << 27} {
+		for _, goal := range []Goal{GoalBalanced, GoalFastest} {
+			clean := Recommend(n, false, goal, p)
+			got := RecommendUnderFaults(n, false, goal, p, memsim.FaultProfile{})
+			if got.Scheme != clean.Scheme || got.Reason != clean.Reason {
+				t.Fatalf("n=%d goal=%v: clean fault profile diverged: %+v vs %+v", n, goal, got, clean)
+			}
+		}
+	}
+}
+
+func TestPricePackingUnderFaults(t *testing.T) {
+	p := perfmodel.Generic()
+	fp := memsim.FaultProfile{LegLossRate: 0.02, MaxRetries: 8, BaseBackoff: 20e-6, MaxBackoff: 2e-3}
+
+	// Eager-sized payload: one leg.
+	small := PricePackingUnderFaults(1<<10, p, fp)
+	if small.Legs != 1 {
+		t.Fatalf("eager payload priced %d legs", small.Legs)
+	}
+	// Rendezvous payload: envelope + internal chunks.
+	big := PricePackingUnderFaults(1<<26, p, fp)
+	if want := 1 + p.Chunks(1<<26); big.Legs != want {
+		t.Fatalf("rdv payload priced %d legs, want %d", big.Legs, want)
+	}
+	if big.FaultyTypedSend <= big.TypedSend {
+		t.Fatal("loss did not inflate the typed send")
+	}
+	if big.Slowdown() <= 1 {
+		t.Fatalf("slowdown %g", big.Slowdown())
+	}
+	if big.DeliveryProb <= 0 || big.DeliveryProb >= 1 {
+		t.Fatalf("delivery prob %g", big.DeliveryProb)
+	}
+	if big.DeliveryProb >= small.DeliveryProb {
+		t.Fatal("more legs should deliver less reliably")
+	}
+
+	// More loss, more slowdown.
+	worse := PricePackingUnderFaults(1<<26, p, memsim.FaultProfile{LegLossRate: 0.1, MaxRetries: 8})
+	if worse.Slowdown() <= big.Slowdown() {
+		t.Fatalf("slowdown not monotone in loss: %g vs %g", worse.Slowdown(), big.Slowdown())
+	}
+}
+
+func TestRecommendUnderFaultsAnnotates(t *testing.T) {
+	p := perfmodel.Generic()
+	fp := memsim.FaultProfile{LegLossRate: 0.05, MaxRetries: 8, BaseBackoff: 20e-6, MaxBackoff: 2e-3}
+	r := RecommendUnderFaults(1<<26, false, GoalFastest, p, fp)
+	if !strings.Contains(r.Reason, "fault-adjusted") {
+		t.Fatalf("reason not annotated: %q", r.Reason)
+	}
+	if r.Scheme == Reference {
+		t.Fatalf("non-contiguous payload recommended %v", r.Scheme)
+	}
+	b := RecommendUnderFaults(1<<26, false, GoalBalanced, p, fp)
+	clean := Recommend(1<<26, false, GoalBalanced, p)
+	if b.Scheme != clean.Scheme {
+		t.Fatalf("balanced ladder flipped under faults: %v vs %v", b.Scheme, clean.Scheme)
+	}
+	if !strings.Contains(b.Reason, "fault-adjusted") {
+		t.Fatalf("balanced reason not annotated: %q", b.Reason)
+	}
+}
+
+// TestPipelinedLosesEdgeUnderHeavyLoss pins the modeling asymmetry:
+// retries replay the pipelined span serially, so as loss grows the
+// pipelined engine's advantage over the schemes with cheap retry
+// units erodes rather than holding constant.
+func TestPipelinedLosesEdgeUnderHeavyLoss(t *testing.T) {
+	p := perfmodel.Generic()
+	n := int64(1 << 26)
+	base := PricePacking(n, p)
+	if base.PipelinedSend <= 0 {
+		t.Skip("profile does not pipeline this size")
+	}
+	edge := func(rate float64) float64 {
+		m := PricePackingUnderFaults(n, p, memsim.FaultProfile{LegLossRate: rate, MaxRetries: 8})
+		return m.FaultyTypedSend / m.FaultyPipelinedSend
+	}
+	if e0, e1 := edge(0.001), edge(0.05); e1 >= e0 {
+		t.Fatalf("pipelined edge did not erode under loss: %.4f → %.4f", e0, e1)
+	}
+}

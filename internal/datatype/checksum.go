@@ -1,0 +1,43 @@
+package datatype
+
+import "repro/internal/buf"
+
+// ChecksumRange folds the packed-stream bytes [lo, hi) of the plan
+// over user into sum, walking the layout's contiguous runs in packed
+// order — no staging, no allocation, exactly the zero-staging
+// discipline of the fused paths. The fold is chunk-invariant (see
+// buf.Checksum): a sender summing per internal chunk or pipeline slot
+// and a receiver summing the whole stream agree.
+//
+// Virtual user blocks are skipped length-only, so both ends of a
+// virtual transfer still produce matching sums.
+func (p *Plan) ChecksumRange(user buf.Block, lo, hi int64, sum *buf.Checksum) {
+	if hi > p.total {
+		hi = p.total
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if lo >= hi {
+		return
+	}
+	if user.IsVirtual() {
+		sum.SkipVirtual(hi - lo)
+		return
+	}
+	data := user.Bytes()
+	it := p.Segments()
+	it.SeekTo(lo)
+	for pos := lo; pos < hi; {
+		off, n := it.Run()
+		if n == 0 {
+			break
+		}
+		if pos+n > hi {
+			n = hi - pos
+		}
+		sum.Write(data[off : off+n])
+		it.Advance(n)
+		pos += n
+	}
+}

@@ -1,0 +1,112 @@
+package datatype
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/buf"
+)
+
+// TestChecksumRangeDifferential pins ChecksumRange against the staged
+// oracle: packing the full stream and summing the packed bytes must
+// give the same value as the zero-staging range walk, for any split of
+// the stream into [lo, hi) windows.
+func TestChecksumRangeDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xFACADE))
+	for iter := 0; iter < 200; iter++ {
+		ty := randPlanType(rng, 1)
+		count := rng.Intn(3) + 1
+		src := buf.Alloc(userBufLen(ty, count))
+		src.FillPattern(byte(iter*3 + 1))
+
+		plan, err := ty.CompilePlan(count)
+		if err != nil {
+			t.Fatalf("iter %d (%v): compile: %v", iter, ty, err)
+		}
+		packed := buf.Alloc(int(ty.PackSize(count)))
+		if _, err := plan.Pack(src, packed); err != nil {
+			t.Fatalf("iter %d (%v): pack: %v", iter, ty, err)
+		}
+		var oracle buf.Checksum
+		oracle.Write(packed.Bytes())
+		want := oracle.Sum64()
+
+		// Whole-stream walk.
+		var whole buf.Checksum
+		plan.ChecksumRange(src, 0, plan.Bytes(), &whole)
+		if whole.Sum64() != want {
+			t.Fatalf("iter %d (%v, kernel %v): whole-range sum %#x != packed %#x",
+				iter, ty, plan.Kernel(), whole.Sum64(), want)
+		}
+
+		// Random window split: summing piecewise over a partition of
+		// [0, total) must agree — the chunk-invariance the pipelined
+		// and fused senders rely on.
+		var split buf.Checksum
+		for lo := int64(0); lo < plan.Bytes(); {
+			hi := lo + 1 + rng.Int63n(plan.Bytes()-lo)
+			plan.ChecksumRange(src, lo, hi, &split)
+			lo = hi
+		}
+		if split.Sum64() != want {
+			t.Fatalf("iter %d (%v, kernel %v): split-range sum %#x != packed %#x",
+				iter, ty, plan.Kernel(), split.Sum64(), want)
+		}
+	}
+}
+
+// TestChecksumRangeVirtual checks that a virtual user block is skipped
+// length-only and agrees with an explicit SkipVirtual of the range.
+func TestChecksumRangeVirtual(t *testing.T) {
+	ty, err := Vector(8, 2, 3, Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ty.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ty.CompilePlan(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := buf.Virtual(userBufLen(ty, 2))
+
+	var got buf.Checksum
+	plan.ChecksumRange(user, 16, plan.Bytes(), &got)
+	var want buf.Checksum
+	want.SkipVirtual(plan.Bytes() - 16)
+	if got.Sum64() != want.Sum64() {
+		t.Fatalf("virtual range sum %#x != skip %#x", got.Sum64(), want.Sum64())
+	}
+}
+
+// TestChecksumRangeClamps checks out-of-range windows are clamped and
+// degenerate windows are no-ops.
+func TestChecksumRangeClamps(t *testing.T) {
+	ty, err := Vector(4, 1, 2, Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ty.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ty.CompilePlan(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := buf.Alloc(userBufLen(ty, 1))
+	src.FillPattern(9)
+
+	var a, b buf.Checksum
+	plan.ChecksumRange(src, -5, plan.Bytes()+100, &a)
+	plan.ChecksumRange(src, 0, plan.Bytes(), &b)
+	if a.Sum64() != b.Sum64() {
+		t.Fatal("clamped range disagrees with exact range")
+	}
+	before := a.Sum64()
+	plan.ChecksumRange(src, 8, 8, &a)
+	plan.ChecksumRange(src, 10, 4, &a)
+	if a.Sum64() != before {
+		t.Fatal("degenerate range mutated the sum")
+	}
+}

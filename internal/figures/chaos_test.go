@@ -1,0 +1,85 @@
+package figures
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestChaosStudy(t *testing.T) {
+	st, err := BuildChaosStudy("skx-impi", []float64{0, 0.05}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Schemes) != 3 {
+		t.Fatalf("%d schemes", len(st.Schemes))
+	}
+	for _, s := range st.Schemes {
+		if s.Goodput.Len() != 2 || s.P99.Len() != 2 {
+			t.Fatalf("%s: sweep lengths %d/%d", s.Name, s.Goodput.Len(), s.P99.Len())
+		}
+		if !s.Delivered[0] || s.Goodput.Y[0] <= 0 {
+			t.Fatalf("%s: clean baseline failed (delivered=%v goodput=%g)",
+				s.Name, s.Delivered[0], s.Goodput.Y[0])
+		}
+		if s.Faults[0] != 0 || s.Retries[0] != 0 {
+			t.Fatalf("%s: clean baseline attributed faults (%d) or retries (%d)",
+				s.Name, s.Faults[0], s.Retries[0])
+		}
+		// The lossy cell must actually have injected and recovered.
+		if s.Delivered[1] {
+			if s.Faults[1] == 0 {
+				t.Fatalf("%s: lossy cell injected nothing", s.Name)
+			}
+			if s.Retries[1] == 0 {
+				t.Fatalf("%s: lossy cell recovered without retries", s.Name)
+			}
+			if s.Goodput.Y[1] >= s.Goodput.Y[0] {
+				t.Fatalf("%s: faults did not cost goodput (%g vs %g)",
+					s.Name, s.Goodput.Y[1], s.Goodput.Y[0])
+			}
+			if s.P99.Y[1] <= s.P99.Y[0] {
+				t.Fatalf("%s: faults did not fatten the tail (%g vs %g)",
+					s.Name, s.P99.Y[1], s.P99.Y[0])
+			}
+		}
+	}
+	if len(st.Model) != 2 {
+		t.Fatalf("%d model rows", len(st.Model))
+	}
+	if st.Model[0].Slowdown != 1 || st.Model[0].DeliveryProb != 1 {
+		t.Fatalf("clean model row %+v", st.Model[0])
+	}
+	if st.Model[1].Slowdown <= 1 || st.Model[1].DeliveryProb >= 1 {
+		t.Fatalf("lossy model row %+v", st.Model[1])
+	}
+
+	var out bytes.Buffer
+	if err := st.Render(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"E18", "goodput", "p99", "reliability model", "fastest under faults"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("render missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestChaosStudyDeterministic(t *testing.T) {
+	a, err := BuildChaosStudy("skx-impi", []float64{0.08}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildChaosStudy("skx-impi", []float64{0.08}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Schemes {
+		if a.Schemes[i].Goodput.Y[0] != b.Schemes[i].Goodput.Y[0] ||
+			a.Schemes[i].Retries[0] != b.Schemes[i].Retries[0] {
+			t.Fatalf("%s not deterministic: %v/%d vs %v/%d", a.Schemes[i].Name,
+				a.Schemes[i].Goodput.Y[0], a.Schemes[i].Retries[0],
+				b.Schemes[i].Goodput.Y[0], b.Schemes[i].Retries[0])
+		}
+	}
+}

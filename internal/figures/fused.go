@@ -57,9 +57,9 @@ type FusedPanel struct {
 // destination so the sender and receiver layouts differ (the
 // halo-exchange shape the staged pipeline was built for).
 type fusedGeometry struct {
-	name                 string
-	srcBlock, srcStride  int
-	dstBlock, dstStride  int
+	name                string
+	srcBlock, srcStride int
+	dstBlock, dstStride int
 }
 
 var fusedGeometries = []fusedGeometry{

@@ -1,0 +1,140 @@
+package memsim
+
+import "math"
+
+// FaultProfile prices the recovery machinery of the fault-injecting
+// fabric (internal/simnet) for the steady-state cost model: a lossy
+// link drops, corrupts or truncates delivery legs at a per-leg rate,
+// and the runtime recovers by checksum-verified, ACKed retransmission
+// with exponential backoff under a finite retry budget.
+//
+// The model is first-order, matching the executor's actual recovery
+// unit: integrity is checked over the whole payload stream, so a
+// resend-class fault on ANY leg of a transfer (the rendezvous envelope
+// plus every internal-chunk data leg) forces the entire transfer to be
+// retried. Per-attempt failure therefore compounds with the number of
+// legs, and chunked staging pays a reliability tax on lossy links that
+// the wire-time model alone does not show.
+type FaultProfile struct {
+	// LegLossRate is the per-delivery-leg probability of a
+	// resend-class fault (drop, corrupt, or truncate — the
+	// simnet.Fault.NeedsResend class). simnet.UniformFaults(seed, r)
+	// produces a resend-class rate of r/2.
+	LegLossRate float64
+
+	// MaxRetries is the retry budget per transfer, matching
+	// mpi.RetryPolicy.MaxRetries (negative means no retries).
+	MaxRetries int
+
+	// BaseBackoff and MaxBackoff price the exponential backoff between
+	// attempts, in seconds (mpi.RetryPolicy uses virtual nanoseconds;
+	// the caller converts).
+	BaseBackoff float64
+	MaxBackoff  float64
+}
+
+// Enabled reports whether the profile injects any faults at all.
+func (f FaultProfile) Enabled() bool { return f.LegLossRate > 0 }
+
+// rate clamps the leg-loss rate to [0, 1).
+func (f FaultProfile) rate() float64 {
+	switch {
+	case f.LegLossRate < 0:
+		return 0
+	case f.LegLossRate >= 1:
+		return math.Nextafter(1, 0)
+	}
+	return f.LegLossRate
+}
+
+// retries normalises the budget (negative = none).
+func (f FaultProfile) retries() int {
+	if f.MaxRetries < 0 {
+		return 0
+	}
+	return f.MaxRetries
+}
+
+// AttemptFailProb returns the probability that one transfer attempt
+// staged through legs faultable delivery legs fails and must be
+// retried: 1 - (1-λ)^legs. An eager message is a single leg; a
+// rendezvous transfer is its envelope plus one leg per internal chunk.
+func (f FaultProfile) AttemptFailProb(legs int64) float64 {
+	if legs <= 0 {
+		return 0
+	}
+	return 1 - math.Pow(1-f.rate(), float64(legs))
+}
+
+// ExpectedAttempts returns the expected number of attempts charged for
+// a transfer whose attempts fail independently with probability p,
+// truncated at the retry budget: Σ_{k=0}^{R} p^k = (1-p^{R+1})/(1-p).
+// Attempts beyond the first success are never made; attempts beyond
+// the budget are abandoned (see DeliveryProb).
+func ExpectedAttempts(p float64, maxRetries int) float64 {
+	if p <= 0 {
+		return 1
+	}
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	if p >= 1 {
+		return float64(maxRetries + 1)
+	}
+	return (1 - math.Pow(p, float64(maxRetries+1))) / (1 - p)
+}
+
+// DeliveryProb returns the probability a transfer completes within the
+// retry budget: 1 - p^{R+1}.
+func DeliveryProb(p float64, maxRetries int) float64 {
+	if p <= 0 {
+		return 1
+	}
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	return 1 - math.Pow(p, float64(maxRetries+1))
+}
+
+// ExpectedBackoff returns the expected total backoff wait, in seconds,
+// under exponential backoff capped at max: attempt k+1's wait of
+// min(base·2^{k-1}, max) is paid only when the first k attempts all
+// failed, i.e. with probability p^k.
+func ExpectedBackoff(p float64, maxRetries int, base, max float64) float64 {
+	if p <= 0 || maxRetries <= 0 || base <= 0 {
+		return 0
+	}
+	wait, pk, total := base, p, 0.0
+	for k := 1; k <= maxRetries; k++ {
+		w := wait
+		if max > 0 && w > max {
+			w = max
+		}
+		total += pk * w
+		wait *= 2
+		pk *= p
+	}
+	return total
+}
+
+// InflateTransfer returns the fault-adjusted expected one-way time of
+// a transfer: the clean-run cost, plus the expected extra attempts
+// (each re-running the resend cost — the executor's retry closure
+// replays the full pack/inject pass), plus the expected backoff.
+func (f FaultProfile) InflateTransfer(clean, resend float64, legs int64) float64 {
+	if !f.Enabled() || legs <= 0 {
+		return clean
+	}
+	p := f.AttemptFailProb(legs)
+	extra := ExpectedAttempts(p, f.retries()) - 1
+	return clean + extra*resend + ExpectedBackoff(p, f.retries(), f.BaseBackoff, f.MaxBackoff)
+}
+
+// TransferDeliveryProb returns the probability a transfer staged
+// through legs delivery legs completes within the retry budget.
+func (f FaultProfile) TransferDeliveryProb(legs int64) float64 {
+	if !f.Enabled() || legs <= 0 {
+		return 1
+	}
+	return DeliveryProb(f.AttemptFailProb(legs), f.retries())
+}

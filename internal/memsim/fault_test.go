@@ -1,0 +1,98 @@
+package memsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExpectedAttempts(t *testing.T) {
+	if got := ExpectedAttempts(0, 8); got != 1 {
+		t.Fatalf("clean link expects %g attempts", got)
+	}
+	// Unbounded geometric limit: p=0.5 → 2 attempts; a deep budget
+	// should approach it.
+	if got := ExpectedAttempts(0.5, 60); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("p=0.5 deep budget: %g attempts, want 2", got)
+	}
+	// Zero budget: exactly one attempt regardless of loss.
+	if got := ExpectedAttempts(0.9, 0); got != 1 {
+		t.Fatalf("zero budget: %g attempts", got)
+	}
+	if got := ExpectedAttempts(0.9, -3); got != 1 {
+		t.Fatalf("negative budget: %g attempts", got)
+	}
+	// Monotone in both rate and budget.
+	if ExpectedAttempts(0.3, 8) >= ExpectedAttempts(0.6, 8) {
+		t.Fatal("attempts not monotone in loss rate")
+	}
+	if ExpectedAttempts(0.6, 2) >= ExpectedAttempts(0.6, 8) {
+		t.Fatal("attempts not monotone in budget")
+	}
+}
+
+func TestDeliveryProb(t *testing.T) {
+	if DeliveryProb(0, 0) != 1 {
+		t.Fatal("clean link must always deliver")
+	}
+	if got := DeliveryProb(0.5, 1); got != 0.75 {
+		t.Fatalf("p=0.5 R=1: %g, want 0.75", got)
+	}
+	if DeliveryProb(0.9, 1) >= DeliveryProb(0.9, 8) {
+		t.Fatal("delivery prob not monotone in budget")
+	}
+}
+
+func TestExpectedBackoff(t *testing.T) {
+	if ExpectedBackoff(0, 8, 1, 10) != 0 {
+		t.Fatal("clean link pays backoff")
+	}
+	if ExpectedBackoff(0.5, 0, 1, 10) != 0 {
+		t.Fatal("zero budget pays backoff")
+	}
+	// p=0.5, R=2, base=1, cap none: 0.5·1 + 0.25·2 = 1.
+	if got := ExpectedBackoff(0.5, 2, 1, 0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("uncapped backoff %g, want 1", got)
+	}
+	// Cap at 1: 0.5·1 + 0.25·1 = 0.75.
+	if got := ExpectedBackoff(0.5, 2, 1, 1); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("capped backoff %g, want 0.75", got)
+	}
+}
+
+func TestFaultProfileLegCompounding(t *testing.T) {
+	f := FaultProfile{LegLossRate: 0.01, MaxRetries: 8}
+	one := f.AttemptFailProb(1)
+	if math.Abs(one-0.01) > 1e-12 {
+		t.Fatalf("single leg fail prob %g", one)
+	}
+	many := f.AttemptFailProb(64)
+	if many <= one || many >= 1 {
+		t.Fatalf("64-leg fail prob %g not compounding", many)
+	}
+	if f.TransferDeliveryProb(64) >= f.TransferDeliveryProb(1) {
+		t.Fatal("delivery prob not decreasing in legs")
+	}
+}
+
+func TestInflateTransfer(t *testing.T) {
+	clean := FaultProfile{}
+	if got := clean.InflateTransfer(3, 3, 10); got != 3 {
+		t.Fatalf("clean inflation %g", got)
+	}
+	f := FaultProfile{LegLossRate: 0.1, MaxRetries: 8, BaseBackoff: 1e-6, MaxBackoff: 1e-3}
+	got := f.InflateTransfer(3, 3, 1)
+	if got <= 3 {
+		t.Fatalf("lossy inflation %g not above clean", got)
+	}
+	// Distinct resend unit: retries replay the resend cost, not the
+	// clean cost.
+	cheapResend := f.InflateTransfer(3, 1, 1)
+	if cheapResend >= got {
+		t.Fatal("cheaper resend unit did not reduce expected time")
+	}
+	// Degenerate rates stay finite.
+	hot := FaultProfile{LegLossRate: 5, MaxRetries: 4}
+	if v := hot.InflateTransfer(1, 1, 3); math.IsInf(v, 0) || math.IsNaN(v) {
+		t.Fatalf("saturated rate produced %g", v)
+	}
+}

@@ -86,6 +86,10 @@ var (
 // Reduce folds every rank's send buffer of count float64s into recv at
 // the root over a binomial tree, like MPI_Reduce on MPI_DOUBLE.
 func (c *Comm) Reduce(send, recv buf.Block, count int, op Op, root int) error {
+	return c.collErr("Reduce", c.reduce(send, recv, count, op, root))
+}
+
+func (c *Comm) reduce(send, recv buf.Block, count int, op Op, root int) error {
 	if err := c.checkRank(root); err != nil {
 		return err
 	}
@@ -189,6 +193,10 @@ func (c *Comm) Alltoall(send, recv buf.Block, blockLen int) error {
 // Scan computes the inclusive prefix reduction over ranks, like
 // MPI_Scan on MPI_DOUBLE: rank r receives op-fold of ranks 0..r.
 func (c *Comm) Scan(send, recv buf.Block, count int, op Op) error {
+	return c.collErr("Scan", c.scan(send, recv, count, op))
+}
+
+func (c *Comm) scan(send, recv buf.Block, count int, op Op) error {
 	if count < 0 {
 		return fmt.Errorf("%w: %d", ErrCount, count)
 	}
@@ -290,6 +298,8 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 		realTime: c.realTime,
 		start:    c.start,
 		internal: c.internal,
+		faults:   c.faults,
+		retry:    c.retry,
 	}
 	// Materialise the group's sync object before anyone uses it.
 	c.fabric.GroupFor(nc.ctx, nc.size)

@@ -223,6 +223,10 @@ func (c *Comm) typedSelfCopy(sb buf.Block, scount int, sty *datatype.Type, db bu
 // twice instead of ⌈log₂ p⌉ whole-message passes, with every piece's
 // unpack overlapped against the next piece's flight.
 func (c *Comm) BcastType(b buf.Block, count int, ty *datatype.Type, root int) error {
+	return c.collErr("BcastType", c.bcastType(b, count, ty, root))
+}
+
+func (c *Comm) bcastType(b buf.Block, count int, ty *datatype.Type, root int) error {
 	if err := c.checkRank(root); err != nil {
 		return err
 	}
@@ -283,6 +287,10 @@ func (c *Comm) BcastType(b buf.Block, count int, ty *datatype.Type, root int) er
 // packed slots instead (the classic latency-bound switch); tree mode
 // assumes every rank contributes the same type signature, like MPI.
 func (c *Comm) GatherType(send buf.Block, sendCount int, sendTy *datatype.Type, recv buf.Block, recvCount int, recvTy *datatype.Type, root int) error {
+	return c.collErr("GatherType", c.gatherType(send, sendCount, sendTy, recv, recvCount, recvTy, root))
+}
+
+func (c *Comm) gatherType(send buf.Block, sendCount int, sendTy *datatype.Type, recv buf.Block, recvCount int, recvTy *datatype.Type, root int) error {
 	if err := c.checkRank(root); err != nil {
 		return err
 	}
@@ -435,6 +443,10 @@ func (c *Comm) gatherTree(send buf.Block, sendCount int, sendTy *datatype.Type, 
 // not apply); remote legs and the root self-leg behave exactly as in
 // GatherType.
 func (c *Comm) GathervType(send buf.Block, sendCount int, sendTy *datatype.Type, recv buf.Block, recvCounts, displs []int, recvTy *datatype.Type, root int) error {
+	return c.collErr("GathervType", c.gathervType(send, sendCount, sendTy, recv, recvCounts, displs, recvTy, root))
+}
+
+func (c *Comm) gathervType(send buf.Block, sendCount int, sendTy *datatype.Type, recv buf.Block, recvCounts, displs []int, recvTy *datatype.Type, root int) error {
 	if err := c.checkRank(root); err != nil {
 		return err
 	}
@@ -493,6 +505,10 @@ func (c *Comm) GathervType(send buf.Block, sendCount int, sendTy *datatype.Type,
 // selection mirrors GatherType: small legs fan out over a binomial
 // tree of packed slots, large legs run the linear fan of fused sends.
 func (c *Comm) ScatterType(send buf.Block, sendCount int, sendTy *datatype.Type, recv buf.Block, recvCount int, recvTy *datatype.Type, root int) error {
+	return c.collErr("ScatterType", c.scatterType(send, sendCount, sendTy, recv, recvCount, recvTy, root))
+}
+
+func (c *Comm) scatterType(send buf.Block, sendCount int, sendTy *datatype.Type, recv buf.Block, recvCount int, recvTy *datatype.Type, root int) error {
 	if err := c.checkRank(root); err != nil {
 		return err
 	}
@@ -636,6 +652,10 @@ func (c *Comm) scatterTree(send buf.Block, sendCount int, sendTy *datatype.Type,
 // measured in units of sendTy's extent. Linear fan only, like
 // GathervType.
 func (c *Comm) ScattervType(send buf.Block, sendCounts, displs []int, sendTy *datatype.Type, recv buf.Block, recvCount int, recvTy *datatype.Type, root int) error {
+	return c.collErr("ScattervType", c.scattervType(send, sendCounts, displs, sendTy, recv, recvCount, recvTy, root))
+}
+
+func (c *Comm) scattervType(send buf.Block, sendCounts, displs []int, sendTy *datatype.Type, recv buf.Block, recvCount int, recvTy *datatype.Type, root int) error {
 	if err := c.checkRank(root); err != nil {
 		return err
 	}
@@ -695,6 +715,10 @@ func (c *Comm) ScattervType(send buf.Block, sendCounts, displs []int, sendTy *da
 // receive layouts — past the eager limit every hop is a fused sendv
 // leg with zero staging.
 func (c *Comm) AllgatherType(send buf.Block, sendCount int, sendTy *datatype.Type, recv buf.Block, recvCount int, recvTy *datatype.Type) error {
+	return c.collErr("AllgatherType", c.allgatherType(send, sendCount, sendTy, recv, recvCount, recvTy))
+}
+
+func (c *Comm) allgatherType(send buf.Block, sendCount int, sendTy *datatype.Type, recv buf.Block, recvCount int, recvTy *datatype.Type) error {
 	if sendCount < 0 {
 		return errNegativeCount(sendCount)
 	}
@@ -768,6 +792,10 @@ func (c *Comm) AllgatherType(send buf.Block, sendCount int, sendTy *datatype.Typ
 // fused copy; remote slots exchange pairwise, fused past the eager
 // limit.
 func (c *Comm) AlltoallType(send buf.Block, sendCount int, sendTy *datatype.Type, recv buf.Block, recvCount int, recvTy *datatype.Type) error {
+	return c.collErr("AlltoallType", c.alltoallType(send, sendCount, sendTy, recv, recvCount, recvTy))
+}
+
+func (c *Comm) alltoallType(send buf.Block, sendCount int, sendTy *datatype.Type, recv buf.Block, recvCount int, recvTy *datatype.Type) error {
 	if sendCount < 0 {
 		return errNegativeCount(sendCount)
 	}

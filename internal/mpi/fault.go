@@ -1,0 +1,607 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/buf"
+	"repro/internal/datatype"
+	"repro/internal/simnet"
+	"repro/internal/vclock"
+)
+
+// This file is the recovery half of the fault-injection subsystem: the
+// typed error taxonomy, the retry policy, the checksum plumbing of the
+// protocol paths, the abort/cancel-aware handshake waits, and the
+// quiescence (deadlock) detector that names stuck endpoints instead of
+// hanging the run.
+
+// Typed error sentinels; the structured errors below match them
+// through errors.Is.
+var (
+	// ErrTimeout marks a Wait that hit its virtual-clock deadline.
+	ErrTimeout = errors.New("mpi: operation timed out")
+	// ErrIntegrity marks a payload that failed checksum verification
+	// with the retry budget exhausted.
+	ErrIntegrity = errors.New("mpi: payload failed integrity verification")
+	// ErrRetriesExhausted marks a send whose every attempt was lost or
+	// damaged in flight.
+	ErrRetriesExhausted = errors.New("mpi: retry budget exhausted")
+	// ErrShortDelivery marks a message whose payload arrived shorter
+	// than its envelope advertised (a truncation fault) with no retry
+	// machinery armed to re-request it.
+	ErrShortDelivery = simnet.ErrShortDelivery
+	// ErrRequestInactive marks Wait/Test on a request that already
+	// completed (double-Wait) or was never started.
+	ErrRequestInactive = errors.New("mpi: request is not active")
+	// ErrRequestActive marks Start/Free on a persistent request with a
+	// started, un-waited instance.
+	ErrRequestActive = errors.New("mpi: persistent request is active")
+	// ErrRequestFreed marks any use of a persistent request after Free.
+	ErrRequestFreed = errors.New("mpi: persistent request used after Free")
+	// errPeerGone rides the rendezvous Ack/Done channels when one side
+	// abandons a matched handshake (deadline cancellation).
+	errPeerGone = errors.New("mpi: rendezvous peer abandoned the handshake")
+)
+
+// TimeoutError is the typed error of a deadline-bounded Wait: the
+// operation did not complete within the virtual-clock deadline.
+type TimeoutError struct {
+	Op       string
+	Rank     int
+	Deadline vclock.Duration
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("mpi: rank %d: %s did not complete within %v: %v", e.Rank, e.Op, time.Duration(e.Deadline), ErrTimeout)
+}
+
+// Is matches ErrTimeout.
+func (e *TimeoutError) Is(target error) bool { return target == ErrTimeout }
+
+// DeliveryError is the typed error of a send whose retry budget ran
+// out: every attempt was dropped or damaged in flight.
+type DeliveryError struct {
+	Op       string
+	Rank     int
+	Peer     int
+	Tag      int
+	Attempts int
+	Last     simnet.FaultKind
+}
+
+func (e *DeliveryError) Error() string {
+	return fmt.Sprintf("mpi: rank %d: %s to rank %d tag %d failed after %d attempts (last fault: %v): %v",
+		e.Rank, e.Op, e.Peer, e.Tag, e.Attempts, e.Last, ErrRetriesExhausted)
+}
+
+// Is matches ErrRetriesExhausted.
+func (e *DeliveryError) Is(target error) bool { return target == ErrRetriesExhausted }
+
+// IntegrityError is the typed error of a rendezvous payload that never
+// verified within the retry budget; both handshake sides return it.
+type IntegrityError struct {
+	Op       string
+	Rank     int
+	Peer     int
+	Tag      int
+	Attempts int
+	Want     uint64
+	Got      uint64
+}
+
+func (e *IntegrityError) Error() string {
+	return fmt.Sprintf("mpi: rank %d: %s with rank %d tag %d failed verification after %d attempts: %v",
+		e.Rank, e.Op, e.Peer, e.Tag, e.Attempts, ErrIntegrity)
+}
+
+// Is matches ErrIntegrity.
+func (e *IntegrityError) Is(target error) bool { return target == ErrIntegrity }
+
+// DeadlockReport is the quiescence detector's structured finding: the
+// stuck endpoints with their protocol states, sources, tags and
+// blocked-since times.
+type DeadlockReport struct {
+	Stuck []simnet.BlockInfo
+}
+
+func (r DeadlockReport) String() string {
+	if len(r.Stuck) == 0 {
+		return "no stuck endpoints"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d stuck endpoint(s):", len(r.Stuck))
+	for _, b := range r.Stuck {
+		sb.WriteString("\n  ")
+		sb.WriteString(b.String())
+	}
+	return sb.String()
+}
+
+// DeadlockError is the typed error every blocked operation returns
+// after the quiescence detector proves the run can no longer make
+// progress.
+type DeadlockError struct {
+	Report DeadlockReport
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("%v: %s", ErrDeadlock, e.Report)
+}
+
+// Is matches ErrDeadlock.
+func (e *DeadlockError) Is(target error) bool { return target == ErrDeadlock }
+
+// CollectiveError wraps the failure of one leg of a collective with
+// the operation and the reporting rank, so a failed leg surfaces as a
+// typed error at every participant instead of deadlocking the
+// tree/ring.
+type CollectiveError struct {
+	Op   string
+	Rank int
+	Err  error
+}
+
+func (e *CollectiveError) Error() string {
+	return fmt.Sprintf("mpi: collective %s failed at rank %d: %v", e.Op, e.Rank, e.Err)
+}
+
+// Unwrap exposes the leg's error to errors.Is/As.
+func (e *CollectiveError) Unwrap() error { return e.Err }
+
+// wrapColl tags a collective leg's failure; nil and already-tagged
+// errors pass through.
+func (c *Comm) wrapColl(op string, err error) error {
+	if err == nil {
+		return err
+	}
+	var ce *CollectiveError
+	if errors.As(err, &ce) {
+		return err
+	}
+	return &CollectiveError{Op: op, Rank: c.rank, Err: err}
+}
+
+// collErr tags a collective leg's failure and, when the failure is a
+// terminal fault-recovery error on a tracked run, propagates it to
+// every participant by aborting the fabric: ranks blocked in other
+// legs of the collective unwind with the same typed CollectiveError
+// instead of deadlocking on the missing leg.
+func (c *Comm) collErr(op string, err error) error {
+	if err == nil {
+		return nil
+	}
+	ce := c.wrapColl(op, err)
+	if c.fabric.Tracking() &&
+		(errors.Is(err, ErrRetriesExhausted) || errors.Is(err, ErrIntegrity) ||
+			errors.Is(err, ErrTimeout) || errors.Is(err, simnet.ErrShortDelivery)) {
+		c.fabric.Abort(ce)
+	}
+	return ce
+}
+
+// RetryPolicy bounds the recovery machinery: how many retransmissions
+// a send may use and how the modeled ACK-timeout backoff grows. The
+// zero value means DefaultRetryPolicy.
+type RetryPolicy struct {
+	// MaxRetries is the retransmission budget per payload (attempts =
+	// MaxRetries + 1). Negative disables retries entirely: the first
+	// fault is terminal.
+	MaxRetries int
+	// BaseBackoff is the virtual-clock cost of the first
+	// retransmission round (the modeled ACK-timeout/NACK turnaround);
+	// it doubles per retry up to MaxBackoff.
+	BaseBackoff vclock.Duration
+	// MaxBackoff caps the exponential growth.
+	MaxBackoff vclock.Duration
+}
+
+// DefaultRetryPolicy survives the chaos suite's default fault rates:
+// eight retransmissions starting at a 20µs backoff, capped at 2ms.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxRetries: 8, BaseBackoff: 20_000, MaxBackoff: 2_000_000}
+}
+
+// normalized fills zero fields with the defaults.
+func (rp RetryPolicy) normalized() RetryPolicy {
+	def := DefaultRetryPolicy()
+	if rp.MaxRetries == 0 {
+		rp.MaxRetries = def.MaxRetries
+	} else if rp.MaxRetries < 0 {
+		rp.MaxRetries = 0
+	}
+	if rp.BaseBackoff <= 0 {
+		rp.BaseBackoff = def.BaseBackoff
+	}
+	if rp.MaxBackoff <= 0 {
+		rp.MaxBackoff = def.MaxBackoff
+	}
+	return rp
+}
+
+// backoff returns the modeled retransmission delay before the given
+// retry (1-based): exponential with a cap.
+func (rp RetryPolicy) backoff(retry int) vclock.Duration {
+	d := rp.BaseBackoff
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if d >= rp.MaxBackoff {
+			return rp.MaxBackoff
+		}
+	}
+	if d > rp.MaxBackoff {
+		d = rp.MaxBackoff
+	}
+	return d
+}
+
+// faultsOn reports whether this communicator's fabric has a fault plan
+// armed — the single gate of every checksum/retry code path, so the
+// clean path stays byte- and allocation-identical to the fault-free
+// build.
+func (c *Comm) faultsOn() bool { return c.faults }
+
+// blockInfo builds the quiescence-detector record of a wait.
+func (c *Comm) blockInfo(op string, peer, tag int) simnet.BlockInfo {
+	return simnet.BlockInfo{
+		Rank: c.endpoint(c.rank), Op: op, Ctx: c.ctx,
+		Src: peer, Tag: tag, Since: c.clock.Now(),
+	}
+}
+
+// abortErr surfaces the fabric's abort reason as the wait's error.
+func (c *Comm) abortErrFor(op string) error {
+	if err := c.fabric.AbortErr(); err != nil {
+		return err
+	}
+	return fmt.Errorf("%s: %w", op, simnet.ErrAborted)
+}
+
+// chanClosed reports (non-blocking) whether ch is closed.
+func chanClosed(ch <-chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// awaitMatch waits for the receiver half of the rendezvous handshake.
+// Under tracking it registers with the quiescence detector and unwinds
+// on fabric abort or the request's deadline cancellation; on the clean
+// path it is the plain channel receive it always was.
+func (c *Comm) awaitMatch(m *simnet.Message, peer, tag int) (simnet.RdvMatch, error) {
+	if !c.fabric.Tracking() {
+		return <-m.Match, nil
+	}
+	// Readiness must stay true between consuming the event and
+	// deregistering: the poster bumps the wake counter before the
+	// channel send, so a descheduled waiter in that window still reads
+	// as progress instead of fabricating a quiescent state.
+	w0 := m.WakeSeq()
+	release := c.fabric.EnterBlocked(c.blockInfo("rdv-match", peer, tag),
+		func() bool { return len(m.Match) > 0 || m.WakeSeq() != w0 })
+	defer release()
+	select {
+	case match := <-m.Match:
+		return match, nil
+	case <-c.fabric.AbortChan():
+		return simnet.RdvMatch{}, c.abortErrFor("rdv-match")
+	case <-c.cancelCh:
+		// The sender's deadline fired mid-handshake: tell the eventual
+		// receiver the payload will never come.
+		m.NoteWake()
+		select {
+		case m.Done <- simnet.RdvDone{Err: errPeerGone}:
+		default:
+		}
+		return simnet.RdvMatch{}, simnet.ErrCanceled
+	}
+}
+
+// awaitDone waits for the sender's payload-complete notice.
+func (c *Comm) awaitDone(m *simnet.Message, peer, tag int) (simnet.RdvDone, error) {
+	if !c.fabric.Tracking() {
+		return <-m.Done, nil
+	}
+	w0 := m.WakeSeq()
+	release := c.fabric.EnterBlocked(c.blockInfo("rdv-done", peer, tag),
+		func() bool { return len(m.Done) > 0 || m.WakeSeq() != w0 })
+	defer release()
+	select {
+	case done := <-m.Done:
+		return done, nil
+	case <-c.fabric.AbortChan():
+		return simnet.RdvDone{}, c.abortErrFor("rdv-done")
+	case <-c.cancelCh:
+		if m.Ack != nil {
+			// Unblock a sender waiting for this attempt's verdict.
+			m.NoteWake()
+			select {
+			case m.Ack <- errPeerGone:
+			default:
+			}
+		}
+		return simnet.RdvDone{}, simnet.ErrCanceled
+	}
+}
+
+// awaitAck waits for the receiver's per-attempt verdict.
+func (c *Comm) awaitAck(m *simnet.Message, peer, tag int) (error, error) {
+	if !c.fabric.Tracking() {
+		return <-m.Ack, nil
+	}
+	w0 := m.WakeSeq()
+	release := c.fabric.EnterBlocked(c.blockInfo("rdv-ack", peer, tag),
+		func() bool { return len(m.Ack) > 0 || m.WakeSeq() != w0 })
+	defer release()
+	select {
+	case ack := <-m.Ack:
+		return ack, nil
+	case <-c.fabric.AbortChan():
+		return nil, c.abortErrFor("rdv-ack")
+	case <-c.cancelCh:
+		return nil, simnet.ErrCanceled
+	}
+}
+
+// eagerIntact verifies a matched eager envelope: in-flight error
+// marks, corruption marks, advertised-vs-delivered length, and the
+// sender's checksum when present.
+func (c *Comm) eagerIntact(m *simnet.Message) bool {
+	if m.Err != nil || m.Corrupt {
+		return false
+	}
+	if int64(m.Payload.Len()) < m.Bytes && m.Bytes > 0 {
+		return false
+	}
+	if m.HasSum && buf.ChecksumOf(m.Payload) != m.Sum {
+		return false
+	}
+	return true
+}
+
+// discardEager rejects a damaged eager delivery: the transit copy is
+// recycled and the receiver re-matches for the retransmission. Faulted
+// deliveries never carry OnConsume (the Bsend path releases its region
+// sender-side under faults), so nothing else fires here.
+func (c *Comm) discardEager(m *simnet.Message) {
+	c.fabric.NoteIntegrityReject(c.endpoint(c.rank))
+	buf.PutPooled(m.Payload)
+	m.Payload = buf.Block{}
+}
+
+// matchVerified matches a receive and, when faults are armed, discards
+// damaged eager deliveries until an intact one (or a rendezvous
+// envelope) arrives — the receiver half of the eager ACK/retry
+// machinery. With faults off, a Message.Err attached by a raw fabric
+// injection still surfaces through the completion path as a typed
+// error.
+func (c *Comm) matchVerified(src, tag int) (*simnet.Message, error) {
+	m, err := c.matchFrom(src, tag)
+	if err != nil {
+		return nil, err
+	}
+	if !c.faultsOn() {
+		return m, nil
+	}
+	for m.Kind == simnet.KindEager && !c.eagerIntact(m) {
+		c.discardEager(m)
+		// Re-match on the concrete damaged source: a wildcard receive
+		// must not switch sources between a damaged attempt and its
+		// retransmission.
+		m, err = c.matchEndpoint(m.Src, m.Tag)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// eagerRetryStep decides, after an eager attempt's fault verdict,
+// whether to retransmit: it charges the modeled ACK-timeout backoff
+// and counts the retry, or returns the terminal typed error.
+func (c *Comm) eagerRetryStep(attempt *int, op string, dest, tag int, f simnet.Fault) (bool, error) {
+	if !f.NeedsResend() {
+		return false, nil
+	}
+	pol := c.retry
+	if *attempt >= pol.MaxRetries {
+		return false, &DeliveryError{Op: op, Rank: c.rank, Peer: dest, Tag: tag, Attempts: *attempt + 1, Last: f.Kind}
+	}
+	*attempt++
+	c.fabric.NoteRetry(c.endpoint(c.rank))
+	c.clock.Advance(pol.backoff(*attempt))
+	return true, nil
+}
+
+// rdvSendLoop drives the sender's attempt loop of a rendezvous
+// payload. xfer performs one attempt's copy, applying the drawn
+// fault's mechanical effect, and reports the attempt's checksum
+// claim: the TRUE sum of the source stream (hasSum), or poisoned when
+// the attempt is known-damaged but unverifiable (virtual payloads,
+// checksum-less engines). Each attempt's transfer cost must be charged
+// to the clock inside xfer.
+func (c *Comm) rdvSendLoop(m *simnet.Message, dest, tag int, n int64,
+	xfer func(f simnet.Fault) (sum uint64, hasSum, poisoned bool, err error)) error {
+	pol := c.retry
+	attempt := 0
+	for {
+		var f simnet.Fault
+		if c.faultsOn() {
+			f = c.fabric.PayloadFault(c.endpoint(c.rank), c.endpoint(dest), n)
+		}
+		sum, hasSum, poisoned, err := xfer(f)
+		if err != nil {
+			m.NoteWake()
+			m.Done <- simnet.RdvDone{Err: err}
+			return err
+		}
+		final := m.Ack == nil || attempt >= pol.MaxRetries
+		m.NoteWake()
+		m.Done <- simnet.RdvDone{
+			Arrival: c.clock.Now() + dur(c.prof.NetLatency),
+			Bytes:   n,
+			Sum:     sum, HasSum: hasSum, Poisoned: poisoned, Final: final,
+		}
+		if m.Ack == nil {
+			return nil
+		}
+		ack, werr := c.awaitAck(m, dest, tag)
+		if werr != nil {
+			return werr
+		}
+		if ack == nil {
+			return nil
+		}
+		if errors.Is(ack, errPeerGone) {
+			return &DeliveryError{Op: "rdv-send", Rank: c.rank, Peer: dest, Tag: tag, Attempts: attempt + 1, Last: f.Kind}
+		}
+		if final {
+			return &IntegrityError{Op: "rdv-send", Rank: c.rank, Peer: dest, Tag: tag, Attempts: attempt + 1, Want: sum}
+		}
+		attempt++
+		c.fabric.NoteRetry(c.endpoint(c.rank))
+		c.clock.Advance(pol.backoff(attempt))
+	}
+}
+
+// rdvRecvVerify completes the receiver half of a rendezvous payload:
+// it waits for each attempt's Done, verifies what landed against the
+// sender's checksum (verify recomputes the receiver-side sum over the
+// landed bytes; the second result reports whether verification is
+// possible), and ACKs or NACKs through the handshake's Ack channel
+// until an attempt passes or the sender's budget runs out.
+func (c *Comm) rdvRecvVerify(m *simnet.Message, peer, tag int, verify func(done simnet.RdvDone) (uint64, bool)) (simnet.RdvDone, error) {
+	attempts := 0
+	for {
+		done, err := c.awaitDone(m, peer, tag)
+		if err != nil {
+			return done, err
+		}
+		attempts++
+		if done.Err != nil {
+			return done, done.Err
+		}
+		if m.Ack == nil {
+			return done, nil
+		}
+		ok := !done.Poisoned
+		var got uint64
+		if ok && done.HasSum {
+			var checkable bool
+			got, checkable = verify(done)
+			if checkable && got != done.Sum {
+				ok = false
+			}
+		}
+		if ok {
+			m.NoteWake()
+			m.Ack <- nil
+			return done, nil
+		}
+		c.fabric.NoteIntegrityReject(c.endpoint(c.rank))
+		m.NoteWake()
+		m.Ack <- ErrIntegrity
+		if done.Final {
+			return done, &IntegrityError{Op: "rdv-recv", Rank: c.rank, Peer: c.localRank(m.Src), Tag: m.Tag,
+				Attempts: attempts, Want: done.Sum, Got: got}
+		}
+	}
+}
+
+// damageContig applies a payload fault's mechanical effect to a real
+// contiguous destination of n delivered bytes; it reports false when
+// the damage could not be materialised (virtual or empty blocks), in
+// which case the attempt must travel poisoned.
+func damageContig(dst buf.Block, n int64, f simnet.Fault) bool {
+	if !f.NeedsResend() {
+		return true
+	}
+	if dst.IsVirtual() || n <= 0 || dst.Len() == 0 {
+		return false
+	}
+	data := dst.Bytes()
+	if int64(len(data)) < n {
+		n = int64(len(data))
+	}
+	switch f.Kind {
+	case FaultCorrupt:
+		data[int(f.Offset%n)] ^= 0xFF
+	case FaultTruncate:
+		// The suffix never arrived: damage it where the true payload
+		// would have been.
+		data[int(f.Keep%n)] ^= 0xFF
+	case FaultDrop:
+		// Nothing arrived at all; the caller skipped the copy and
+		// whatever the buffer held stays. Flip one byte so a reused
+		// staging block holding the previous (NACKed) attempt cannot
+		// accidentally verify.
+		data[0] ^= 0xFF
+	}
+	return true
+}
+
+// damagePlan is damageContig for a plan-described destination layout:
+// the byte at packed-stream position pos is flipped through the plan's
+// segment table, zero staging.
+func damagePlan(plan *datatype.Plan, user buf.Block, n int64, f simnet.Fault) bool {
+	if !f.NeedsResend() {
+		return true
+	}
+	if user.IsVirtual() || n <= 0 || plan == nil {
+		return false
+	}
+	pos := int64(0)
+	switch f.Kind {
+	case FaultCorrupt:
+		pos = f.Offset % n
+	case FaultTruncate:
+		pos = f.Keep % n
+	}
+	it := plan.Segments()
+	it.SeekTo(pos)
+	off, runLen := it.Run()
+	if runLen <= 0 || off >= int64(user.Len()) {
+		return false
+	}
+	user.Bytes()[off] ^= 0xFF
+	return true
+}
+
+// FaultKind aliases keep protocol code free of simnet qualifiers at
+// every damage site.
+const (
+	FaultCorrupt  = simnet.FaultCorrupt
+	FaultTruncate = simnet.FaultTruncate
+	FaultDrop     = simnet.FaultDrop
+)
+
+// runDetector starts the quiescence detector: when no registered
+// goroutine is runnable, at least one is blocked, and no blocked wait
+// could complete, the run is deadlocked — the fabric is aborted with a
+// structured report naming the stuck ranks, tags and protocol states,
+// and every blocked operation returns the typed DeadlockError. Waits
+// carrying their own deadline are given precedence (the detector skips
+// quiescent snapshots that include one, letting WaitTimeout fire
+// first). Returns a stop function.
+func runDetector(fabric *simnet.Fabric) func() {
+	stop := make(chan struct{})
+	go func() {
+		stuck, ok := fabric.WaitQuiesce(stop, 0, true)
+		if ok {
+			if os.Getenv("MPI_DEBUG_STACKS") != "" {
+				b := make([]byte, 1<<20)
+				n := runtime.Stack(b, true)
+				fmt.Fprintf(os.Stderr, "=== detector fired ===\n%s\n", b[:n])
+			}
+			fabric.Abort(&DeadlockError{Report: DeadlockReport{Stuck: stuck}})
+		}
+	}()
+	return func() { close(stop) }
+}

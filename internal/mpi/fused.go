@@ -146,62 +146,91 @@ func (c *Comm) sendTypedFused(b buf.Block, count int, ty *datatype.Type, dest, t
 	fl.sendv = true
 	c.clock.Advance(vclock.FromSeconds(p.SendOverhead))
 	m := c.newRdvMessage(dest, tag, n, fl)
-	c.fabric.Deliver(c.endpoint(dest), m)
+	err = c.deliverRdv(m, dest, tag)
 	fl.signalDelivered()
-	match := <-m.Match
+	if err != nil {
+		return err
+	}
+	match, err := c.awaitMatch(m, dest, tag)
+	if err != nil {
+		return err
+	}
 	ctsAt := match.MatchTime + dur(p.NetLatency)
 	c.clock.AdvanceTo(ctsAt)
 
-	var copyCost float64
-	var xferErr error
-	if fd, ok := match.FusedDst.(*fusedDst); ok && fd != nil {
-		if n == fd.need && !buf.Overlaps(b, fd.user) {
-			// The fused fast path: one pass, layout to layout, split
-			// across workers (and priced at the saturating parallel
-			// speedup) above the parallel-pack threshold.
-			if w := datatype.ParallelWorkersFor(n); w > 1 {
-				copyCost = c.cache.ParallelFusedCopyCost(b.Region(), fd.user.Region(), st, fd.stats, w)
+	// Each attempt re-runs the one-pass (or staged-emulation) transfer;
+	// under faults the drawn damage lands in the receiver's layout
+	// through its own plan, and the checksum claim covers the packed
+	// stream both sides can compute without staging.
+	return c.rdvSendLoop(m, dest, tag, n, func(f simnet.Fault) (uint64, bool, bool, error) {
+		var copyCost float64
+		var xferErr error
+		var sum uint64
+		hasSum := false
+		poisoned := false
+		if fd, ok := match.FusedDst.(*fusedDst); ok && fd != nil {
+			if n == fd.need && !buf.Overlaps(b, fd.user) {
+				// The fused fast path: one pass, layout to layout, split
+				// across workers (and priced at the saturating parallel
+				// speedup) above the parallel-pack threshold.
+				if w := datatype.ParallelWorkersFor(n); w > 1 {
+					copyCost = c.cache.ParallelFusedCopyCost(b.Region(), fd.user.Region(), st, fd.stats, w)
+				} else {
+					copyCost = c.cache.FusedCopyCost(b.Region(), fd.user.Region(), st, fd.stats)
+				}
+				_, xferErr = datatype.FusedCopy(plan, fd.plan, b, fd.user)
 			} else {
-				copyCost = c.cache.FusedCopyCost(b.Region(), fd.user.Region(), st, fd.stats)
+				// Aliased buffers or a size mismatch: sender-local staged
+				// emulation. The receiver still takes delivery in its
+				// layout; the two passes are paid here.
+				copyCost, xferErr = c.stagedScatter(plan, fd, b, st, n)
 			}
-			_, xferErr = datatype.FusedCopy(plan, fd.plan, b, fd.user)
+			if xferErr == nil {
+				nCopy := minInt64(n, fd.need)
+				poisoned = f.NeedsResend() && !damagePlan(fd.plan, fd.user, nCopy, f)
+				if m.Ack != nil && !b.IsVirtual() && !fd.user.IsVirtual() && nCopy > 0 {
+					var cs buf.Checksum
+					plan.ChecksumRange(b, 0, nCopy, &cs)
+					sum = cs.Sum64()
+					hasSum = true
+				}
+			}
 		} else {
-			// Aliased buffers or a size mismatch: sender-local staged
-			// emulation. The receiver still takes delivery in its
-			// layout; the two passes are paid here.
-			copyCost, xferErr = c.stagedScatter(plan, fd, b, st, n)
+			// Contiguous (or fused-declining) receiver: pack the plan
+			// straight into the remote destination block in one pass.
+			dst := match.Dst
+			nCopy := minInt64(n, int64(dst.Len()))
+			dstSt := layout.Stats{Segments: 1, Bytes: nCopy, Extent: nCopy, AvgBlock: float64(nCopy), MinBlock: nCopy, MaxBlock: nCopy, Density: 1}
+			if w := datatype.ParallelWorkersFor(nCopy); w > 1 {
+				copyCost = c.cache.ParallelFusedCopyCost(b.Region(), dst.Region(), st, dstSt, w)
+			} else {
+				copyCost = c.cache.FusedCopyCost(b.Region(), dst.Region(), st, dstSt)
+			}
+			if nCopy > 0 {
+				xferErr = plan.PackRange(b, dst, 0, nCopy)
+			}
+			// Attribution happens at the receiver: a contiguous receive
+			// records the transfer as fused (one pass, no staging), a
+			// fused-declining typed receiver records it as staged when it
+			// unpacks. The sender cannot tell the two destinations apart.
+			if xferErr == nil {
+				poisoned = f.NeedsResend() && !damageContig(dst, nCopy, f)
+				if m.Ack != nil && !b.IsVirtual() && !dst.IsVirtual() && nCopy > 0 {
+					var cs buf.Checksum
+					plan.ChecksumRange(b, 0, nCopy, &cs)
+					sum = cs.Sum64()
+					hasSum = true
+				}
+			}
 		}
-	} else {
-		// Contiguous (or fused-declining) receiver: pack the plan
-		// straight into the remote destination block in one pass.
-		dst := match.Dst
-		nCopy := minInt64(n, int64(dst.Len()))
-		dstSt := layout.Stats{Segments: 1, Bytes: nCopy, Extent: nCopy, AvgBlock: float64(nCopy), MinBlock: nCopy, MaxBlock: nCopy, Density: 1}
-		if w := datatype.ParallelWorkersFor(nCopy); w > 1 {
-			copyCost = c.cache.ParallelFusedCopyCost(b.Region(), dst.Region(), st, dstSt, w)
-		} else {
-			copyCost = c.cache.FusedCopyCost(b.Region(), dst.Region(), st, dstSt)
+		if xferErr != nil {
+			return 0, false, false, xferErr
 		}
-		if nCopy > 0 {
-			xferErr = plan.PackRange(b, dst, 0, nCopy)
-		}
-		// Attribution happens at the receiver: a contiguous receive
-		// records the transfer as fused (one pass, no staging), a
-		// fused-declining typed receiver records it as staged when it
-		// unpacks. The sender cannot tell the two destinations apart.
-	}
-	if xferErr != nil {
-		m.Done <- simnet.RdvDone{Err: xferErr}
-		return xferErr
-	}
-	// The single pass and the wire pipeline: the pass feeds the wire
-	// run-by-run, so the sender is occupied for the longer of the two.
-	c.clock.Advance(vclock.FromSeconds(math.Max(copyCost, wire)))
-	m.Done <- simnet.RdvDone{
-		Arrival: c.clock.Now() + dur(p.NetLatency),
-		Bytes:   n,
-	}
-	return nil
+		// The single pass and the wire pipeline: the pass feeds the wire
+		// run-by-run, so the sender is occupied for the longer of the two.
+		c.clock.Advance(vclock.FromSeconds(math.Max(copyCost, wire)))
+		return sum, hasSum, poisoned, nil
+	})
 }
 
 // stagedScatter is the sender-local staged emulation of a fused

@@ -74,6 +74,22 @@ type Options struct {
 	// WallLimit bounds the real duration of the whole Run as a
 	// deadlock watchdog; 0 means no limit.
 	WallLimit time.Duration
+	// Faults arms a deterministic fault-injection plan on the fabric:
+	// envelopes and rendezvous payload transfers are dropped, damaged,
+	// duplicated, reordered or delayed per the plan, and the runtime's
+	// checksum/ACK/retry machinery recovers (or surfaces typed errors
+	// once the retry budget runs out). nil runs a clean fabric with
+	// zero checksum or bookkeeping overhead.
+	Faults *simnet.FaultPlan
+	// Retry bounds the recovery machinery under faults; zero-value
+	// fields take DefaultRetryPolicy.
+	Retry RetryPolicy
+	// DetectDeadlock runs the quiescence detector even on a clean
+	// fabric: when no rank goroutine is runnable and no blocked
+	// operation can complete, the run aborts with a structured
+	// DeadlockError naming the stuck endpoints instead of hanging
+	// until WallLimit. Fault-injected runs always detect.
+	DetectDeadlock bool
 }
 
 // Run starts size rank goroutines connected by one fabric and waits
@@ -92,6 +108,24 @@ func Run(size int, opts Options, body func(*Comm) error) error {
 		return err
 	}
 	fabric := simnet.New(size)
+	faultsOn := opts.Faults != nil
+	if faultsOn {
+		fabric.SetFaultPlan(opts.Faults)
+	}
+	if faultsOn || opts.DetectDeadlock {
+		fabric.EnableTracking()
+		// Register every rank before any goroutine runs, so the
+		// detector can never observe a half-started world as quiescent.
+		for r := 0; r < size; r++ {
+			fabric.WorkerStart()
+		}
+	}
+	retry := opts.Retry.normalized()
+	var stopDetector func()
+	if fabric.Tracking() {
+		stopDetector = runDetector(fabric)
+		defer stopDetector()
+	}
 	start := time.Now()
 	errs := make([]error, size)
 	var wg sync.WaitGroup
@@ -99,6 +133,7 @@ func Run(size int, opts Options, body func(*Comm) error) error {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
+			defer fabric.WorkerDone()
 			defer func() {
 				if p := recover(); p != nil {
 					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v\n%s", rank, p, debug.Stack())
@@ -115,6 +150,8 @@ func Run(size int, opts Options, body func(*Comm) error) error {
 				cache:    memsim.NewState(&prof.Mem),
 				realTime: opts.RealTime,
 				start:    start,
+				faults:   faultsOn,
+				retry:    retry,
 			}
 			c.cache.SetDisabled(opts.ColdCaches)
 			c.internal = buf.Alloc(1) // identity for MPI-internal buffer warmth
@@ -127,7 +164,14 @@ func Run(size int, opts Options, body func(*Comm) error) error {
 		select {
 		case <-done:
 		case <-time.After(opts.WallLimit):
-			return fmt.Errorf("%w (after %v)", ErrDeadlock, opts.WallLimit)
+			if fabric.Tracking() {
+				// Tear the run down so blocked ranks unwind with the
+				// typed error instead of leaking goroutines.
+				fabric.Abort(fmt.Errorf("%w (after %v)", ErrDeadlock, opts.WallLimit))
+				<-done
+			} else {
+				return fmt.Errorf("%w (after %v)", ErrDeadlock, opts.WallLimit)
+			}
 		}
 	} else {
 		<-done
@@ -162,13 +206,35 @@ type Comm struct {
 
 	reqSeq int // request numbering for diagnostics
 	winSeq int // window numbering; identical across ranks (collective)
+
+	// fault-recovery configuration (see fault.go).
+	faults bool        // a fault plan is armed on the fabric
+	retry  RetryPolicy // normalized retransmission budget and backoff
+
+	// cancelCh, non-nil only inside the async half of a request whose
+	// run has tracking enabled, tears blocking fabric waits down when
+	// the request's deadline fires.
+	cancelCh chan struct{}
 }
 
 // groupSync deposits the local clock at the communicator's
-// synchronisation group and resumes at the group maximum.
+// synchronisation group and resumes at the group maximum. Under
+// tracking the wait is registered with the quiescence detector: a
+// barrier some rank never reaches is a deadlock like any other.
 func (c *Comm) groupSync() {
 	g := c.fabric.GroupFor(c.ctx, c.size)
-	c.clock.AdvanceTo(g.Sync(c.clock.Now()))
+	if !c.fabric.Tracking() {
+		c.clock.AdvanceTo(g.Sync(c.clock.Now()))
+		return
+	}
+	e := g.Epoch()
+	release := c.fabric.EnterBlocked(simnet.BlockInfo{
+		Rank: c.endpoint(c.rank), Op: "barrier", Ctx: c.ctx,
+		Src: AnySource, Tag: AnyTag, Since: c.clock.Now(),
+	}, func() bool { return g.Epoch() != e })
+	t := g.Sync(c.clock.Now())
+	release()
+	c.clock.AdvanceTo(t)
 }
 
 // Rank returns the calling process's rank in the communicator.

@@ -90,8 +90,7 @@ func (c *Comm) Bsend(b buf.Block, dest, tag int) error {
 	copyCost := c.cache.CopyCost(b.Region(), region.Region(), n)
 	c.clock.Advance(vclock.FromSeconds(copyCost + c.prof.BsendOverhead))
 	buf.Copy(region, b)
-	c.bsendShip(region, n, dest, tag, release)
-	return nil
+	return c.bsendShip(region, n, dest, tag, release)
 }
 
 // BsendType is the buffered send of a derived datatype, the paper's
@@ -117,8 +116,7 @@ func (c *Comm) BsendType(b buf.Block, count int, ty *datatype.Type, dest, tag in
 		release(c.clock.Now())
 		return err
 	}
-	c.bsendShip(region, n, dest, tag, release)
-	return nil
+	return c.bsendShip(region, n, dest, tag, release)
 }
 
 func (c *Comm) reserveBsend(n int64) (buf.Block, func(vclock.Time), error) {
@@ -130,8 +128,13 @@ func (c *Comm) reserveBsend(n int64) (buf.Block, func(vclock.Time), error) {
 
 // bsendShip transmits an attached-buffer region as an eager-style
 // message regardless of size (the data is already safely buffered), at
-// the Bsend-derated internal bandwidth.
-func (c *Comm) bsendShip(region buf.Block, n int64, dest, tag int, release func(vclock.Time)) {
+// the Bsend-derated internal bandwidth. Under faults every attempt
+// ships a fresh transit copy — in-flight damage must never reach the
+// user's attached buffer, and a retransmission needs pristine bytes —
+// and the region is released sender-side once the payload's fate is
+// settled (the retry loop runs on the caller, so a faulted Bsend loses
+// its fire-and-forget return; the clean path keeps it).
+func (c *Comm) bsendShip(region buf.Block, n int64, dest, tag int, release func(vclock.Time)) error {
 	p := c.prof
 	wire := 0.0
 	if n > 0 {
@@ -139,9 +142,22 @@ func (c *Comm) bsendShip(region buf.Block, n int64, dest, tag int, release func(
 	}
 	injectEnd := c.clock.Now() + dur(wire)
 	arrival := injectEnd + dur(p.NetLatency)
-	c.deliverEager(dest, tag, region, n, injectEnd, sendFlags{
-		onConsume: func() { release(arrival) },
-	})
+	if !c.faultsOn() {
+		c.deliverEager(dest, tag, region, n, injectEnd, sendFlags{
+			onConsume: func() { release(arrival) },
+		})
+		return nil
+	}
+	attempt := 0
+	for {
+		f := c.deliverEager(dest, tag, c.transitCopy(region), n, injectEnd, sendFlags{})
+		again, err := c.eagerRetryStep(&attempt, "bsend", dest, tag, f)
+		if err != nil || !again {
+			release(c.clock.Now() + dur(p.NetLatency))
+			return err
+		}
+		injectEnd = c.clock.Now() + dur(wire)
+	}
 }
 
 // Recv receives a contiguous message from src with the given tag
@@ -190,7 +206,24 @@ func (c *Comm) Probe(src, tag int) (Status, error) {
 	if src != AnySource {
 		ep = c.endpoint(src)
 	}
-	m := c.fabric.Probe(c.endpoint(c.rank), c.ctx, ep, tag)
+	me := c.endpoint(c.rank)
+	var m *simnet.Message
+	if c.fabric.Tracking() {
+		release := c.fabric.EnterBlocked(simnet.BlockInfo{
+			Rank: me, Op: "probe", Ctx: c.ctx, Src: ep, Tag: tag, Since: c.clock.Now(),
+		}, func() bool { return c.fabric.Pending(me, c.ctx, ep, tag) })
+		var err error
+		m, err = c.fabric.ProbeCancel(me, c.ctx, ep, tag, c.cancelCh)
+		release()
+		if err != nil {
+			return Status{}, err
+		}
+	} else {
+		m = c.fabric.Probe(me, c.ctx, ep, tag)
+		if m == nil {
+			return Status{}, c.abortErrFor("probe")
+		}
+	}
 	c.clock.AdvanceTo(m.Arrival)
 	return Status{Source: c.localRank(m.Src), Tag: m.Tag, Count: m.Bytes}, nil
 }

@@ -92,10 +92,10 @@ func (c *Comm) RecvTypeInit(b buf.Block, count int, ty *datatype.Type, src, tag 
 // an error to start an already-active or freed request.
 func (p *PersistentRequest) Start() error {
 	if p.freed {
-		return fmt.Errorf("mpi: persistent request started after Free")
+		return fmt.Errorf("%w: Start after Free", ErrRequestFreed)
 	}
 	if p.active != nil {
-		return fmt.Errorf("mpi: persistent request started while active")
+		return fmt.Errorf("%w: Start while active", ErrRequestActive)
 	}
 	if p.path != "" && p.owner.observed != nil {
 		p.startAt = p.owner.Wtime()
@@ -113,8 +113,11 @@ func (p *PersistentRequest) Start() error {
 // When the owning Comm has an observed-cost sink, the cycle's
 // virtual-clock cost is recorded against the operation's path.
 func (p *PersistentRequest) Wait() (Status, error) {
+	if p.freed {
+		return Status{}, fmt.Errorf("%w: Wait after Free", ErrRequestFreed)
+	}
 	if p.active == nil {
-		return Status{}, fmt.Errorf("mpi: persistent request waited while inactive")
+		return Status{}, fmt.Errorf("%w: Wait while inactive", ErrRequestInactive)
 	}
 	st, err := p.active.Wait()
 	p.active = nil
@@ -131,7 +134,7 @@ func (p *PersistentRequest) Wait() (Status, error) {
 // is an error; freeing twice is a no-op.
 func (p *PersistentRequest) Free() error {
 	if p.active != nil {
-		return fmt.Errorf("mpi: persistent request freed while active")
+		return fmt.Errorf("%w: Free while active", ErrRequestActive)
 	}
 	p.freed = true
 	return nil
@@ -168,6 +171,10 @@ func WaitAllPersistent(reqs ...*PersistentRequest) error {
 // rank order, like MPI_Gatherv: counts[i] bytes land at displs[i] in
 // recv. counts and displs are only read at the root.
 func (c *Comm) Gatherv(send buf.Block, recv buf.Block, counts, displs []int, root int) error {
+	return c.collErr("Gatherv", c.gatherv(send, recv, counts, displs, root))
+}
+
+func (c *Comm) gatherv(send buf.Block, recv buf.Block, counts, displs []int, root int) error {
 	if err := c.checkRank(root); err != nil {
 		return err
 	}
@@ -198,6 +205,10 @@ func (c *Comm) Gatherv(send buf.Block, recv buf.Block, counts, displs []int, roo
 // Scatterv distributes variable-sized slices of the root's buffer,
 // like MPI_Scatterv.
 func (c *Comm) Scatterv(send buf.Block, counts, displs []int, recv buf.Block, root int) error {
+	return c.collErr("Scatterv", c.scatterv(send, counts, displs, recv, root))
+}
+
+func (c *Comm) scatterv(send buf.Block, counts, displs []int, recv buf.Block, root int) error {
 	if err := c.checkRank(root); err != nil {
 		return err
 	}

@@ -68,42 +68,89 @@ func (c *Comm) sendContig(b buf.Block, dest, tag int, fl sendFlags) error {
 	if wireBW == 0 {
 		wireBW = p.NetBandwidth
 	}
-	if !fl.forceRdv && p.Eager(n, fl.packed) {
-		// Eager: one shot, payload copied to a transit buffer.
+	eager := !fl.forceRdv && p.Eager(n, fl.packed)
+	if eager && !fl.asyncReturn && !b.IsVirtual() && buf.PoolOverCap(n) {
+		// Backpressure: the transit pool is past its configured cap, so
+		// an eager send would push it further — fall back to
+		// rendezvous, which stages nothing, and record the degradation.
+		buf.NotePoolDegradation()
+		eager = false
+	}
+	if eager {
+		// Eager: payload copied to a transit buffer; under faults every
+		// retransmission ships a fresh copy after the modeled
+		// ACK-timeout backoff.
 		streamCost := c.cache.StreamCost(b.Region(), n)
 		occupy := math.Max(streamCost, float64(n)/wireBW)
-		c.clock.Advance(vclock.FromSeconds(p.SendOverhead))
-		injectEnd := c.clock.Now() + dur(occupy)
-		if !fl.asyncReturn {
-			c.clock.AdvanceTo(injectEnd)
+		attempt := 0
+		for {
+			c.clock.Advance(vclock.FromSeconds(p.SendOverhead))
+			injectEnd := c.clock.Now() + dur(occupy)
+			if !fl.asyncReturn {
+				c.clock.AdvanceTo(injectEnd)
+			}
+			f := c.deliverEager(dest, tag, c.transitCopy(b), n, injectEnd, fl)
+			fl.signalDelivered()
+			again, err := c.eagerRetryStep(&attempt, "send", dest, tag, f)
+			if err != nil || !again {
+				if c.faultsOn() && fl.onConsume != nil {
+					// Faulted deliveries travel without OnConsume (a
+					// dropped copy would leak it); fire it here, where
+					// the payload's fate is settled.
+					fl.onConsume()
+				}
+				return err
+			}
 		}
-		c.deliverEager(dest, tag, c.transitCopy(b), n, injectEnd, fl)
-		fl.signalDelivered()
-		return nil
 	}
 	// Rendezvous: RTS, wait for the matched receive, stream zero-copy.
 	c.clock.Advance(vclock.FromSeconds(p.SendOverhead))
 	m := c.newRdvMessage(dest, tag, n, fl)
-	c.fabric.Deliver(c.endpoint(dest), m)
+	err := c.deliverRdv(m, dest, tag)
 	fl.signalDelivered()
-	match := <-m.Match
+	if err != nil {
+		return err
+	}
+	match, err := c.awaitMatch(m, dest, tag)
+	if err != nil {
+		return err
+	}
 	ctsAt := match.MatchTime + dur(p.NetLatency)
 	c.clock.AdvanceTo(ctsAt)
 	streamCost := c.cache.StreamCost(b.Region(), n)
 	occupy := math.Max(streamCost, float64(n)/wireBW)
-	c.clock.Advance(vclock.FromSeconds(occupy))
-	nCopy := n
-	if int64(match.Dst.Len()) < nCopy {
-		nCopy = int64(match.Dst.Len())
+	nCopy := minInt64(n, int64(match.Dst.Len()))
+	return c.rdvSendLoop(m, dest, tag, n, func(f simnet.Fault) (uint64, bool, bool, error) {
+		c.clock.Advance(vclock.FromSeconds(occupy))
+		if nCopy > 0 {
+			buf.CopyAt(match.Dst, 0, b, 0, int(nCopy))
+		}
+		poisoned := f.NeedsResend() && !damageContig(match.Dst, nCopy, f)
+		var sum uint64
+		hasSum := false
+		if m.Ack != nil && !b.IsVirtual() && !match.Dst.IsVirtual() && nCopy > 0 {
+			var cs buf.Checksum
+			cs.Write(b.Bytes()[:nCopy])
+			sum = cs.Sum64()
+			hasSum = true
+		}
+		return sum, hasSum, poisoned, nil
+	})
+}
+
+// deliverRdv injects a rendezvous control envelope, retransmitting
+// after the modeled backoff when the armed fault plan discards it (a
+// damaged RTS fails the link-level CRC and counts as a drop).
+func (c *Comm) deliverRdv(m *simnet.Message, dest, tag int) error {
+	attempt := 0
+	for {
+		f := c.fabric.Deliver(c.endpoint(dest), m)
+		again, err := c.eagerRetryStep(&attempt, "rdv-rts", dest, tag, f)
+		if err != nil || !again {
+			return err
+		}
+		m.Arrival = c.clock.Now() + dur(c.prof.NetLatency)
 	}
-	if nCopy > 0 {
-		buf.CopyAt(match.Dst, 0, b, 0, int(nCopy))
-	}
-	m.Done <- simnet.RdvDone{
-		Arrival: c.clock.Now() + dur(p.NetLatency),
-		Bytes:   n,
-	}
-	return nil
 }
 
 // sendTyped implements the derived-datatype direct send: MPI packs the
@@ -183,6 +230,47 @@ func (c *Comm) sendTyped(b buf.Block, count int, ty *datatype.Type, dest, tag in
 	}
 
 	if eager {
+		if c.faultsOn() || (!fl.asyncReturn && !b.IsVirtual() && buf.PoolOverCap(n)) {
+			// Under backpressure the eager pack target would grow the
+			// over-cap pool; under faults the retry loop needs a fresh
+			// transit pack per attempt. Both run the attempt loop.
+			if !c.faultsOn() {
+				buf.NotePoolDegradation()
+				// Degrade to rendezvous: re-enter with the handshake
+				// forced; the typed rendezvous stages into the
+				// receiver's buffer instead of a sender-side transit.
+				fl.forceRdv = true
+				return c.sendTyped(b, count, ty, dest, tag, fl)
+			}
+			attempt := 0
+			for {
+				transit := c.transitAlloc(b, n)
+				if _, err := packer.Pack(transit); err != nil {
+					buf.PutPooled(transit)
+					fl.signalDelivered()
+					return err
+				}
+				c.clock.Advance(vclock.FromSeconds(p.SendOverhead))
+				injectEnd := c.clock.Now() + dur(transferSpan)
+				if !fl.asyncReturn {
+					c.clock.AdvanceTo(injectEnd)
+				} else {
+					c.clock.Advance(vclock.FromSeconds(packWork))
+				}
+				f := c.deliverEager(dest, tag, transit, n, injectEnd, fl)
+				fl.signalDelivered()
+				again, err := c.eagerRetryStep(&attempt, "send-typed", dest, tag, f)
+				if err != nil || !again {
+					if fl.onConsume != nil {
+						fl.onConsume()
+					}
+					return err
+				}
+				if packer, err = ty.NewPacker(b, count); err != nil {
+					return err
+				}
+			}
+		}
 		transit := c.transitAlloc(b, n)
 		if _, err := packer.Pack(transit); err != nil {
 			return err
@@ -204,9 +292,15 @@ func (c *Comm) sendTyped(b buf.Block, count int, ty *datatype.Type, dest, tag in
 	c.clock.Advance(vclock.FromSeconds(p.SendOverhead))
 	sendStart := c.clock.Now()
 	m := c.newRdvMessage(dest, tag, n, fl)
-	c.fabric.Deliver(c.endpoint(dest), m)
+	err = c.deliverRdv(m, dest, tag)
 	fl.signalDelivered()
-	match := <-m.Match
+	if err != nil {
+		return err
+	}
+	match, err := c.awaitMatch(m, dest, tag)
+	if err != nil {
+		return err
+	}
 	ctsAt := match.MatchTime + dur(p.NetLatency)
 	// Cray MPICH hides the handshake of internally packed sends behind
 	// the first chunk's packing (§4.5: no visible eager drop for the
@@ -223,28 +317,45 @@ func (c *Comm) sendTyped(b buf.Block, count int, ty *datatype.Type, dest, tag in
 	c.clock.AdvanceTo(packFrom)
 	// Chunk loop: pack a chunk, inject a chunk — serialised in the
 	// measured installations, overlapped under NIC pipelining or the
-	// software-pipelined slot ring.
-	var drainErr error
-	if pipelined {
-		drainErr = c.drainPipelined(packer.Plan(), b, match.Dst, n)
-	} else {
-		drainErr = c.drainPacker(packer, match.Dst, n)
-	}
-	if drainErr != nil {
-		m.Done <- simnet.RdvDone{Err: drainErr}
-		return drainErr
-	}
-	c.clock.Advance(vclock.FromSeconds(transferSpan))
-	if end := ctsAt + dur(wire); c.clock.Now() < end {
-		// The wire cannot start before the CTS even when packing was
-		// prefetched.
-		c.clock.AdvanceTo(end)
-	}
-	m.Done <- simnet.RdvDone{
-		Arrival: c.clock.Now() + dur(p.NetLatency),
-		Bytes:   n,
-	}
-	return nil
+	// software-pipelined slot ring. Under faults each retransmission
+	// re-packs through a fresh packer.
+	nCopy := minInt64(n, int64(match.Dst.Len()))
+	first := true
+	return c.rdvSendLoop(m, dest, tag, n, func(f simnet.Fault) (uint64, bool, bool, error) {
+		pk := packer
+		if !first {
+			var perr error
+			if pk, perr = ty.NewPacker(b, count); perr != nil {
+				return 0, false, false, perr
+			}
+		}
+		first = false
+		var drainErr error
+		if pipelined {
+			drainErr = c.drainPipelined(pk.Plan(), b, match.Dst, n)
+		} else {
+			drainErr = c.drainPacker(pk, match.Dst, n)
+		}
+		if drainErr != nil {
+			return 0, false, false, drainErr
+		}
+		c.clock.Advance(vclock.FromSeconds(transferSpan))
+		if end := ctsAt + dur(wire); c.clock.Now() < end {
+			// The wire cannot start before the CTS even when packing
+			// was prefetched.
+			c.clock.AdvanceTo(end)
+		}
+		poisoned := f.NeedsResend() && !damageContig(match.Dst, nCopy, f)
+		var sum uint64
+		hasSum := false
+		if m.Ack != nil && !b.IsVirtual() && !match.Dst.IsVirtual() && nCopy > 0 {
+			var cs buf.Checksum
+			pk.Plan().ChecksumRange(b, 0, nCopy, &cs)
+			sum = cs.Sum64()
+			hasSum = true
+		}
+		return sum, hasSum, poisoned, nil
+	})
 }
 
 // drainPacker streams the packed byte sequence into dst through
@@ -301,9 +412,10 @@ func (c *Comm) drainPipelined(plan *datatype.Plan, user, dst buf.Block, n int64)
 }
 
 // newRdvMessage builds a rendezvous envelope with its RTS arrival
-// stamped.
+// stamped. Under faults the envelope carries the per-attempt Ack
+// channel of the checksum/NACK loop.
 func (c *Comm) newRdvMessage(dest, tag int, n int64, fl sendFlags) *simnet.Message {
-	return &simnet.Message{
+	m := &simnet.Message{
 		Ctx:     c.ctx,
 		Src:     c.endpoint(c.rank),
 		Tag:     tag,
@@ -315,11 +427,22 @@ func (c *Comm) newRdvMessage(dest, tag int, n int64, fl sendFlags) *simnet.Messa
 		Match:   make(chan simnet.RdvMatch, 1),
 		Done:    make(chan simnet.RdvDone, 1),
 	}
+	if c.fabric.Tracking() {
+		m.InitWake()
+	}
+	if c.faultsOn() {
+		m.Ack = make(chan error, 1)
+	}
+	return m
 }
 
-// deliverEager ships a transit payload.
-func (c *Comm) deliverEager(dest, tag int, transit buf.Block, n int64, injectEnd vclock.Time, fl sendFlags) {
-	c.fabric.Deliver(c.endpoint(dest), &simnet.Message{
+// deliverEager ships a transit payload and returns the fault verdict.
+// Under faults the payload carries the sender's checksum, and
+// OnConsume stays off the wire (a dropped or discarded copy would
+// otherwise leak it, or never fire it) — the send paths fire it
+// locally once the payload's fate is settled.
+func (c *Comm) deliverEager(dest, tag int, transit buf.Block, n int64, injectEnd vclock.Time, fl sendFlags) simnet.Fault {
+	m := &simnet.Message{
 		Ctx:       c.ctx,
 		Src:       c.endpoint(c.rank),
 		Tag:       tag,
@@ -329,7 +452,13 @@ func (c *Comm) deliverEager(dest, tag int, transit buf.Block, n int64, injectEnd
 		Arrival:   injectEnd + dur(c.prof.NetLatency),
 		Packed:    fl.packed,
 		OnConsume: fl.onConsume,
-	})
+	}
+	if c.faultsOn() {
+		m.Sum = buf.ChecksumOf(transit)
+		m.HasSum = true
+		m.OnConsume = nil
+	}
+	return c.fabric.Deliver(c.endpoint(dest), m)
 }
 
 // transitCopy clones a payload into a fabric-owned transit block,
@@ -362,7 +491,10 @@ func (c *Comm) transitAlloc(user buf.Block, n int64) buf.Block {
 // wildcards.
 func (c *Comm) recvContig(b buf.Block, src, tag int) (Status, error) {
 	post := c.clock.Now()
-	m := c.matchFrom(src, tag)
+	m, err := c.matchVerified(src, tag)
+	if err != nil {
+		return Status{}, err
+	}
 	return c.completeRecvContig(b, m, post)
 }
 
@@ -373,6 +505,12 @@ func (c *Comm) completeRecvContig(b buf.Block, m *simnet.Message, post vclock.Ti
 	switch m.Kind {
 	case simnet.KindEager:
 		c.clock.AdvanceTo(maxTime(m.Arrival, post))
+		if err := eagerWireErr(m); err != nil {
+			// A payload damaged in flight with no retry machinery armed
+			// to re-request it: surface the typed delivery error.
+			consumeEager(m)
+			return st, err
+		}
 		nCopy := m.Bytes
 		if int64(b.Len()) < nCopy {
 			nCopy = int64(b.Len())
@@ -403,10 +541,19 @@ func (c *Comm) completeRecvContig(b buf.Block, m *simnet.Message, post vclock.Ti
 		}
 		return st, nil
 	case simnet.KindRendezvous:
+		m.NoteWake()
 		m.Match <- simnet.RdvMatch{MatchTime: maxTime(m.Arrival, post), Dst: b}
-		done := <-m.Done
-		if done.Err != nil {
-			return st, done.Err
+		done, err := c.rdvRecvVerify(m, c.localRank(m.Src), m.Tag, func(done simnet.RdvDone) (uint64, bool) {
+			nv := minInt64(done.Bytes, int64(b.Len()))
+			if b.IsVirtual() || nv <= 0 {
+				return 0, false
+			}
+			var cs buf.Checksum
+			cs.Write(b.Bytes()[:nv])
+			return cs.Sum64(), true
+		})
+		if err != nil {
+			return st, err
 		}
 		c.clock.AdvanceTo(done.Arrival)
 		c.clock.Advance(vclock.FromSeconds(p.RecvOverhead))
@@ -437,12 +584,19 @@ func (c *Comm) recvTyped(b buf.Block, count int, ty *datatype.Type, src, tag int
 	p := c.prof
 	need := ty.PackSize(count)
 	post := c.clock.Now()
-	m := c.matchFrom(src, tag)
+	m, err := c.matchVerified(src, tag)
+	if err != nil {
+		return Status{}, err
+	}
 	st := Status{Source: c.localRank(m.Src), Tag: m.Tag, Count: m.Bytes}
 	scatter := c.cache.ScatterCost(c.internal.Region(), b.Region(), ty.Stats(count))
 	switch m.Kind {
 	case simnet.KindEager:
 		c.clock.AdvanceTo(maxTime(m.Arrival, post))
+		if werr := eagerWireErr(m); werr != nil {
+			consumeEager(m)
+			return st, werr
+		}
 		c.clock.Advance(vclock.FromSeconds(p.RecvOverhead + scatter))
 		nCopy := m.Bytes
 		if need < nCopy {
@@ -472,10 +626,19 @@ func (c *Comm) recvTyped(b buf.Block, count int, ty *datatype.Type, src, tag int
 				// scatters straight into it (or runs its local staged
 				// emulation) — either way the payload arrives in place
 				// and this rank never allocates staging or unpacks.
+				m.NoteWake()
 				m.Match <- simnet.RdvMatch{MatchTime: maxTime(m.Arrival, post), Dst: b, FusedDst: fd}
-				done := <-m.Done
-				if done.Err != nil {
-					return st, done.Err
+				done, err := c.rdvRecvVerify(m, c.localRank(m.Src), m.Tag, func(done simnet.RdvDone) (uint64, bool) {
+					nv := minInt64(done.Bytes, need)
+					if b.IsVirtual() || nv <= 0 {
+						return 0, false
+					}
+					var cs buf.Checksum
+					fd.plan.ChecksumRange(b, 0, nv, &cs)
+					return cs.Sum64(), true
+				})
+				if err != nil {
+					return st, err
 				}
 				c.clock.AdvanceTo(done.Arrival)
 				c.clock.Advance(vclock.FromSeconds(p.RecvOverhead))
@@ -493,13 +656,22 @@ func (c *Comm) recvTyped(b buf.Block, count int, ty *datatype.Type, src, tag int
 			// in one compiled pass instead.
 		}
 		staging := c.transitAlloc(b, minInt64(m.Bytes, need))
+		m.NoteWake()
 		m.Match <- simnet.RdvMatch{MatchTime: maxTime(m.Arrival, post), Dst: staging}
-		done := <-m.Done
-		if done.Err != nil {
+		done, err := c.rdvRecvVerify(m, c.localRank(m.Src), m.Tag, func(done simnet.RdvDone) (uint64, bool) {
+			nv := minInt64(done.Bytes, int64(staging.Len()))
+			if staging.IsVirtual() || nv <= 0 {
+				return 0, false
+			}
+			var cs buf.Checksum
+			cs.Write(staging.Bytes()[:nv])
+			return cs.Sum64(), true
+		})
+		if err != nil {
 			// The sender has finished with the staging block (Done is
 			// sent after the copy), so it can be recycled even on error.
 			buf.PutPooled(staging)
-			return st, done.Err
+			return st, err
 		}
 		c.clock.AdvanceTo(done.Arrival)
 		c.clock.Advance(vclock.FromSeconds(p.RecvOverhead + scatter))
@@ -525,12 +697,64 @@ func (c *Comm) recvTyped(b buf.Block, count int, ty *datatype.Type, src, tag int
 
 // matchFrom resolves the wildcard-aware (src, tag) match for this
 // communicator.
-func (c *Comm) matchFrom(src, tag int) *simnet.Message {
+func (c *Comm) matchFrom(src, tag int) (*simnet.Message, error) {
 	ep := simnet.AnySource
 	if src != AnySource {
 		ep = c.endpoint(src)
 	}
-	return c.fabric.Match(c.endpoint(c.rank), c.ctx, ep, tag)
+	return c.matchEndpoint(ep, tag)
+}
+
+// matchEndpoint blocks until a message from the fabric endpoint ep (or
+// any, for the wildcard) matches. Under tracking the wait is
+// registered with the quiescence detector and honours both an abort
+// teardown and the owning request's deadline cancellation.
+func (c *Comm) matchEndpoint(ep, tag int) (*simnet.Message, error) {
+	me := c.endpoint(c.rank)
+	if !c.fabric.Tracking() {
+		m := c.fabric.Match(me, c.ctx, ep, tag)
+		if m == nil {
+			return nil, c.abortErrFor("recv")
+		}
+		return m, nil
+	}
+	// The take counter keeps readiness true between removing the
+	// envelope inside MatchCancel and deregistering here: a take by any
+	// receiver on this mailbox since block time counts as progress, so
+	// a descheduled waiter cannot fabricate a quiescent state.
+	t0 := c.fabric.Takes(me)
+	release := c.fabric.EnterBlocked(simnet.BlockInfo{
+		Rank: me, Op: "recv", Ctx: c.ctx, Src: ep, Tag: tag, Since: c.clock.Now(),
+	}, func() bool { return c.fabric.Pending(me, c.ctx, ep, tag) || c.fabric.Takes(me) != t0 })
+	m, err := c.fabric.MatchCancel(me, c.ctx, ep, tag, c.cancelCh)
+	release()
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// eagerWireErr reports in-flight damage of a matched eager payload as
+// a typed error — the no-retry path (faults disarmed, raw fabric
+// injections): Message.Err and advertised-vs-delivered size mismatch
+// surface from Recv/Wait instead of silently corrupting the receive.
+func eagerWireErr(m *simnet.Message) error {
+	if m.Err != nil {
+		return m.Err
+	}
+	if int64(m.Payload.Len()) < m.Bytes {
+		return fmt.Errorf("%w: %d of %d bytes arrived", simnet.ErrShortDelivery, m.Payload.Len(), m.Bytes)
+	}
+	return nil
+}
+
+// consumeEager retires a matched eager payload without delivering it.
+func consumeEager(m *simnet.Message) {
+	if m.OnConsume != nil {
+		m.OnConsume()
+	}
+	buf.PutPooled(m.Payload)
+	m.Payload = buf.Block{}
 }
 
 // localRank translates a fabric endpoint back to a communicator rank.

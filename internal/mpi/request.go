@@ -1,12 +1,22 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/buf"
 	"repro/internal/datatype"
+	"repro/internal/simnet"
 	"repro/internal/vclock"
 )
+
+// waitTimeoutRealFallback bounds the real time a deadline-bounded Wait
+// spends before declaring the timeout even when the simulated world
+// never goes quiescent (ranks spinning in compute, external
+// injections). The virtual clock still advances by the virtual
+// deadline, so measured results stay deterministic.
+const waitTimeoutRealFallback = 250 * time.Millisecond
 
 // Request tracks a non-blocking operation, like MPI_Request. Complete
 // it with Wait or poll with Test.
@@ -19,6 +29,13 @@ type Request struct {
 	err      error
 	finished bool
 	id       int
+
+	// cancel, armed on tracked fabrics, tears the async half's blocking
+	// fabric waits down when a deadline fires.
+	cancel chan struct{}
+	// deadline, when positive, bounds every Wait on this request (see
+	// SetDeadline).
+	deadline vclock.Duration
 }
 
 // asyncClone returns a clone of the Comm whose clock starts at the
@@ -59,6 +76,21 @@ func (c *Comm) IsendType(b buf.Block, count int, ty *datatype.Type, dest, tag in
 	})
 }
 
+// newRequest builds the request shell shared by the async starters: on
+// tracked fabrics the background half is registered with the
+// quiescence detector as a worker, and the cancel channel that a
+// deadline closes is threaded into the clone's blocking fabric waits.
+func (c *Comm) newRequest(cc *Comm) *Request {
+	c.reqSeq++
+	r := &Request{owner: c, async: cc, done: make(chan struct{}), id: c.reqSeq}
+	if c.fabric.Tracking() {
+		r.cancel = make(chan struct{})
+		cc.cancelCh = r.cancel
+		c.fabric.WorkerStart()
+	}
+	return r
+}
+
 // startAsyncSend runs op on a clone. To preserve MPI's non-overtaking
 // rule the envelope must enter the fabric before Isend returns, so a
 // later blocking send from the same rank cannot overtake it. The
@@ -67,11 +99,14 @@ func (c *Comm) IsendType(b buf.Block, count int, ty *datatype.Type, dest, tag in
 // first block); startAsyncSend waits for that signal.
 func (c *Comm) startAsyncSend(op func(*Comm, sendFlags) error) (*Request, error) {
 	cc := c.asyncClone()
-	c.reqSeq++
 	delivered := make(chan struct{})
-	r := &Request{owner: c, async: cc, done: make(chan struct{}), id: c.reqSeq}
+	r := c.newRequest(cc)
+	tracked := r.cancel != nil
 	go func() {
 		defer close(r.done)
+		if tracked {
+			defer c.fabric.WorkerDone()
+		}
 		defer func() {
 			if p := recover(); p != nil {
 				r.err = fmt.Errorf("mpi: async op panicked: %v", p)
@@ -121,10 +156,13 @@ func (c *Comm) IrecvType(b buf.Block, count int, ty *datatype.Type, src, tag int
 // receive posts when the op first touches the fabric, like MPI_Irecv.
 func (c *Comm) startAsyncRecv(op func(*Comm) (Status, error)) *Request {
 	cc := c.asyncClone()
-	c.reqSeq++
-	r := &Request{owner: c, async: cc, done: make(chan struct{}), id: c.reqSeq}
+	r := c.newRequest(cc)
+	tracked := r.cancel != nil
 	go func() {
 		defer close(r.done)
+		if tracked {
+			defer c.fabric.WorkerDone()
+		}
 		defer func() {
 			if p := recover(); p != nil {
 				r.err = fmt.Errorf("mpi: async op panicked: %v", p)
@@ -135,24 +173,150 @@ func (c *Comm) startAsyncRecv(op func(*Comm) (Status, error)) *Request {
 	return r
 }
 
+// SetDeadline bounds every subsequent Wait on this request by d of
+// virtual time: instead of blocking forever on an operation that can
+// no longer complete, Wait returns a typed TimeoutError once the
+// simulation proves no progress is possible (or the real-time fallback
+// elapses), and charges exactly d to the caller's virtual clock.
+// Non-positive d clears the bound. Tearing the underlying operation
+// down on timeout requires a tracked fabric (Options.Faults or
+// Options.DetectDeadlock); untracked runs only detach from it.
+func (r *Request) SetDeadline(d vclock.Duration) { r.deadline = d }
+
 // Wait blocks until the operation completes and folds its virtual time
-// into the caller, like MPI_Wait.
+// into the caller, like MPI_Wait. Waiting twice on the same request is
+// request misuse and returns a typed ErrRequestInactive error. When a
+// deadline is set (SetDeadline) the wait is bounded by it.
 func (r *Request) Wait() (Status, error) {
-	<-r.done
-	if !r.finished {
-		r.owner.clock.AdvanceTo(r.async.clock.Now())
-		r.finished = true
+	if r.finished {
+		return Status{}, fmt.Errorf("%w: request #%d waited twice", ErrRequestInactive, r.id)
 	}
+	if r.deadline > 0 {
+		return r.WaitTimeout(r.deadline)
+	}
+	r.await()
+	return r.finish()
+}
+
+// await blocks until the background half finishes. On tracked fabrics
+// the wait is registered with the quiescence detector and unwinds on
+// abort (the aborted background half closes done on its own way out).
+func (r *Request) await() {
+	f := r.owner.fabric
+	if !f.Tracking() {
+		<-r.done
+		return
+	}
+	release := f.EnterBlocked(r.owner.blockInfo("wait", AnySource, AnyTag),
+		func() bool { return chanClosed(r.done) })
+	select {
+	case <-r.done:
+	case <-f.AbortChan():
+		// The abort tears the background half down too; collect it so
+		// its error (the abort reason) is what this Wait reports.
+		<-r.done
+	}
+	release()
+}
+
+// finish folds the background half's virtual time into the owner and
+// retires the request.
+func (r *Request) finish() (Status, error) {
+	r.owner.clock.AdvanceTo(r.async.clock.Now())
+	r.finished = true
 	return r.status, r.err
+}
+
+// WaitTimeout is Wait bounded by d of virtual time. If the operation
+// cannot complete — the simulated world is quiescent with this wait
+// pending, or the real-time fallback elapses — the request is torn
+// down, the caller's clock advances by exactly d, and a typed
+// TimeoutError is returned. An operation that completes (or fails) in
+// the teardown race reports its own result instead.
+func (r *Request) WaitTimeout(d vclock.Duration) (Status, error) {
+	if r.finished {
+		return Status{}, fmt.Errorf("%w: request #%d waited twice", ErrRequestInactive, r.id)
+	}
+	if d <= 0 {
+		r.await()
+		return r.finish()
+	}
+	f := r.owner.fabric
+	if !f.Tracking() {
+		// No cancellation machinery without tracking: bound by real time
+		// and detach. The background goroutine unwinds whenever its peer
+		// acts (or the run ends).
+		select {
+		case <-r.done:
+			return r.finish()
+		case <-time.After(waitTimeoutRealFallback):
+			r.finished = true
+			r.owner.clock.Advance(d)
+			return Status{}, &TimeoutError{Op: "wait", Rank: r.owner.rank, Deadline: d}
+		}
+	}
+	info := r.owner.blockInfo("wait-timeout", AnySource, AnyTag)
+	info.Deadline = true
+	release := f.EnterBlocked(info, func() bool { return chanClosed(r.done) })
+	ticker := time.NewTicker(200 * time.Microsecond)
+	fallback := time.NewTimer(waitTimeoutRealFallback)
+	defer ticker.Stop()
+	defer fallback.Stop()
+	timedOut := false
+loop:
+	for {
+		select {
+		case <-r.done:
+			break loop
+		case <-f.AbortChan():
+			<-r.done
+			break loop
+		case <-ticker.C:
+			// Deterministic verdict: nothing in the simulation is
+			// runnable and no blocked wait can complete, so this request
+			// can never finish — its virtual deadline has passed.
+			if _, anyDeadline, q := f.Quiescent(); q && anyDeadline {
+				timedOut = true
+				break loop
+			}
+		case <-fallback.C:
+			timedOut = true
+			break loop
+		}
+	}
+	release()
+	if !timedOut {
+		return r.finish()
+	}
+	// Tear the background half down: its tracked fabric waits observe
+	// the closed cancel channel and unwind with ErrCanceled.
+	if r.cancel != nil {
+		close(r.cancel)
+		r.cancel = nil
+	}
+	f.KickAll()
+	<-r.done
+	if r.err == nil || !errors.Is(r.err, simnet.ErrCanceled) {
+		// Completed (or failed for its own reason) in the race with the
+		// teardown: report that instead of the timeout.
+		return r.finish()
+	}
+	r.finished = true
+	r.owner.clock.Advance(d)
+	return Status{}, &TimeoutError{Op: "wait", Rank: r.owner.rank, Deadline: d}
 }
 
 // Test reports whether the operation has completed without blocking,
 // like MPI_Test; when it returns true the time is folded exactly as
-// Wait would.
+// Wait would. Testing an already-completed request is request misuse,
+// like double Wait.
 func (r *Request) Test() (bool, Status, error) {
+	if r.finished {
+		return true, Status{}, fmt.Errorf("%w: request #%d tested after completion", ErrRequestInactive, r.id)
+	}
 	select {
 	case <-r.done:
-		st, err := r.Wait()
+		st, err := r.finish()
 		return true, st, err
 	default:
 		return false, Status{}, nil

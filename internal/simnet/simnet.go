@@ -13,6 +13,7 @@ package simnet
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/buf"
 	"repro/internal/vclock"
@@ -75,6 +76,20 @@ type RdvDone struct {
 	Arrival vclock.Time
 	Bytes   int64
 	Err     error
+
+	// Sum is the sender's checksum of the payload's packed byte
+	// stream, valid when HasSum: the receiver verifies what actually
+	// landed against it and NACKs through Message.Ack on mismatch.
+	Sum    uint64
+	HasSum bool
+	// Poisoned marks an attempt the sender already knows arrived
+	// damaged but could not mechanically damage (virtual payloads,
+	// checksum-less paths): the receiver must NACK it without
+	// verifying.
+	Poisoned bool
+	// Final marks the sender's last attempt under its retry budget:
+	// a NACK now becomes a permanent integrity error on both sides.
+	Final bool
 }
 
 // Message is one envelope in a mailbox.
@@ -110,11 +125,69 @@ type Message struct {
 	// Match and Done carry the rendezvous handshake; nil for eager.
 	Match chan RdvMatch
 	Done  chan RdvDone
+	// Ack carries the receiver's per-attempt verdict on a rendezvous
+	// payload back to the sender: nil accepts, non-nil NACKs and asks
+	// for a retransmission. Created (capacity 1) only when the fabric
+	// has a fault plan armed; nil otherwise, and the handshake is the
+	// classic two-message one.
+	Ack chan error
+
+	// Seq is the link-order sequence number stamped by Deliver: the
+	// injection index on the directed (Src → dst) link. Matching takes
+	// the lowest sequence among queued candidates of a source, which
+	// equals FIFO order on a clean run and heals reordering faults;
+	// duplicate-fault copies share one Seq and are consumed once.
+	Seq int64
+
+	// Sum is the checksum of the payload's packed byte stream when
+	// HasSum; eager receivers verify it before accepting delivery.
+	Sum    uint64
+	HasSum bool
+	// Corrupt marks an eager payload the fabric damaged but could not
+	// mechanically alter (virtual blocks carry no bytes): receivers
+	// treat it exactly like a checksum mismatch.
+	Corrupt bool
+
+	// Err is a delivery error attached in flight (ErrShortDelivery for
+	// truncation): it surfaces as a typed error from Recv/Wait when no
+	// retry machinery is armed to re-request the payload.
+	Err error
 
 	// OnConsume, if non-nil, runs when the receiver matches the
 	// message. The Bsend buffer manager uses it to release the
 	// attached-buffer region.
 	OnConsume func()
+
+	// wake counts handshake events posted on Match/Done/Ack. Blocked-
+	// wait readiness predicates compare it against the count captured
+	// at block time, so a wake that was consumed from the channel but
+	// whose waiter has not yet deregistered from the quiescence
+	// detector still reads as progress — without it, a descheduled
+	// waiter in that window looks stuck and fabricates a deadlock. A
+	// pointer so fabric-level duplicate copies share one counter.
+	wake *atomic.Int64
+}
+
+// InitWake arms the handshake wake counter; the mpi layer calls it
+// when the fabric tracks quiescence. Without it NoteWake/WakeSeq are
+// inert and the handshake is the plain channel protocol.
+func (m *Message) InitWake() { m.wake = new(atomic.Int64) }
+
+// NoteWake records a handshake event. Posters must call it BEFORE the
+// channel send: readiness may only ever turn true early (delaying
+// deadlock detection), never late (fabricating one).
+func (m *Message) NoteWake() {
+	if m.wake != nil {
+		m.wake.Add(1)
+	}
+}
+
+// WakeSeq returns the handshake event count.
+func (m *Message) WakeSeq() int64 {
+	if m.wake == nil {
+		return 0
+	}
+	return m.wake.Load()
 }
 
 // matches reports whether the envelope satisfies a (ctx, src, tag)
@@ -142,6 +215,18 @@ type Counters struct {
 	BytesDelivered  int64
 	MessagesMatched int64
 	Probes          int64
+
+	// Fault-injection attribution, counted against the sender (the
+	// endpoint whose traffic was damaged) except IntegrityRejects,
+	// which the verifying receiver counts.
+	Drops            int64
+	Corruptions      int64
+	Truncations      int64
+	Duplicates       int64
+	Reorders         int64
+	Delays           int64
+	Retries          int64
+	IntegrityRejects int64
 }
 
 // Fabric connects n endpoints. It is safe for concurrent use by the n
@@ -156,6 +241,21 @@ type Fabric struct {
 	groups   map[int]*vclock.Group // per-communicator sync groups, by ctx
 	nextCtx  int
 	shared   map[string]interface{} // window state registry
+
+	// faults, when non-nil, is the armed fault plan with its per-link
+	// injection counters; SetFaultPlan arms it before any traffic.
+	faults *faultState
+
+	// quiescence-detector bookkeeping (see fault.go).
+	tracking atomic.Bool
+	blockMu  sync.Mutex
+	running  int
+	blockSeq int
+	blocked  map[int]*blockedRec
+
+	abortMu  sync.Mutex
+	abortErr error
+	abortCh  chan struct{}
 }
 
 // New creates a fabric with n endpoints.
@@ -168,7 +268,93 @@ func New(n int) *Fabric {
 	for i := range f.boxes {
 		f.boxes[i] = newMailbox()
 	}
+	f.blocked = make(map[int]*blockedRec)
+	f.abortCh = make(chan struct{})
 	return f
+}
+
+// SetFaultPlan arms a fault plan on the fabric; nil disarms. Arm it
+// before any traffic flows: the per-link injection counters start at
+// the moment of the call. Arming also turns on mailbox deduplication
+// (consumed-sequence tracking for duplicate faults).
+func (f *Fabric) SetFaultPlan(p *FaultPlan) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if p == nil {
+		f.faults = nil
+		return
+	}
+	f.faults = newFaultState(p)
+	for _, b := range f.boxes {
+		b.mu.Lock()
+		b.dedup = true
+		b.mu.Unlock()
+	}
+}
+
+// FaultsEnabled reports whether a fault plan is armed.
+func (f *Fabric) FaultsEnabled() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.faults != nil
+}
+
+// PayloadFault draws the fault verdict for the next rendezvous payload
+// transfer on (src → dst) of n bytes. It returns FaultNone when no
+// plan is armed. Duplicate/reorder/delay make no sense for a
+// handshake-synchronised stream, so they are folded into FaultNone.
+func (f *Fabric) PayloadFault(src, dst int, n int64) Fault {
+	f.mu.Lock()
+	fs := f.faults
+	f.mu.Unlock()
+	if fs == nil {
+		return Fault{}
+	}
+	fault, _ := fs.next(src, dst, n, true)
+	switch fault.Kind {
+	case FaultDuplicate, FaultReorder, FaultDelay:
+		fault = Fault{}
+	}
+	if fault.Kind != FaultNone {
+		f.noteFault(src, fault.Kind)
+	}
+	return fault
+}
+
+// noteFault records a fault against the sender's counters.
+func (f *Fabric) noteFault(src int, kind FaultKind) {
+	f.mu.Lock()
+	c := &f.counters[src]
+	switch kind {
+	case FaultDrop:
+		c.Drops++
+	case FaultCorrupt:
+		c.Corruptions++
+	case FaultTruncate:
+		c.Truncations++
+	case FaultDuplicate:
+		c.Duplicates++
+	case FaultReorder:
+		c.Reorders++
+	case FaultDelay:
+		c.Delays++
+	}
+	f.mu.Unlock()
+}
+
+// NoteRetry counts one protocol-level retransmission by src.
+func (f *Fabric) NoteRetry(src int) {
+	f.mu.Lock()
+	f.counters[src].Retries++
+	f.mu.Unlock()
+}
+
+// NoteIntegrityReject counts one checksum-verification rejection at
+// the receiving rank.
+func (f *Fabric) NoteIntegrityReject(rank int) {
+	f.mu.Lock()
+	f.counters[rank].IntegrityRejects++
+	f.mu.Unlock()
 }
 
 // Size returns the endpoint count.
@@ -245,8 +431,15 @@ func (f *Fabric) DropShared(key string) {
 }
 
 // Deliver enqueues an envelope at dst's mailbox, recording injection
-// statistics against src.
-func (f *Fabric) Deliver(dst int, m *Message) {
+// statistics against src, and returns the fault verdict the armed
+// plan (if any) applied to the injection. The verdict is synchronous:
+// a dropped envelope is simply not enqueued and the sender learns it
+// immediately (the modeled ACK-timeout/backoff is the sender's clock
+// advance, not a real-time wait); corrupted and truncated envelopes
+// ARE enqueued, damaged, so receivers genuinely exercise their
+// verification. Rendezvous (control) envelopes cannot be damaged in a
+// meaningful way, so corrupt/truncate draws degrade to drops there.
+func (f *Fabric) Deliver(dst int, m *Message) Fault {
 	f.checkRank(dst)
 	f.checkRank(m.Src)
 	f.mu.Lock()
@@ -258,21 +451,105 @@ func (f *Fabric) Deliver(dst int, m *Message) {
 		c.RendezvousSends++
 	}
 	c.BytesInjected += m.Bytes
+	fs := f.faults
 	f.mu.Unlock()
-	f.boxes[dst].put(m)
+
+	if fs == nil {
+		f.boxes[dst].put(m, false)
+		return Fault{}
+	}
+
+	fault, seq := fs.next(m.Src, dst, m.Bytes, false)
+	m.Seq = seq
+	if m.Kind == KindRendezvous && (fault.Kind == FaultCorrupt || fault.Kind == FaultTruncate) {
+		// A damaged RTS fails its link-level CRC and is discarded
+		// whole: the sender sees a drop.
+		fault = Fault{Kind: FaultDrop}
+	}
+	if fault.Kind != FaultNone {
+		f.noteFault(m.Src, fault.Kind)
+	}
+	switch fault.Kind {
+	case FaultDrop:
+		// Never enqueued; recycle a pooled transit payload so the
+		// sender's retransmission does not drift the pool balance.
+		buf.PutPooled(m.Payload)
+		m.Payload = buf.Block{}
+		return fault
+	case FaultCorrupt:
+		if data := m.Payload.Bytes(); len(data) > 0 {
+			data[int(fault.Offset)%len(data)] ^= 0xFF
+		} else {
+			// Virtual payloads carry no bytes to flip: mark instead.
+			m.Corrupt = true
+		}
+	case FaultTruncate:
+		keep := fault.Keep
+		if keep > int64(m.Payload.Len()) {
+			keep = int64(m.Payload.Len())
+		}
+		if m.Payload.IsVirtual() {
+			m.Payload = buf.Virtual(int(keep))
+		} else if m.Payload.Len() > 0 {
+			// Truncate (not Slice): the shortened block keeps its pool
+			// identity, so the receive completion's release still works.
+			m.Payload = m.Payload.Truncate(int(keep))
+		}
+		m.Err = fmt.Errorf("%w: %d of %d bytes arrived", ErrShortDelivery, keep, m.Bytes)
+	case FaultDelay:
+		m.Arrival += vclock.Time(fault.Delay)
+	}
+	front := fault.Kind == FaultReorder
+	f.boxes[dst].put(m, front)
+	if fault.Kind == FaultDuplicate {
+		dup := *m
+		f.boxes[dst].put(&dup, false)
+	}
+	return fault
 }
 
 // Match blocks until an envelope matching (src, tag) is available at
 // rank's mailbox and removes it. Matching preserves pairwise FIFO
-// order: the earliest enqueued matching envelope wins.
+// order: among queued candidates of the matched source, the lowest
+// link-sequence number wins (equal to arrival order on a clean run).
+// On an aborted fabric it returns nil; use MatchCancel to observe the
+// abort reason or cancel the wait.
 func (f *Fabric) Match(rank, ctx, src, tag int) *Message {
+	m, _ := f.MatchCancel(rank, ctx, src, tag, nil)
+	return m
+}
+
+// MatchCancel is Match with teardown semantics: it returns early with
+// an error when the fabric aborts or the cancel channel closes (the
+// canceller must also call KickAll to wake the wait).
+func (f *Fabric) MatchCancel(rank, ctx, src, tag int, cancel <-chan struct{}) (*Message, error) {
 	f.checkRank(rank)
-	m := f.boxes[rank].take(ctx, src, tag)
+	m, err := f.boxes[rank].take(ctx, src, tag, f, cancel)
+	if err != nil {
+		return nil, err
+	}
 	f.mu.Lock()
 	f.counters[rank].MessagesMatched++
 	f.counters[rank].BytesDelivered += m.Bytes
 	f.mu.Unlock()
-	return m
+	return m, nil
+}
+
+// Pending reports whether a matching envelope is queued right now,
+// without counting a probe or disturbing the queue — the readiness
+// predicate the quiescence detector evaluates for blocked receives.
+func (f *Fabric) Pending(rank, ctx, src, tag int) bool {
+	f.checkRank(rank)
+	return f.boxes[rank].peek(ctx, src, tag) != nil
+}
+
+// Takes returns the count of envelopes removed from rank's mailbox so
+// far. A blocked receive captures it at block time; any take since
+// counts as progress for the quiescence verdict even though the
+// envelope is no longer queued (see mailbox.takes).
+func (f *Fabric) Takes(rank int) int64 {
+	f.checkRank(rank)
+	return f.boxes[rank].takes.Load()
 }
 
 // TryMatch is the non-blocking Match used by Iprobe: it returns nil
@@ -286,13 +563,19 @@ func (f *Fabric) TryMatch(rank, ctx, src, tag int) *Message {
 }
 
 // Probe blocks until a matching envelope is present and returns it
-// without removing it.
+// without removing it. On an aborted fabric it returns nil.
 func (f *Fabric) Probe(rank, ctx, src, tag int) *Message {
+	m, _ := f.ProbeCancel(rank, ctx, src, tag, nil)
+	return m
+}
+
+// ProbeCancel is Probe with teardown semantics (see MatchCancel).
+func (f *Fabric) ProbeCancel(rank, ctx, src, tag int, cancel <-chan struct{}) (*Message, error) {
 	f.checkRank(rank)
 	f.mu.Lock()
 	f.counters[rank].Probes++
 	f.mu.Unlock()
-	return f.boxes[rank].wait(ctx, src, tag)
+	return f.boxes[rank].wait(ctx, src, tag, f, cancel)
 }
 
 // CountersFor returns a snapshot of rank's counters.
@@ -314,6 +597,15 @@ type mailbox struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	msgs []*Message
+	// dedup turns on consumed-sequence tracking (duplicate faults):
+	// a (src, seq) pair is consumed at most once.
+	dedup    bool
+	consumed map[uint64]struct{}
+	// takes counts successful removals. Blocked receives capture it at
+	// block time: a take that happened while the record was registered
+	// is progress even after the message left the queue (the taker may
+	// be the waiter itself, descheduled before deregistering).
+	takes atomic.Int64
 }
 
 func newMailbox() *mailbox {
@@ -322,22 +614,86 @@ func newMailbox() *mailbox {
 	return b
 }
 
-func (b *mailbox) put(m *Message) {
+// seqKey folds (src, seq) into one dedup key; sources are small rank
+// indices and per-link sequences fit comfortably in 48 bits.
+func seqKey(m *Message) uint64 {
+	return uint64(m.Src)<<48 | uint64(m.Seq)&((1<<48)-1)
+}
+
+func (b *mailbox) put(m *Message, front bool) {
 	b.mu.Lock()
-	b.msgs = append(b.msgs, m)
+	if front {
+		b.msgs = append([]*Message{m}, b.msgs...)
+	} else {
+		b.msgs = append(b.msgs, m)
+	}
 	b.mu.Unlock()
 	b.cond.Broadcast()
 }
 
-func (b *mailbox) take(ctx, src, tag int) *Message {
+// selectIdx returns the index of the matching envelope to deliver, or
+// -1. The rule: take the first queue position whose envelope matches,
+// then prefer a lower link-sequence number from the same source — on a
+// clean run sequences arrive in queue order, so this IS pairwise FIFO;
+// under reordering faults it restores injection order. Stale duplicate
+// copies (consumed sequences) are dropped on the way.
+func (b *mailbox) selectIdx(ctx, src, tag int) int {
+	if b.dedup && len(b.consumed) > 0 {
+		kept := b.msgs[:0]
+		for _, m := range b.msgs {
+			if _, dup := b.consumed[seqKey(m)]; dup {
+				continue
+			}
+			kept = append(kept, m)
+		}
+		for i := len(kept); i < len(b.msgs); i++ {
+			b.msgs[i] = nil
+		}
+		b.msgs = kept
+	}
+	best := -1
+	for i, m := range b.msgs {
+		if !m.matches(ctx, src, tag) {
+			continue
+		}
+		if best == -1 {
+			best = i
+			continue
+		}
+		if m.Src == b.msgs[best].Src && m.Seq < b.msgs[best].Seq {
+			best = i
+		}
+	}
+	return best
+}
+
+func (b *mailbox) take(ctx, src, tag int, f *Fabric, cancel <-chan struct{}) (*Message, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for {
-		for i, m := range b.msgs {
-			if m.matches(ctx, src, tag) {
-				b.msgs = append(b.msgs[:i], b.msgs[i+1:]...)
-				return m
+		if cancel != nil {
+			select {
+			case <-cancel:
+				return nil, ErrCanceled
+			default:
 			}
+		}
+		if f != nil {
+			if err := f.AbortErr(); err != nil {
+				return nil, fmt.Errorf("%w: %w", ErrAborted, err)
+			}
+		}
+		if i := b.selectIdx(ctx, src, tag); i >= 0 {
+			m := b.msgs[i]
+			b.msgs = append(b.msgs[:i], b.msgs[i+1:]...)
+			if b.dedup {
+				if b.consumed == nil {
+					b.consumed = make(map[uint64]struct{})
+				}
+				b.consumed[seqKey(m)] = struct{}{}
+			}
+			b.takes.Add(1)
+			return m, nil
 		}
 		b.cond.Wait()
 	}
@@ -346,22 +702,30 @@ func (b *mailbox) take(ctx, src, tag int) *Message {
 func (b *mailbox) peek(ctx, src, tag int) *Message {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	for _, m := range b.msgs {
-		if m.matches(ctx, src, tag) {
-			return m
-		}
+	if i := b.selectIdx(ctx, src, tag); i >= 0 {
+		return b.msgs[i]
 	}
 	return nil
 }
 
-func (b *mailbox) wait(ctx, src, tag int) *Message {
+func (b *mailbox) wait(ctx, src, tag int, f *Fabric, cancel <-chan struct{}) (*Message, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for {
-		for _, m := range b.msgs {
-			if m.matches(ctx, src, tag) {
-				return m
+		if cancel != nil {
+			select {
+			case <-cancel:
+				return nil, ErrCanceled
+			default:
 			}
+		}
+		if f != nil {
+			if err := f.AbortErr(); err != nil {
+				return nil, fmt.Errorf("%w: %w", ErrAborted, err)
+			}
+		}
+		if i := b.selectIdx(ctx, src, tag); i >= 0 {
+			return b.msgs[i], nil
 		}
 		b.cond.Wait()
 	}

@@ -90,6 +90,31 @@ func Median(xs []float64) float64 {
 	return (tmp[n/2-1] + tmp[n/2]) / 2
 }
 
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the sample by linear
+// interpolation between order statistics, without mutating the input.
+// Out-of-range q clamps; an empty sample returns 0.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	tmp := make([]float64, len(xs))
+	copy(tmp, xs)
+	sort.Float64s(tmp)
+	switch {
+	case q <= 0:
+		return tmp[0]
+	case q >= 1:
+		return tmp[len(tmp)-1]
+	}
+	pos := q * float64(len(tmp)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(tmp) {
+		return tmp[lo]
+	}
+	return tmp[lo]*(1-frac) + tmp[lo+1]*frac
+}
+
 // Min returns the smallest element, or +Inf for an empty sample.
 func Min(xs []float64) float64 {
 	m := math.Inf(1)

@@ -157,3 +157,28 @@ func TestQuickDismissSubset(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2, 5}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("q0 = %g", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Fatalf("q1 = %g", got)
+	}
+	if got := Quantile(xs, 0.5); got != 3 {
+		t.Fatalf("median quantile = %g", got)
+	}
+	if got := Quantile(xs, 0.75); got != 4 {
+		t.Fatalf("q0.75 = %g", got)
+	}
+	if xs[0] != 4 {
+		t.Fatal("Quantile mutated its input")
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Fatalf("empty sample = %g", got)
+	}
+	if got := Quantile([]float64{7}, 0.99); got != 7 {
+		t.Fatalf("singleton = %g", got)
+	}
+}

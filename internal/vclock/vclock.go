@@ -86,13 +86,14 @@ func (c *Clock) Reset() { c.now = 0 }
 // afterwards). A Group is reusable across consecutive epochs, like a
 // classic two-phase barrier.
 type Group struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	n       int
-	arrived int
-	epoch   uint64
-	maxTime Time // running max of the in-flight epoch
-	lastMax Time // released value of the completed epoch
+	mu          sync.Mutex
+	cond        *sync.Cond
+	n           int
+	arrived     int
+	epoch       uint64
+	maxTime     Time // running max of the in-flight epoch
+	lastMax     Time // released value of the completed epoch
+	interrupted bool // Interrupt called: no epoch can complete any more
 }
 
 // NewGroup creates a synchronisation group for n participants.
@@ -114,6 +115,13 @@ func (g *Group) Size() int { return g.n }
 func (g *Group) Sync(t Time) Time {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	if g.interrupted {
+		// A torn-down run: nobody else may ever arrive, so blocking
+		// would hang the caller forever. Resume at the deposited time;
+		// the fabric abort error surfaces through the next fabric
+		// operation.
+		return t
+	}
 	epoch := g.epoch
 	if t > g.maxTime {
 		g.maxTime = t
@@ -133,8 +141,38 @@ func (g *Group) Sync(t Time) Time {
 		g.cond.Broadcast()
 		return g.lastMax
 	}
-	for g.epoch == epoch {
+	for g.epoch == epoch && !g.interrupted {
 		g.cond.Wait()
 	}
+	if g.epoch == epoch {
+		// Woken by Interrupt with the epoch still open: resume at the
+		// best time known so far rather than a completed maximum.
+		if g.maxTime > t {
+			return g.maxTime
+		}
+		return t
+	}
 	return g.lastMax
+}
+
+// Epoch returns the current epoch number. A blocked Sync participant
+// of epoch e is released exactly when the epoch advances past e, so
+// "Epoch() != e" is the readiness predicate the deadlock detector
+// checks for barrier waiters.
+func (g *Group) Epoch() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.epoch
+}
+
+// Interrupt permanently releases every current and future Sync caller
+// without completing their epoch — the teardown path when the fabric
+// aborts a deadlocked or failed run. Participants resume at their own
+// deposited time; the abort reason travels through the fabric, not the
+// group.
+func (g *Group) Interrupt() {
+	g.mu.Lock()
+	g.interrupted = true
+	g.mu.Unlock()
+	g.cond.Broadcast()
 }
