@@ -164,6 +164,17 @@ func Recommend(n int64, contiguous bool, goal Goal, p *Profile) Recommendation {
 	return core.Recommend(n, contiguous, goal, p)
 }
 
+// RecommendForType is Recommend for a concrete committed datatype:
+// the type's count-instance plan is compiled (or fetched from the
+// plan cache) and, when the Commit-time normalizer collapsed it to a
+// canonical strided-block program, the packing ladder is priced
+// through the specialized-kernel cost term instead of the generic
+// gather walk — so advice tracks what the engine will actually
+// execute.
+func RecommendForType(ty *Datatype, count int, goal Goal, p *Profile) (Recommendation, error) {
+	return core.RecommendForType(ty, count, goal, p)
+}
+
 // ObservedHierarchy accumulates measured (bytes, seconds) samples per
 // transfer path and fits latency+bandwidth lines to them — the sink
 // of the self-tuning loop. Attach one to a communicator with
@@ -318,6 +329,15 @@ var (
 // TypeVector mirrors MPI_Type_vector over a base type.
 func TypeVector(count, blocklen, stride int, base *Datatype) (*Datatype, error) {
 	return datatype.Vector(count, blocklen, stride, base)
+}
+
+// TypeHvector mirrors MPI_Type_create_hvector: a vector whose stride
+// is given in bytes, the constructor that nests derived types at
+// arbitrary byte pitches (and the outer layer of the
+// hvector-of-vector motif the Commit-time normalizer collapses — see
+// the canonical-forms walkthrough in examples/).
+func TypeHvector(count, blocklen int, strideBytes int64, base *Datatype) (*Datatype, error) {
+	return datatype.Hvector(count, blocklen, strideBytes, base)
 }
 
 // TypeContiguous mirrors MPI_Type_contiguous.

@@ -8,7 +8,7 @@
 //	figures [-profile skx-impi|skx-mvapich|ls5-cray|knl-impi|all]
 //	        [-per-decade 4] [-reps 20] [-max-real 16777216]
 //	        [-csv dir] [-check] [-what-if] [-plan] [-plancache] [-fused]
-//	        [-halo] [-pipeline] [-guidelines] [-chaos]
+//	        [-halo] [-pipeline] [-guidelines] [-chaos] [-canon]
 //
 // Study flags:
 //
@@ -54,7 +54,16 @@
 //	             retry and integrity-reject attribution from the
 //	             fabric counters, and the first-order reliability
 //	             model's predicted slowdown, delivery probability and
-//	             fault-adjusted recommendation alongside)
+//	             fault-adjusted recommendation alongside, plus the
+//	             observed fault profile calibrated back from the
+//	             sweep's own retry counters)
+//	-canon       E19: the canonical-normalizer study (the Commit-time
+//	             datatype normalizer and its specialized kernel
+//	             registry: normalized vs raw pack bandwidth on
+//	             hvector-of-vector, 3-D subarray and an irregular
+//	             indexed control, with per-type run-count reductions,
+//	             registry classes and CanonicalString forms; runs once
+//	             per invocation — wall time, profile-independent)
 package main
 
 import (
@@ -83,6 +92,7 @@ func main() {
 	pipeline := flag.Bool("pipeline", false, "also print the E16 pipelined chunk-engine study (serial vs pipelined vs fused across chunk sizes)")
 	guidelinesFlag := flag.Bool("guidelines", false, "also print the E17 performance-guidelines verifier (rule table, baseline-diffed violations, self-tuned recommender)")
 	chaos := flag.Bool("chaos", false, "also print the E18 fault-recovery chaos study (goodput and p99 tail vs injected fault rate with retry attribution and the reliability model)")
+	canon := flag.Bool("canon", false, "also print the E19 canonical-normalizer study (normalized vs raw pack bandwidth with run-count reductions and kernel-registry classes)")
 	flag.Parse()
 
 	profiles := []string{"skx-impi", "skx-mvapich", "ls5-cray", "knl-impi"}
@@ -240,6 +250,24 @@ func main() {
 			fmt.Printf("at a 5%% fault rate the fused engine retains %.0f%% of its clean goodput\n\n",
 				100*st.CleanOverheadAt("fused zero-copy (SendvType)", 0.05))
 		}
+	}
+	if *canon {
+		// Real-byte wall-time study, independent of the installation
+		// profiles: run once per invocation.
+		canonSizes := []int64{256 << 10, 1 << 20, 8 << 20}
+		canonOpt := opt
+		if canonOpt.Reps > 12 {
+			canonOpt.Reps = 12
+		}
+		st, err := figures.BuildCanonStudy(canonSizes, canonOpt)
+		if err != nil {
+			fatal(err)
+		}
+		if err := st.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("the normalized block kernel is %.2fx the raw table walk on nested 8-byte runs at the largest size\n\n",
+			st.CanonSpeedupAt("hvecOfVec8B", canonSizes[len(canonSizes)-1]))
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/datatype"
 	"repro/internal/layout"
 	"repro/internal/perfmodel"
 )
@@ -312,5 +313,92 @@ func TestRecommendCollective(t *testing.T) {
 	}
 	if rec := RecommendCollective(8, 1<<16, false, GoalBalanced, p); rec.Scheme != Sendv {
 		t.Errorf("balanced mid-size collective recommended %v, want the typed collectives", rec.Scheme)
+	}
+}
+
+// TestPricePackingForType: a nested hvector-of-vector whose program
+// canonicalises at Commit prices with the normalized kernel terms, and
+// never above the same layout priced raw.
+func TestPricePackingForType(t *testing.T) {
+	prof := perfmodel.Generic()
+	in, err := datatype.Vector(64, 1, 2, datatype.Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ty, err := datatype.Hvector(256, 1, in.TrueExtent()+16, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ty.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := PricePackingForType(ty, 1, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Normalized {
+		t.Fatalf("hvector-of-vector priced raw: %+v", m)
+	}
+	if m.Bytes != ty.PackSize(1) {
+		t.Fatalf("Bytes = %d, want %d", m.Bytes, ty.PackSize(1))
+	}
+	// The normalized term only amortises bookkeeping, so it must price
+	// at or under the raw compiled ladder on the identical stats.
+	raw := priceModel(m.Bytes, ty.Stats(1), false, prof)
+	if m.CompiledPack > raw.CompiledPack {
+		t.Fatalf("normalized compiled pack %g prices above raw %g", m.CompiledPack, raw.CompiledPack)
+	}
+	if raw.Normalized {
+		t.Fatal("raw ladder claims normalized pricing")
+	}
+
+	// An irregular indexed layout keeps the raw ladder.
+	ib, err := datatype.IndexedBlock(1, []int{0, 3, 7, 12, 14, 21}, datatype.Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ib.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	im, err := PricePackingForType(ib, 1, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Normalized {
+		t.Fatalf("irregular indexed layout priced normalized: %+v", im)
+	}
+}
+
+// TestRecommendForType: dense types get the reference scheme; a
+// non-contiguous derived type walks the same ladder as Recommend.
+func TestRecommendForType(t *testing.T) {
+	prof := perfmodel.Generic()
+	dense, err := datatype.Contiguous(1024, datatype.Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dense.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := RecommendForType(dense, 1, GoalFastest, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Scheme != Reference {
+		t.Fatalf("dense type recommended %v, want Reference", r.Scheme)
+	}
+	vec, err := datatype.Vector(1<<17, 1, 2, datatype.Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vec.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rv, err := RecommendForType(vec, 1, GoalFastest, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rv.Scheme == Reference {
+		t.Fatal("strided vector recommended the reference scheme")
 	}
 }

@@ -68,6 +68,12 @@ type PackingCostModel struct {
 	// depth behind PipelinedSend.
 	Chunks int64
 	Depth  int
+
+	// Normalized reports that the pack terms were priced with the
+	// canonicalised block kernel's further-amortised bookkeeping
+	// (memsim.NormalizedGatherCost): the type's compiled program
+	// collapsed to a strided-block form at Commit.
+	Normalized bool
 }
 
 // CompiledSpeedup returns TypedSend/CompiledPack: >1 means the
@@ -99,26 +105,56 @@ func (m PackingCostModel) PipelinedSpeedup() float64 {
 	return m.TypedSend / m.PipelinedSend
 }
 
-// PricePacking evaluates the packing cost model for n payload bytes on
-// profile p.
+// PricePacking evaluates the packing cost model for n payload bytes of
+// the canonical every-other-double layout on profile p.
 func PricePacking(n int64, p *perfmodel.Profile) PackingCostModel {
-	m := PackingCostModel{Bytes: n, Workers: 1}
 	if n <= 0 {
-		return m
+		return PackingCostModel{Bytes: n, Workers: 1}
 	}
-	st := layout.Describe(ForBytes(n).Layout())
+	return priceModel(n, layout.Describe(ForBytes(n).Layout()), false, p)
+}
+
+// PricePackingForType evaluates the packing cost model for count
+// instances of a committed derived type on profile p. Unlike
+// PricePacking it prices the type's own layout statistics, and when the
+// type's compiled program was canonicalised into a strided-block form
+// at Commit (datatype.KernelBlock), the compiled-pack terms use the
+// normalized kernel's further-amortised per-segment cost — the
+// TEMPI-direction term that makes nested vector tilings price like the
+// regular layouts they really are.
+func PricePackingForType(ty *datatype.Type, count int, p *perfmodel.Profile) (PackingCostModel, error) {
+	plan, err := ty.CompilePlan(count)
+	if err != nil {
+		return PackingCostModel{}, err
+	}
+	n := ty.PackSize(count)
+	if n <= 0 {
+		return PackingCostModel{Bytes: n, Workers: 1}, nil
+	}
+	return priceModel(n, ty.Stats(count), plan.Kernel() == datatype.KernelBlock, p), nil
+}
+
+// priceModel is the shared pricing ladder behind PricePacking and
+// PricePackingForType.
+func priceModel(n int64, st layout.Stats, normalized bool, p *perfmodel.Profile) PackingCostModel {
+	m := PackingCostModel{Bytes: n, Workers: 1, Normalized: normalized}
 	mem := memsim.NewState(&p.Mem)
 	mem.SetDisabled(true) // steady-state estimate: cold, deterministic
 	wire := p.WireTime(n)
 
 	m.Workers = datatype.ParallelWorkersFor(n)
-	var pack float64
-	if m.Workers > 1 {
-		pack = mem.ParallelCompiledGatherCost(0, 0, st, m.Workers)
-	} else {
-		pack = mem.CompiledGatherCost(0, 0, st)
+	compiledGather := func(workers int) float64 {
+		switch {
+		case normalized && workers > 1:
+			return mem.ParallelNormalizedGatherCost(0, 0, st, workers)
+		case normalized:
+			return mem.NormalizedGatherCost(0, 0, st)
+		case workers > 1:
+			return mem.ParallelCompiledGatherCost(0, 0, st, workers)
+		}
+		return mem.CompiledGatherCost(0, 0, st)
 	}
-	m.CompiledPack = p.PackCallOverhead + pack + wire
+	m.CompiledPack = p.PackCallOverhead + compiledGather(m.Workers) + wire
 
 	m.InterpretedPack = p.PackCallOverhead + mem.GatherCost(0, 0, st) + wire
 
@@ -139,7 +175,7 @@ func PricePacking(n int64, p *perfmodel.Profile) PackingCostModel {
 	// pipeline bound. Rendezvous only: the eager path packs in one
 	// shot before the envelope leaves.
 	if !p.Eager(n, false) && m.Chunks > 1 {
-		pipePack := mem.CompiledGatherCost(0, 0, st) + float64(m.Chunks)*p.ChunkOverhead
+		pipePack := compiledGather(1) + float64(m.Chunks)*p.ChunkOverhead
 		m.PipelinedSend = memsim.PipelinedChunkCost(pipePack, typedWire, m.Chunks, m.Depth)
 	}
 
@@ -193,8 +229,32 @@ func Recommend(n int64, contiguous bool, goal Goal, p *perfmodel.Profile) Recomm
 			Reason: "payload is contiguous; a plain send attains the hardware rate",
 		}
 	}
+	return decide(func() PackingCostModel { return PricePacking(n, p) }, n, goal, p)
+}
+
+// RecommendForType is Recommend for a committed derived type: the cost
+// model prices the type's own layout, with the normalized-kernel terms
+// when its program canonicalised at Commit (see PricePackingForType).
+func RecommendForType(ty *datatype.Type, count int, goal Goal, p *perfmodel.Profile) (Recommendation, error) {
+	if ty.IsContiguous() {
+		return Recommendation{
+			Scheme: Reference,
+			Reason: "the datatype is dense; a plain send attains the hardware rate",
+		}, nil
+	}
+	model, err := PricePackingForType(ty, count, p)
+	if err != nil {
+		return Recommendation{}, err
+	}
+	return decide(func() PackingCostModel { return model }, ty.PackSize(count), goal, p), nil
+}
+
+// decide maps a priced model onto the recommendation ladder. The model
+// is taken lazily: the balanced goal only consults it past the
+// large-message threshold.
+func decide(price func() PackingCostModel, n int64, goal Goal, p *perfmodel.Profile) Recommendation {
 	if goal == GoalFastest {
-		model := PricePacking(n, p)
+		model := price()
 		if model.FusedSend > 0 && model.FusedSend < model.CompiledPack && model.FusedSpeedup() > 1 &&
 			(model.PipelinedSend <= 0 || model.FusedSend <= model.PipelinedSend) {
 			return Recommendation{
@@ -223,7 +283,7 @@ func Recommend(n int64, contiguous bool, goal Goal, p *perfmodel.Profile) Recomm
 		}
 	}
 	if n > LargeMessageBytes {
-		model := PricePacking(n, p)
+		model := price()
 		if model.CompiledSpeedup() > 1 {
 			return Recommendation{
 				Scheme: PackCompiled,

@@ -3,6 +3,7 @@ package datatype
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/buf"
 )
@@ -342,6 +343,149 @@ func sizeLabel(n int64) string {
 		return fmt.Sprintf("%dKB", n>>10)
 	}
 	return fmt.Sprintf("%dB", n)
+}
+
+// benchNestedBlock builds the 2-D canonical hvector-of-vector shape —
+// rows × runs runs at a broken outer pitch, so the flattener emits an
+// irregular table the normalizer collapses — compiled under the given
+// normalization gate. The +16 pad keeps the outer stride off the inner
+// continuation, which would stay on the stride kernel.
+func benchNestedBlock(b *testing.B, on bool, rows, runs, bl int) (*Type, buf.Block, buf.Block) {
+	b.Helper()
+	var ty *Type
+	withNormalize(on, func() {
+		in, err := Vector(runs, bl, 2*bl, Float64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ty, err = Hvector(rows, 1, in.TrueExtent()+16, in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ty.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	src := buf.Alloc(int(ty.Extent()))
+	src.FillPattern(1)
+	dst := buf.Alloc(int(ty.Size()))
+	return ty, src, dst
+}
+
+// benchPackSerial measures the single-goroutine compiled pack of ty —
+// the kernel itself, with the parallel splitter held off.
+func benchPackSerial(b *testing.B, ty *Type, src, dst buf.Block) {
+	b.Helper()
+	SetParallelPackThreshold(ty.Size() + 1)
+	defer SetParallelPackThreshold(DefaultParallelPackThreshold)
+	plan, err := ty.CompilePlan(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(ty.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Pack(src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNormalizedKernels compares the raw compiled programs against
+// their canonicalised forms on the normalizer's layout families:
+// every-other doubles (stride kernel either way — a parity cell), the
+// 2-D block of 8-byte runs (the hot unrolled Elem8 tile), and the 2-D
+// block of 64-byte runs (the element-agnostic tile). The smoke cell is
+// the CI gate: the canonical 2-D block kernel must beat the generic
+// gather by >=1.3x and must not allocate in steady state, measured as
+// min-of-reps so the verdict holds at -benchtime=1x.
+func BenchmarkNormalizedKernels(b *testing.B) {
+	const rows, runs = 4096, 16 // 512 KiB of 8-byte runs
+	payload := int64(rows * runs * 8)
+	b.Run("everyOther/canon", func(b *testing.B) {
+		var ty *Type
+		withNormalize(true, func() { ty, _, _ = benchVector(b, 1<<16, 1, 2) })
+		src := buf.Alloc(int(ty.Extent()))
+		src.FillPattern(1)
+		benchPackSerial(b, ty, src, buf.Alloc(int(ty.Size())))
+	})
+	b.Run("everyOther/raw", func(b *testing.B) {
+		var ty *Type
+		withNormalize(false, func() { ty, _, _ = benchVector(b, 1<<16, 1, 2) })
+		src := buf.Alloc(int(ty.Extent()))
+		src.FillPattern(1)
+		benchPackSerial(b, ty, src, buf.Alloc(int(ty.Size())))
+	})
+	b.Run("block2dRuns8B/canon", func(b *testing.B) {
+		ty, src, dst := benchNestedBlock(b, true, rows, runs, 1)
+		benchPackSerial(b, ty, src, dst)
+	})
+	b.Run("block2dRuns8B/rawGather", func(b *testing.B) {
+		ty, src, dst := benchNestedBlock(b, false, rows, runs, 1)
+		benchPackSerial(b, ty, src, dst)
+	})
+	b.Run("block2dRuns64B/canon", func(b *testing.B) {
+		ty, src, dst := benchNestedBlock(b, true, 512, runs, 8)
+		benchPackSerial(b, ty, src, dst)
+	})
+	b.Run("block2dRuns64B/rawGather", func(b *testing.B) {
+		ty, src, dst := benchNestedBlock(b, false, 512, runs, 8)
+		benchPackSerial(b, ty, src, dst)
+	})
+	b.Run("smoke", func(b *testing.B) {
+		canonTy, src, dst := benchNestedBlock(b, true, rows, runs, 1)
+		rawTy, _, _ := benchNestedBlock(b, false, rows, runs, 1)
+		SetParallelPackThreshold(payload + 1)
+		defer SetParallelPackThreshold(DefaultParallelPackThreshold)
+		canon, err := canonTy.CompilePlan(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		raw, err := rawTy.CompilePlan(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if canon.Kernel() != KernelBlock || raw.Kernel() != KernelGather {
+			b.Fatalf("smoke geometry compiled to %v/%v, want block/gather", canon.Kernel(), raw.Kernel())
+		}
+		minPack := func(p *Plan) time.Duration {
+			best := time.Duration(1 << 62)
+			for r := 0; r < 9; r++ {
+				start := time.Now()
+				if _, err := p.Pack(src, dst); err != nil {
+					b.Fatal(err)
+				}
+				if el := time.Since(start); el < best {
+					best = el
+				}
+			}
+			return best
+		}
+		minPack(canon) // warm the caches before the measured reps
+		minPack(raw)
+		canonBest, rawBest := minPack(canon), minPack(raw)
+		speedup := float64(rawBest) / float64(canonBest)
+		if speedup < 1.3 {
+			b.Fatalf("canonical block kernel %.2fx vs generic gather, want >= 1.3x (canon %v, raw %v)",
+				speedup, canonBest, rawBest)
+		}
+		if allocs := testing.AllocsPerRun(10, func() {
+			if _, err := canon.Pack(src, dst); err != nil {
+				b.Fatal(err)
+			}
+		}); allocs != 0 {
+			b.Fatalf("canonical pack allocates %.0f objects/op in steady state", allocs)
+		}
+		b.ReportMetric(speedup, "x-speedup")
+		b.SetBytes(payload)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := canon.Pack(src, dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkVectorConstructHuge(b *testing.B) {

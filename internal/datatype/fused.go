@@ -60,7 +60,16 @@ func (it *SegIter) SeekTo(pos int64) {
 	case KernelStride:
 		it.j = rem / pr.runLen
 		it.off = rem - it.j*pr.runLen
+	case KernelBlock:
+		// Flat run index; Run decomposes it into the block levels.
+		it.j = rem / pr.canon.runLen
+		it.off = rem - it.j*pr.canon.runLen
 	case KernelGather:
+		if pr.uniform > 0 {
+			it.j = rem / pr.uniform
+			it.off = rem - it.j*pr.uniform
+			return
+		}
 		lo, hi := 0, len(pr.segs)
 		for lo < hi {
 			mid := (lo + hi) / 2
@@ -91,6 +100,9 @@ func (it *SegIter) Run() (off, n int64) {
 	case KernelStride:
 		pr := p.prog
 		return it.inst*pr.ext + pr.start + it.j*pr.step + it.off, pr.runLen - it.off
+	case KernelBlock:
+		pr := p.prog
+		return it.inst*pr.ext + pr.canon.offsetOf(it.j) + it.off, pr.canon.runLen - it.off
 	default: // KernelGather
 		pr := p.prog
 		s := pr.segs[it.j]
@@ -110,9 +122,12 @@ func (it *SegIter) Advance(n int64) {
 	}
 	pr := p.prog
 	var runLen int64
-	if p.kernel == KernelStride {
+	switch p.kernel {
+	case KernelStride:
 		runLen = pr.runLen
-	} else {
+	case KernelBlock:
+		runLen = pr.canon.runLen
+	default:
 		runLen = pr.segs[it.j].length
 	}
 	if it.off < runLen {
@@ -121,9 +136,12 @@ func (it *SegIter) Advance(n int64) {
 	it.off = 0
 	it.j++
 	var runs int64
-	if p.kernel == KernelStride {
+	switch p.kernel {
+	case KernelStride:
 		runs = pr.runs
-	} else {
+	case KernelBlock:
+		runs = pr.canon.runsPerInst()
+	default:
 		runs = int64(len(pr.segs))
 	}
 	if it.j >= runs {

@@ -53,7 +53,7 @@ func decodeType(d *fuzzDecoder, depth int) *Type {
 	}
 	var ty *Type
 	var err error
-	switch d.intn(7) {
+	switch d.intn(8) {
 	case 0:
 		ty, err = Contiguous(d.intn(8)+1, base)
 	case 1:
@@ -98,6 +98,16 @@ func decodeType(d *fuzzDecoder, depth int) *Type {
 		rows, cols := d.intn(6)+1, d.intn(8)+1
 		sr, sc := d.intn(rows), d.intn(cols)
 		ty, err = Subarray([]int{rows, cols}, []int{rows - sr, cols - sc}, []int{sr, sc}, OrderC, base)
+	case 7:
+		// 3-D subarray with strictly partial rows: the
+		// subarray-of-contiguous family the normalizer collapses into a
+		// block form, exercised here over every base element.
+		planes, rows, cols := d.intn(3)+1, d.intn(4)+1, d.intn(6)+2
+		sp, sr := d.intn(planes), d.intn(rows)
+		sc := d.intn(cols-1) + 1
+		ty, err = Subarray([]int{planes, rows, cols},
+			[]int{planes - sp, rows - sr, cols - sc},
+			[]int{sp, sr, sc}, OrderC, base)
 	}
 	if err != nil {
 		return nil
@@ -137,6 +147,11 @@ func FuzzPackRoundtrip(f *testing.F) {
 	f.Add([]byte{2, 1, 3, 2, 1, 0, 0, 2, 2, 1, 9, 9, 9, 9, 6, 3})    // indexed through 7-byte chunks, depth 4
 	f.Add([]byte{2, 6, 1, 8, 1, 3, 2, 11, 12, 12, 12, 12, 254, 0})   // resized vector through 255-byte chunks, depth 1
 	f.Add([]byte{3, 4, 3, 1, 1, 1, 1, 1, 1, 1, 1, 8, 8, 8, 8, 2, 2}) // nested indexed, 3-byte chunks
+	// Normalizer shapes: hvector-of-vector (the 2-D canonical block
+	// family) and a 3-D subarray with strictly partial rows, so the
+	// on/off differential below covers the collapsed kernels.
+	f.Add([]byte{2, 0, 2, 1, 1, 7, 0, 1, 1, 2, 0, 5, 16, 0, 7}) // hvector(6) of vector(8,1,2,f64), broken pitch
+	f.Add([]byte{2, 1, 1, 7, 1, 2, 4, 0, 0, 1, 0, 11})          // subarray [2,3,6]->[2,3,4] partial rows
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		d := &fuzzDecoder{data: data}
@@ -309,6 +324,50 @@ func FuzzPackRoundtrip(f *testing.F) {
 				}
 			} else if back.Bytes()[i] != 0 {
 				t.Fatalf("roundtrip (%v count=%d): wrote outside the layout at %d", ty, count, i)
+			}
+		}
+
+		// Normalization differential: rebuild the identical draw with
+		// the Commit-time normalizer disabled and require the raw
+		// program to produce the same packed stream, the same scatter
+		// and the same ChecksumRange folds — the canonical program must
+		// be byte-for-byte indistinguishable from the table walk.
+		var rawTy *Type
+		withNormalize(false, func() { rawTy = decodeType(&fuzzDecoder{data: data}, 1) })
+		if rawTy == nil {
+			t.Fatalf("raw re-decode diverged for %v", ty)
+		}
+		rawPacked := buf.Alloc(int(rawTy.PackSize(count)))
+		if _, err := rawTy.Pack(src, count, rawPacked); err != nil {
+			t.Fatalf("raw pack (%v): %v", rawTy, err)
+		}
+		if !bytes.Equal(rawPacked.Bytes(), packed.Bytes()) {
+			t.Fatalf("normalized pack differs from raw for %v count=%d (%s)", ty, count, ty.CanonicalString())
+		}
+		rawBack := buf.Alloc(bufLen)
+		if _, err := rawTy.Unpack(packed, count, rawBack); err != nil {
+			t.Fatalf("raw unpack (%v): %v", rawTy, err)
+		}
+		if !bytes.Equal(rawBack.Bytes(), back.Bytes()) {
+			t.Fatalf("normalized unpack differs from raw for %v count=%d (%s)", ty, count, ty.CanonicalString())
+		}
+		if total := ty.PackSize(count); total > 0 {
+			normPlan, err := ty.CompilePlan(count)
+			if err != nil {
+				t.Fatalf("norm plan (%v): %v", ty, err)
+			}
+			rawPlan, err := rawTy.CompilePlan(count)
+			if err != nil {
+				t.Fatalf("raw plan (%v): %v", rawTy, err)
+			}
+			var sumN, sumR buf.Checksum
+			mid := total / 3
+			normPlan.ChecksumRange(src, 0, mid, &sumN)
+			normPlan.ChecksumRange(src, mid, total, &sumN)
+			rawPlan.ChecksumRange(src, 0, mid, &sumR)
+			rawPlan.ChecksumRange(src, mid, total, &sumR)
+			if sumN.Sum64() != sumR.Sum64() {
+				t.Fatalf("normalized checksum differs from raw for %v count=%d (%s)", ty, count, ty.CanonicalString())
 			}
 		}
 	})

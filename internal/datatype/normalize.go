@@ -1,0 +1,275 @@
+package datatype
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// This file implements the Commit-time datatype normalizer (the TEMPI
+// direction): equivalent derived-type trees — hvector-of-vector,
+// subarray-of-contiguous-rows, strided struct tilings — flatten to
+// gather tables whose offsets are really a small closed-form 2-D/3-D
+// strided-block pattern. The normalizer canonicalises a freshly
+// compiled program by merging abutting table segments, hoisting the
+// uniform element size where one exists, and collapsing recognised
+// block patterns into a canonForm descriptor executed by the
+// specialized kernel registry (registry.go) instead of the generic
+// table walk. Every execution tier — Plan.Pack/Unpack, the chunked
+// PackRange/UnpackRange, SegIter/FusedCopy, ChunkPipeline and
+// ChecksumRange — runs the normalized program, so the denser IR speeds
+// up the packed, fused, pipelined, collective and retry paths at once.
+//
+// The pass is semantics-preserving by construction: a candidate form
+// is accepted only after every table offset has been reproduced from
+// the closed form, so the canonical program enumerates exactly the
+// (userOff, packedOff, len) runs of the raw table, in the same packed
+// order.
+
+// normalizeEnabled gates the Commit-time normalization pass. Enabled by
+// default; the raw compiled program is kept as the exact fallback so
+// differential tests and studies can measure it (the way
+// SetChunkedCompiled keeps the interpreting cursor).
+var normalizeEnabled atomic.Bool
+
+func init() { normalizeEnabled.Store(true) }
+
+// SetNormalize enables or disables the Commit-time normalization pass.
+// The gate is read when a type's program is first compiled (at
+// Commit), so toggling it affects types committed afterwards, not
+// programs already cached.
+func SetNormalize(on bool) { normalizeEnabled.Store(on) }
+
+// NormalizeEnabled reports whether newly committed types are
+// normalized.
+func NormalizeEnabled() bool { return normalizeEnabled.Load() }
+
+// canonForm is the canonical strided-block descriptor of a normalized
+// gather program: uniform runs of runLen bytes arranged in up to three
+// nested stride levels (innermost first). Level counts multiply to the
+// raw table's segment count, and the user offset of flat run j is
+//
+//	start + (j/(cnt0*cnt1))*str2 + ((j/cnt0)%cnt1)*str1 + (j%cnt0)*str0
+//
+// so the whole table collapses to dims stride descriptors.
+type canonForm struct {
+	dims   int   // nested stride levels (2 or 3)
+	runLen int64 // uniform run length in bytes
+	start  int64 // user offset of the first run within an instance
+	cnt    [3]int64
+	str    [3]int64
+}
+
+// runsPerInst returns the flat run count of one instance.
+func (cf *canonForm) runsPerInst() int64 {
+	n := cf.cnt[0] * cf.cnt[1]
+	if cf.dims == 3 {
+		n *= cf.cnt[2]
+	}
+	return n
+}
+
+// offsetOf returns the instance-relative user offset of flat run j.
+func (cf *canonForm) offsetOf(j int64) int64 {
+	col := j % cf.cnt[0]
+	row := j / cf.cnt[0]
+	var plane int64
+	if cf.dims == 3 {
+		plane = row / cf.cnt[1]
+		row -= plane * cf.cnt[1]
+	}
+	return cf.start + plane*cf.str[2] + row*cf.str[1] + col*cf.str[0]
+}
+
+// normalizeProg canonicalises a freshly compiled program in place.
+// Contig and stride programs are already canonical (one run, or a
+// single closed-form stride level); gather tables are merged, matched
+// against the 2-D/3-D block forms, and collapsed on a hit — or at
+// least get their uniform element size hoisted so the table walk can
+// enter by division instead of binary search.
+func normalizeProg(p *planProg) {
+	if p.kernel != KernelGather || len(p.segs) < 2 {
+		return
+	}
+	if m := mergeAbutting(p); m > 0 {
+		planCounters.runsMerged.Add(m)
+	}
+	if cf, ok := detectCanon(p.segs); ok {
+		p.canon = cf
+		p.merged = int64(len(p.segs)) - int64(cf.dims)
+		p.kernel = KernelBlock
+		p.class = KernelClass{Elem: elemClassOf(cf.runLen), Stride: StrideRegular, Dims: cf.dims}
+		p.bk = lookupBlockKernels(p.class)
+		p.segs = nil
+		planCounters.canonHits.Add(1)
+		planCounters.runsMerged.Add(p.merged)
+		return
+	}
+	if u := uniformSegLen(p.segs); u > 0 {
+		// Contiguous-run gather: the table stays, but with a single
+		// hoisted element size the entry point is a division and the
+		// walk needs no per-segment length fetch.
+		p.uniform = u
+		p.class = KernelClass{Elem: elemClassOf(u), Stride: StrideIrregular, Dims: 1}
+	}
+	planCounters.canonMisses.Add(1)
+}
+
+// mergeAbutting coalesces table segments that abut in both the user
+// buffer and the packed stream, returning how many were folded away.
+// The flattener already coalesces adjacent runs, so this is a
+// defensive pass that keeps the invariant local to the normalizer.
+func mergeAbutting(p *planProg) int64 {
+	segs := p.segs
+	out := segs[:1]
+	for _, s := range segs[1:] {
+		last := &out[len(out)-1]
+		if s.off == last.off+last.length {
+			last.length += s.length
+			continue
+		}
+		out = append(out, s)
+	}
+	merged := int64(len(segs) - len(out))
+	if merged > 0 {
+		p.segs = out
+	}
+	return merged
+}
+
+// uniformSegLen returns the common segment length of the table, or 0
+// when lengths differ.
+func uniformSegLen(segs []planSeg) int64 {
+	u := segs[0].length
+	for _, s := range segs[1:] {
+		if s.length != u {
+			return 0
+		}
+	}
+	return u
+}
+
+// detectCanon matches a gather table against the canonical 2-D/3-D
+// strided-block forms. The table is sorted by offset with uniform
+// packed order, so the match is: uniform lengths, an innermost level
+// of equal offset deltas, and outer levels whose period divides the
+// table — then every offset is verified against the closed form before
+// the match is accepted, which is what makes the collapse
+// semantics-preserving rather than heuristic.
+func detectCanon(segs []planSeg) (canonForm, bool) {
+	n := int64(len(segs))
+	if n < 4 {
+		return canonForm{}, false
+	}
+	runLen := uniformSegLen(segs)
+	if runLen == 0 {
+		return canonForm{}, false
+	}
+	d0 := segs[1].off - segs[0].off
+	c0 := int64(1)
+	for c0 < n && segs[c0].off-segs[c0-1].off == d0 {
+		c0++
+	}
+	if c0 == n {
+		// A single uniform level is the regular run/gap form; the
+		// flattener's promote pass keeps those on KernelStride, so a
+		// fully uniform table here would be redundant, not canonical.
+		return canonForm{}, false
+	}
+	if c0 < 2 || n%c0 != 0 {
+		return canonForm{}, false
+	}
+	rows := n / c0
+	d1 := segs[c0].off - segs[0].off
+	cf := canonForm{dims: 2, runLen: runLen, start: segs[0].off}
+	cf.cnt[0], cf.str[0] = c0, d0
+	cf.cnt[1], cf.str[1] = rows, d1
+	if verifyCanon(segs, &cf) {
+		return cf, true
+	}
+	// 2-D failed: look for a third level (row groups of equal pitch
+	// repeated at a plane pitch).
+	c1 := int64(1)
+	for c1 < rows && segs[c1*c0].off-segs[(c1-1)*c0].off == d1 {
+		c1++
+	}
+	if c1 < 2 || c1 == rows || rows%c1 != 0 {
+		return canonForm{}, false
+	}
+	planes := rows / c1
+	cf = canonForm{dims: 3, runLen: runLen, start: segs[0].off}
+	cf.cnt[0], cf.str[0] = c0, d0
+	cf.cnt[1], cf.str[1] = c1, d1
+	cf.cnt[2], cf.str[2] = planes, segs[c1*c0].off-segs[0].off
+	if verifyCanon(segs, &cf) {
+		return cf, true
+	}
+	return canonForm{}, false
+}
+
+// verifyCanon checks that the closed form reproduces every table
+// offset.
+func verifyCanon(segs []planSeg, cf *canonForm) bool {
+	for j := range segs {
+		if segs[j].off != cf.offsetOf(int64(j)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Canon reports whether the plan executes a canonical strided-block
+// program, along with the raw per-instance run count the normalizer
+// collapsed and the canonical form's dimensionality — the run-count
+// reduction the E19 study charts.
+func (p *Plan) Canon() (ok bool, rawRuns int64, dims int) {
+	pr := p.prog
+	if pr.kernel != KernelBlock {
+		return false, 0, 0
+	}
+	return true, pr.canon.runsPerInst(), pr.canon.dims
+}
+
+// KernelClass returns the registry class of the program the plan
+// executes: the (element size × stride class × dimensionality) key the
+// specialized kernel was resolved under, or the generic class of the
+// raw kernel.
+func (p *Plan) KernelClass() KernelClass {
+	if p.kernel == KernelContig {
+		return KernelClass{Elem: ElemAny, Stride: StrideNone, Dims: 1}
+	}
+	return p.prog.class
+}
+
+// CanonicalString renders the committed type's compiled program after
+// normalization — the kernel, its geometry, the registry class it
+// resolved to, and (for collapsed tables) the run-count reduction — as
+// a debug aid for understanding what a nested derived type actually
+// executes.
+func (t *Type) CanonicalString() string {
+	pr := t.prog()
+	if t.IsContiguous() {
+		// Dense repetition executes as one run regardless of the
+		// instance program's nominal kernel.
+		return fmt.Sprintf("canon{contig %dB}", pr.instSize)
+	}
+	switch pr.kernel {
+	case KernelContig:
+		return fmt.Sprintf("canon{contig %dB}", pr.instSize)
+	case KernelStride:
+		return fmt.Sprintf("canon{stride %d×%dB step=%d class=%v}",
+			pr.runs, pr.runLen, pr.step, pr.class)
+	case KernelBlock:
+		cf := &pr.canon
+		s := fmt.Sprintf("canon{block%dd %d×%dB str=%d", cf.dims, cf.cnt[0], cf.runLen, cf.str[0])
+		for l := 1; l < cf.dims; l++ {
+			s += fmt.Sprintf(" × %d str=%d", cf.cnt[l], cf.str[l])
+		}
+		return s + fmt.Sprintf(" class=%v runs %d→%d}", pr.class, cf.runsPerInst(), cf.dims)
+	default: // KernelGather
+		if pr.uniform > 0 {
+			return fmt.Sprintf("canon{gather segs=%d uniform=%dB class=%v}",
+				len(pr.segs), pr.uniform, pr.class)
+		}
+		return fmt.Sprintf("canon{gather segs=%d class=%v}", len(pr.segs), pr.class)
+	}
+}

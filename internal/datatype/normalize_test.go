@@ -1,0 +1,470 @@
+package datatype
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/buf"
+)
+
+// This file tests the Commit-time normalizer: canonical-form detection
+// on the nested shapes TEMPI targets, and — the load-bearing property —
+// byte-identical behaviour of the normalized program against the raw
+// one across pack, unpack, chunked streaming, fused copy and
+// ChecksumRange.
+
+// withNormalize runs fn under the given normalization gate setting,
+// restoring the previous one. Types must be constructed inside fn: the
+// gate is read when a type's program is first compiled.
+func withNormalize(on bool, fn func()) {
+	prev := NormalizeEnabled()
+	SetNormalize(on)
+	defer SetNormalize(prev)
+	fn()
+}
+
+// hvecOfVec builds the canonical 2-D block shape: an hvector of outer
+// strided vectors whose pitch breaks the regular continuation, so the
+// flattener materialises an irregular table the normalizer collapses.
+func hvecOfVec(t *testing.T, outer, inner, bl int, pad int64) *Type {
+	t.Helper()
+	in, err := Vector(inner, bl, 2*bl, Float64)
+	if err != nil {
+		t.Fatalf("inner vector: %v", err)
+	}
+	ty, err := Hvector(outer, 1, in.TrueExtent()+pad, in)
+	if err != nil {
+		t.Fatalf("hvector: %v", err)
+	}
+	if err := ty.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	return ty
+}
+
+func TestNormalizeHvectorOfVector(t *testing.T) {
+	var ty *Type
+	withNormalize(true, func() { ty = hvecOfVec(t, 6, 16, 1, 16) })
+	plan, err := ty.CompilePlan(2)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if plan.Kernel() != KernelBlock {
+		t.Fatalf("kernel = %v, want block (%s)", plan.Kernel(), ty.CanonicalString())
+	}
+	ok, raw, dims := plan.Canon()
+	if !ok || raw != 6*16 || dims != 2 {
+		t.Fatalf("Canon() = (%v, %d, %d), want (true, 96, 2)", ok, raw, dims)
+	}
+	want := KernelClass{Elem: Elem8, Stride: StrideRegular, Dims: 2}
+	if plan.KernelClass() != want {
+		t.Fatalf("class = %v, want %v", plan.KernelClass(), want)
+	}
+}
+
+func TestNormalize3DNesting(t *testing.T) {
+	// Three stride levels: runs within a row, rows within a plane,
+	// planes — each pitch breaking the level below's continuation.
+	var ty *Type
+	withNormalize(true, func() {
+		in, err := Vector(4, 1, 2, Float64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mid, err := Hvector(3, 1, 72, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ty, err = Hvector(2, 1, 240, mid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ty.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	plan, err := ty.CompilePlan(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Kernel() != KernelBlock {
+		t.Fatalf("kernel = %v, want block (%s)", plan.Kernel(), ty.CanonicalString())
+	}
+	if ok, raw, dims := plan.Canon(); !ok || raw != 24 || dims != 3 {
+		t.Fatalf("Canon() = (%v, %d, %d), want (true, 24, 3)", ok, raw, dims)
+	}
+}
+
+func TestNormalizeSubarrayOfContiguous(t *testing.T) {
+	// A 3-D subarray with partial rows: contiguous row pieces at a row
+	// pitch within each plane, planes at a plane pitch — collapses to
+	// a block form with one run per row (the subarray-of-contiguous
+	// family).
+	var ty *Type
+	withNormalize(true, func() {
+		var err error
+		ty, err = Subarray([]int{4, 4, 8}, []int{2, 3, 3}, []int{1, 0, 0}, OrderC, Float64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ty.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	plan, err := ty.CompilePlan(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Kernel() != KernelBlock {
+		t.Fatalf("kernel = %v, want block (%s)", plan.Kernel(), ty.CanonicalString())
+	}
+	if ok, raw, _ := plan.Canon(); !ok || raw != 6 {
+		t.Fatalf("Canon() = (%v, %d, _), want (true, 6, _)", ok, raw)
+	}
+	// 24-byte rows land outside the unrolled element classes: the
+	// registry must have fallen back to the element-agnostic tile.
+	if c := plan.KernelClass(); c.Elem != ElemAny || c.Stride != StrideRegular {
+		t.Fatalf("class = %v, want any/regular", c)
+	}
+}
+
+func TestNormalizeUniformHoist(t *testing.T) {
+	// Irregular offsets with a uniform block length: no canonical form,
+	// but the uniform element size is hoisted onto the gather table.
+	var ty *Type
+	withNormalize(true, func() {
+		var err error
+		ty, err = IndexedBlock(1, []int{0, 3, 7, 12, 14, 21}, Float64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ty.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	plan, err := ty.CompilePlan(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Kernel() != KernelGather {
+		t.Fatalf("kernel = %v, want gather (%s)", plan.Kernel(), ty.CanonicalString())
+	}
+	if u := plan.prog.uniform; u != 8 {
+		t.Fatalf("uniform = %d, want 8", u)
+	}
+	want := KernelClass{Elem: Elem8, Stride: StrideIrregular, Dims: 1}
+	if plan.KernelClass() != want {
+		t.Fatalf("class = %v, want %v", plan.KernelClass(), want)
+	}
+}
+
+func TestNormalizeStats(t *testing.T) {
+	before := PlanStatsSnapshot()
+	var ty *Type
+	withNormalize(true, func() { ty = hvecOfVec(t, 4, 8, 1, 24) })
+	plan, err := ty.CompilePlan(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := buf.Alloc(userBufLen(ty, 1))
+	src.FillPattern(7)
+	dst := buf.Alloc(int(plan.Bytes()))
+	if _, err := plan.Pack(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	d := PlanStatsSnapshot().Sub(before)
+	if d.CanonHits != 1 {
+		t.Fatalf("CanonHits = %d, want 1", d.CanonHits)
+	}
+	if d.RunsMerged != 32-2 {
+		t.Fatalf("RunsMerged = %d, want 30", d.RunsMerged)
+	}
+	if d.BlockOps != 1 || d.BlockBytes != plan.Bytes() {
+		t.Fatalf("block attribution = %d/%dB, want 1/%dB", d.BlockOps, d.BlockBytes, plan.Bytes())
+	}
+	if d.CompiledOps() < 1 || d.CompiledBytes() < plan.Bytes() {
+		t.Fatalf("block execution missing from compiled totals: %+v", d)
+	}
+}
+
+func TestKernelRegistryLookup(t *testing.T) {
+	if RegisteredKernelClasses() == 0 {
+		t.Fatal("empty kernel registry")
+	}
+	// Exact hit for the hot 8-byte 2-D class.
+	k := lookupBlockKernels(KernelClass{Elem8, StrideRegular, 2})
+	if k.GatherTile == nil || k.ScatterTile == nil {
+		t.Fatal("elem8/regular/2d resolved nil kernels")
+	}
+	// Unknown class falls back to the generic tile.
+	g := lookupBlockKernels(KernelClass{ElemAny, StrideRegular, 5})
+	if g.GatherTile == nil || g.ScatterTile == nil {
+		t.Fatal("fallback resolved nil kernels")
+	}
+}
+
+func TestCanonicalString(t *testing.T) {
+	cases := []struct {
+		build func() *Type
+		want  string
+	}{
+		{func() *Type { return mustType(Contiguous(4, Float64)) }, "canon{contig"},
+		{func() *Type { return mustType(Vector(8, 1, 2, Float64)) }, "canon{stride"},
+		{func() *Type { return hvecOfVec(t, 4, 8, 1, 24) }, "canon{block2d"},
+		{func() *Type { return mustType(IndexedBlock(1, []int{0, 3, 7, 12, 14, 21}, Float64)) }, "canon{gather"},
+	}
+	withNormalize(true, func() {
+		for _, c := range cases {
+			ty := c.build()
+			if err := ty.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			if s := ty.CanonicalString(); !bytes.Contains([]byte(s), []byte(c.want)) {
+				t.Errorf("CanonicalString() = %q, want prefix %q", s, c.want)
+			}
+		}
+	})
+}
+
+// normalizeCorpus returns constructor closures covering the families
+// the normalizer touches, including the Resized/Subarray edge cases
+// from the PR 1–2 regressions. Each closure builds a fresh committed
+// type so the gate applies at its Commit.
+func normalizeCorpus(t *testing.T) map[string]func() *Type {
+	t.Helper()
+	mk := func(ty *Type, err error) *Type {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ty.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		return ty
+	}
+	return map[string]func() *Type{
+		"hvec-of-vec":   func() *Type { return hvecOfVec(t, 6, 16, 1, 16) },
+		"hvec-of-vec4":  func() *Type { return hvecOfVec(t, 5, 7, 1, 4) },
+		"hvec-of-block": func() *Type { return hvecOfVec(t, 4, 6, 8, 24) },
+		"3d-nest": func() *Type {
+			in := mustType(Vector(4, 1, 2, Float64))
+			mid := mustType(Hvector(3, 1, 72, in))
+			return mk(Hvector(2, 1, 240, mid))
+		},
+		"subarray-3d": func() *Type {
+			return mk(Subarray([]int{4, 4, 8}, []int{2, 3, 3}, []int{1, 0, 0}, OrderC, Float64))
+		},
+		"subarray-2d": func() *Type {
+			return mk(Subarray([]int{5, 8}, []int{3, 3}, []int{1, 2}, OrderC, Float64))
+		},
+		"indexed-irregular": func() *Type {
+			return mk(Indexed([]int{2, 1, 3, 1}, []int{0, 5, 8, 16}, Float64))
+		},
+		"indexed-uniform": func() *Type {
+			return mk(IndexedBlock(1, []int{0, 3, 7, 12, 14, 21}, Float64))
+		},
+		"struct-mixed": func() *Type {
+			return mk(Struct([]int{1, 2, 1}, []int64{0, 8, 40}, []*Type{Int32, Float64, Complex128}))
+		},
+		"resized-hvec": func() *Type {
+			in := mustType(Vector(4, 1, 2, Float64))
+			rz := mk(Resized(in, 0, in.TrueExtent()+8))
+			return mk(Hvector(3, 1, rz.Extent()+8, rz))
+		},
+		"hvec-of-subarray": func() *Type {
+			sub := mk(Subarray([]int{4, 6}, []int{2, 3}, []int{1, 1}, OrderC, Float64))
+			return mk(Hvector(3, 1, sub.Extent()+16, sub))
+		},
+	}
+}
+
+// TestNormalizeDifferential is the load-bearing property: for every
+// corpus shape, the normalized program's pack, unpack, chunked
+// streaming, fused copy and ChecksumRange results are byte-identical
+// to the raw program's.
+func TestNormalizeDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xCA11))
+	for name, build := range normalizeCorpus(t) {
+		t.Run(name, func(t *testing.T) {
+			var tyN, tyR *Type
+			withNormalize(true, func() { tyN = build() })
+			withNormalize(false, func() { tyR = build() })
+			for _, count := range []int{1, 2, 3} {
+				planN, err := tyN.CompilePlan(count)
+				if err != nil {
+					t.Fatal(err)
+				}
+				planR, err := tyR.CompilePlan(count)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if planR.Kernel() == KernelBlock {
+					t.Fatal("raw plan normalized: gate leaked")
+				}
+				total := planN.Bytes()
+				if total != planR.Bytes() {
+					t.Fatalf("sizes differ: %d vs %d", total, planR.Bytes())
+				}
+				src := buf.Alloc(userBufLen(tyN, count))
+				src.FillPattern(byte(count))
+
+				// Whole-message pack.
+				dstN := buf.Alloc(int(total))
+				dstR := buf.Alloc(int(total))
+				if _, err := planN.Pack(src, dstN); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := planR.Pack(src, dstR); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(dstN.Bytes(), dstR.Bytes()) {
+					t.Fatalf("count %d: normalized pack differs from raw (%s)", count, tyN.CanonicalString())
+				}
+
+				// Whole-message unpack into junk-filled buffers.
+				outN := buf.Alloc(userBufLen(tyN, count))
+				outR := buf.Alloc(userBufLen(tyR, count))
+				outN.FillPattern(0xEE)
+				outR.FillPattern(0xEE)
+				if _, err := planN.Unpack(dstN, outN); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := planR.Unpack(dstR, outR); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(outN.Bytes(), outR.Bytes()) {
+					t.Fatalf("count %d: normalized unpack differs from raw", count)
+				}
+
+				// Chunked streaming at odd split points (mid-run
+				// entries exercise the block kernel's resumable
+				// addressing).
+				chunkN := buf.Alloc(int(total))
+				chunkR := buf.Alloc(int(total))
+				var lo int64
+				for lo < total {
+					hi := lo + int64(rng.Intn(97)+1)
+					if hi > total {
+						hi = total
+					}
+					if err := planN.PackRange(src, buf.FromBytes(chunkN.Bytes()[lo:hi]), lo, hi); err != nil {
+						t.Fatal(err)
+					}
+					if err := planR.PackRange(src, buf.FromBytes(chunkR.Bytes()[lo:hi]), lo, hi); err != nil {
+						t.Fatal(err)
+					}
+					lo = hi
+				}
+				if !bytes.Equal(chunkN.Bytes(), chunkR.Bytes()) {
+					t.Fatalf("count %d: chunked normalized pack differs from raw", count)
+				}
+
+				// ChecksumRange over a random split.
+				var sumN, sumR buf.Checksum
+				mid := total / 3
+				planN.ChecksumRange(src, 0, mid, &sumN)
+				planN.ChecksumRange(src, mid, total, &sumN)
+				planR.ChecksumRange(src, 0, mid, &sumR)
+				planR.ChecksumRange(src, mid, total, &sumR)
+				if sumN.Sum64() != sumR.Sum64() {
+					t.Fatalf("count %d: normalized checksum differs from raw", count)
+				}
+
+				// Fused copy: layout → layout in one pass on both
+				// programs.
+				if planN.FusedDstSafe() && planR.FusedDstSafe() {
+					fN := buf.Alloc(userBufLen(tyN, count))
+					fR := buf.Alloc(userBufLen(tyR, count))
+					fN.FillPattern(0xAB)
+					fR.FillPattern(0xAB)
+					if _, err := FusedCopy(planN, planN, src, fN); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := FusedCopy(planR, planR, src, fR); err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(fN.Bytes(), fR.Bytes()) {
+						t.Fatalf("count %d: normalized fused copy differs from raw", count)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestNormalizeParallelRange drives the block kernel through the
+// multi-worker split so the mid-stream entry decomposition is
+// exercised at arbitrary split points.
+func TestNormalizeParallelRange(t *testing.T) {
+	var ty *Type
+	withNormalize(true, func() { ty = hvecOfVec(t, 32, 64, 1, 16) })
+	plan, err := ty.CompilePlan(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Kernel() != KernelBlock {
+		t.Fatalf("kernel = %v, want block", plan.Kernel())
+	}
+	src := buf.Alloc(userBufLen(ty, 2))
+	src.FillPattern(3)
+	want := buf.Alloc(int(plan.Bytes()))
+	got := buf.Alloc(int(plan.Bytes()))
+	plan.run(src, want, 0, plan.Bytes(), packDirection)
+	for _, w := range []int{2, 3, 5, 7} {
+		got.FillPattern(0)
+		plan.runParallelN(src, got, packDirection, w)
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Fatalf("parallel block pack differs at %d workers", w)
+		}
+	}
+	// And the inverse direction.
+	back := buf.Alloc(userBufLen(ty, 2))
+	ref := buf.Alloc(userBufLen(ty, 2))
+	back.FillPattern(0xEE)
+	ref.FillPattern(0xEE)
+	plan.run(ref, want, 0, plan.Bytes(), unpackDirection)
+	plan.runParallelN(back, want, unpackDirection, 5)
+	if !bytes.Equal(ref.Bytes(), back.Bytes()) {
+		t.Fatal("parallel block unpack differs from serial")
+	}
+}
+
+// TestNormalizePipeline runs a canonical block program through the
+// chunk-slot pipeline against the raw program's packed stream.
+func TestNormalizePipeline(t *testing.T) {
+	var tyN, tyR *Type
+	withNormalize(true, func() { tyN = hvecOfVec(t, 16, 32, 1, 16) })
+	withNormalize(false, func() { tyR = hvecOfVec(t, 16, 32, 1, 16) })
+	planN, err := tyN.CompilePlan(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planR, err := tyR.CompilePlan(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := buf.Alloc(userBufLen(tyN, 1))
+	src.FillPattern(9)
+	want := buf.Alloc(int(planR.Bytes()))
+	if _, err := planR.Pack(src, want); err != nil {
+		t.Fatal(err)
+	}
+	pl, err := NewChunkPipeline(planN, src, 0, planN.Bytes(), 512, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 0, planN.Bytes())
+	for {
+		ch, ok := pl.Next()
+		if !ok {
+			break
+		}
+		got = append(got, ch.Data.Bytes()...)
+		pl.Recycle(ch)
+	}
+	pl.Close()
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatal("pipelined block stream differs from raw pack")
+	}
+}

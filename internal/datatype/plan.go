@@ -50,12 +50,17 @@ const (
 	KernelStride
 	// KernelGather walks a flattened per-instance segment table.
 	KernelGather
+	// KernelBlock executes a canonical 2-D/3-D strided-block form the
+	// normalizer collapsed a gather table into, through the
+	// specialized kernel registry (normalize.go, registry.go).
+	KernelBlock
 )
 
 var kernelNames = map[PlanKernel]string{
 	KernelContig: "contig",
 	KernelStride: "stride",
 	KernelGather: "gather",
+	KernelBlock:  "block",
 }
 
 // String returns the kernel name.
@@ -135,20 +140,38 @@ type planProg struct {
 
 	// KernelGather table (irregular runs).
 	segs []planSeg
+	// uniform is the hoisted uniform segment length of a gather table
+	// (0 when lengths are mixed): the entry point becomes a division
+	// instead of a binary search.
+	uniform int64
+
+	// KernelBlock canonical form and its resolved registry kernels
+	// (normalize.go, registry.go).
+	canon canonForm
+	bk    BlockKernels
+	// merged counts the raw table segments the canonical form
+	// replaced.
+	merged int64
+
+	// class is the kernel-registry class of the program.
+	class KernelClass
 }
 
-// compileProg flattens one instance of the type into its program.
+// compileProg flattens one instance of the type into its program and,
+// under the normalization gate, canonicalises it.
 func compileProg(t *Type) *planProg {
 	p := &planProg{instSize: t.size, ext: t.Extent()}
 	switch {
 	case t.r.n == 0 || t.size == 0:
 		p.kernel = KernelContig
+		p.class = KernelClass{Elem: ElemAny, Stride: StrideNone, Dims: 1}
 	case t.r.regular:
 		p.kernel = KernelStride
 		p.start = t.r.start
 		p.runLen = t.r.runLen
 		p.step = t.r.runLen + t.r.gap
 		p.runs = t.r.n
+		p.class = KernelClass{Elem: elemClassOf(p.runLen), Stride: StrideRegular, Dims: 1}
 	default:
 		p.kernel = KernelGather
 		p.segs = make([]planSeg, len(t.r.segs))
@@ -157,6 +180,10 @@ func compileProg(t *Type) *planProg {
 			p.segs[i] = planSeg{off: s.Off, pos: pos, length: s.Len}
 			pos += s.Len
 		}
+		p.class = KernelClass{Elem: ElemAny, Stride: StrideIrregular, Dims: 1}
+	}
+	if NormalizeEnabled() {
+		normalizeProg(p)
 	}
 	return p
 }
@@ -369,7 +396,19 @@ type PlanStats struct {
 	ContigOps, ContigBytes     int64
 	StrideOps, StrideBytes     int64
 	GatherOps, GatherBytes     int64
+	// BlockOps and BlockBytes count executions of canonical
+	// strided-block programs — gather tables the normalizer collapsed
+	// into closed 2-D/3-D forms served by the specialized kernel
+	// registry.
+	BlockOps, BlockBytes       int64
 	ParallelOps, ParallelBytes int64
+
+	// CanonHits and CanonMisses count Commit-time normalization
+	// outcomes over gather programs (contig/stride programs are
+	// already canonical and count as neither); RunsMerged counts the
+	// raw table segments folded away into canonical descriptors.
+	CanonHits, CanonMisses int64
+	RunsMerged             int64
 	// ChunkOps and ChunkBytes count compiled-kernel executions of
 	// partial packed ranges (the chunked/pipelined streaming tier);
 	// their bytes are also attributed to the owning kernel above.
@@ -405,10 +444,14 @@ func (s PlanStats) HitRate() float64 {
 }
 
 // CompiledOps returns the total compiled-kernel executions.
-func (s PlanStats) CompiledOps() int64 { return s.ContigOps + s.StrideOps + s.GatherOps }
+func (s PlanStats) CompiledOps() int64 {
+	return s.ContigOps + s.StrideOps + s.GatherOps + s.BlockOps
+}
 
 // CompiledBytes returns the bytes moved by compiled kernels.
-func (s PlanStats) CompiledBytes() int64 { return s.ContigBytes + s.StrideBytes + s.GatherBytes }
+func (s PlanStats) CompiledBytes() int64 {
+	return s.ContigBytes + s.StrideBytes + s.GatherBytes + s.BlockBytes
+}
 
 // Sub returns the counter-wise difference s - o, for windowed deltas.
 func (s PlanStats) Sub(o PlanStats) PlanStats {
@@ -422,6 +465,11 @@ func (s PlanStats) Sub(o PlanStats) PlanStats {
 		StrideBytes:    s.StrideBytes - o.StrideBytes,
 		GatherOps:      s.GatherOps - o.GatherOps,
 		GatherBytes:    s.GatherBytes - o.GatherBytes,
+		BlockOps:       s.BlockOps - o.BlockOps,
+		BlockBytes:     s.BlockBytes - o.BlockBytes,
+		CanonHits:      s.CanonHits - o.CanonHits,
+		CanonMisses:    s.CanonMisses - o.CanonMisses,
+		RunsMerged:     s.RunsMerged - o.RunsMerged,
 		ParallelOps:    s.ParallelOps - o.ParallelOps,
 		ParallelBytes:  s.ParallelBytes - o.ParallelBytes,
 		ChunkOps:       s.ChunkOps - o.ChunkOps,
@@ -439,9 +487,10 @@ func (s PlanStats) Sub(o PlanStats) PlanStats {
 
 // String renders the snapshot compactly for logs and study output.
 func (s PlanStats) String() string {
-	return fmt.Sprintf("plan{compiled=%d cache=%d/%d contig=%d/%dB stride=%d/%dB gather=%d/%dB parallel=%d/%dB chunk=%d/%dB pipelined=%d/%dB cursor=%d/%dB fused=%d/%dB staged=%d/%dB}",
+	return fmt.Sprintf("plan{compiled=%d cache=%d/%d contig=%d/%dB stride=%d/%dB gather=%d/%dB block=%d/%dB canon=%d/%d merged=%d parallel=%d/%dB chunk=%d/%dB pipelined=%d/%dB cursor=%d/%dB fused=%d/%dB staged=%d/%dB}",
 		s.Compiled, s.PlanHits, s.PlanMisses, s.ContigOps, s.ContigBytes, s.StrideOps, s.StrideBytes,
-		s.GatherOps, s.GatherBytes, s.ParallelOps, s.ParallelBytes, s.ChunkOps, s.ChunkBytes,
+		s.GatherOps, s.GatherBytes, s.BlockOps, s.BlockBytes, s.CanonHits, s.CanonMisses, s.RunsMerged,
+		s.ParallelOps, s.ParallelBytes, s.ChunkOps, s.ChunkBytes,
 		s.PipelinedOps, s.PipelinedBytes, s.CursorOps, s.CursorBytes, s.FusedOps, s.FusedBytes,
 		s.StagedOps, s.StagedBytes)
 }
@@ -454,6 +503,9 @@ var planCounters struct {
 	contigOps, contigBytes       atomic.Int64
 	strideOps, strideBytes       atomic.Int64
 	gatherOps, gatherBytes       atomic.Int64
+	blockOps, blockBytes         atomic.Int64
+	canonHits, canonMisses       atomic.Int64
+	runsMerged                   atomic.Int64
 	parallelOps, parallelBytes   atomic.Int64
 	chunkOps, chunkBytes         atomic.Int64
 	pipelinedOps, pipelinedBytes atomic.Int64
@@ -474,6 +526,11 @@ func PlanStatsSnapshot() PlanStats {
 		StrideBytes:    planCounters.strideBytes.Load(),
 		GatherOps:      planCounters.gatherOps.Load(),
 		GatherBytes:    planCounters.gatherBytes.Load(),
+		BlockOps:       planCounters.blockOps.Load(),
+		BlockBytes:     planCounters.blockBytes.Load(),
+		CanonHits:      planCounters.canonHits.Load(),
+		CanonMisses:    planCounters.canonMisses.Load(),
+		RunsMerged:     planCounters.runsMerged.Load(),
 		ParallelOps:    planCounters.parallelOps.Load(),
 		ParallelBytes:  planCounters.parallelBytes.Load(),
 		ChunkOps:       planCounters.chunkOps.Load(),
@@ -500,6 +557,11 @@ func ResetPlanStats() {
 	planCounters.strideBytes.Store(0)
 	planCounters.gatherOps.Store(0)
 	planCounters.gatherBytes.Store(0)
+	planCounters.blockOps.Store(0)
+	planCounters.blockBytes.Store(0)
+	planCounters.canonHits.Store(0)
+	planCounters.canonMisses.Store(0)
+	planCounters.runsMerged.Store(0)
 	planCounters.parallelOps.Store(0)
 	planCounters.parallelBytes.Store(0)
 	planCounters.chunkOps.Store(0)
@@ -526,6 +588,9 @@ func recordPlanExec(k PlanKernel, n int64, parallel bool) {
 	case KernelGather:
 		planCounters.gatherOps.Add(1)
 		planCounters.gatherBytes.Add(n)
+	case KernelBlock:
+		planCounters.blockOps.Add(1)
+		planCounters.blockBytes.Add(n)
 	}
 	if parallel {
 		planCounters.parallelOps.Add(1)

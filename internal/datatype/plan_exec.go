@@ -174,6 +174,8 @@ func (p *Plan) runRange(user, stream buf.Block, lo, hi, soff int64, dir directio
 		p.runStride(user, stream, lo, hi, soff, dir)
 	case KernelGather:
 		p.runGather(user, stream, lo, hi, soff, dir)
+	case KernelBlock:
+		p.runBlock(user, stream, lo, hi, soff, dir)
 	}
 }
 
@@ -244,16 +246,22 @@ func (p *Plan) runStride(user, stream buf.Block, lo, hi, soff int64, dir directi
 	}
 }
 
-// runGather is the irregular kernel: binary-search the flattened
-// segment table for the entry point, then walk it linearly. soff is
-// the packed position of sb's byte 0.
+// runGather is the irregular kernel: find the entry point in the
+// flattened segment table — a division when the normalizer hoisted a
+// uniform segment length, a binary search otherwise — then walk it
+// linearly. soff is the packed position of sb's byte 0.
 func (p *Plan) runGather(user, stream buf.Block, lo, hi, soff int64, dir direction) {
 	ub, sb := user.Bytes(), stream.Bytes()
 	pr := p.prog
 	segs := pr.segs
 	inst := lo / pr.instSize
 	rem := lo - inst*pr.instSize
-	idx := sort.Search(len(segs), func(i int) bool { return segs[i].pos+segs[i].length > rem })
+	var idx int
+	if pr.uniform > 0 {
+		idx = int(rem / pr.uniform)
+	} else {
+		idx = sort.Search(len(segs), func(i int) bool { return segs[i].pos+segs[i].length > rem })
+	}
 	pos := lo
 	for pos < hi {
 		userBase := inst * pr.ext

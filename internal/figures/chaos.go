@@ -59,15 +59,25 @@ type ChaosSchemeResult struct {
 	Retries   []int64
 	Rejects   []int64
 	Faults    []int64 // injected drops+corruptions+truncations
+	Transfers []int64 // completed eager+rendezvous sends, the retry denominator
 	Delivered []bool  // the run survived its retry budget
 }
 
-// ChaosModelRow is the reliability model's prediction at one rate.
+// ChaosModelRow is the reliability model's prediction at one rate,
+// alongside the profile calibrated back from the sweep's own counters:
+// the per-leg loss rate inverted from observed retries-per-transfer
+// through the leg-compounding model (memsim.EstimateLegLossRate), and
+// the slowdown that observed profile prices. Configured and observed
+// columns agreeing is the study's closed loop — the model's leg
+// accounting matches what the fabric actually did.
 type ChaosModelRow struct {
 	Rate         float64
 	Slowdown     float64 // predicted typed-send inflation
 	DeliveryProb float64
 	Recommended  string
+
+	ObservedLegLoss  float64 // calibrated from summed retries/transfers
+	ObservedSlowdown float64 // slowdown priced under the observed profile
 }
 
 // BuildChaosStudy measures the study for one profile. rates sweeps the
@@ -122,13 +132,18 @@ func BuildChaosStudy(profileName string, rates []float64, reps int) (*ChaosStudy
 			res.Retries = append(res.Retries, cell.retries)
 			res.Rejects = append(res.Rejects, cell.rejects)
 			res.Faults = append(res.Faults, cell.faults)
+			res.Transfers = append(res.Transfers, cell.transfers)
 			res.Delivered = append(res.Delivered, cell.delivered)
 		}
 		st.Schemes = append(st.Schemes, res)
 	}
 
 	rp := mpi.DefaultRetryPolicy()
-	for _, rate := range rates {
+	// The faultable legs per rendezvous transfer: the envelope plus one
+	// data leg per internal chunk — the same accounting the executor's
+	// retry loop compounds over.
+	legs := 1 + prof.Chunks(st.Bytes)
+	for i, rate := range rates {
 		fp := memsim.FaultProfile{
 			// UniformFaults spreads rate evenly over six kinds; the
 			// resend class (drop, corrupt, truncate) is half of it.
@@ -137,13 +152,24 @@ func BuildChaosStudy(profileName string, rates []float64, reps int) (*ChaosStudy
 			BaseBackoff: float64(rp.BaseBackoff) / 1e9,
 			MaxBackoff:  float64(rp.MaxBackoff) / 1e9,
 		}
+		// Calibrate the observed profile back from the sweep's own
+		// counters, summed across the three engines at this rate.
+		var retries, transfers int64
+		for _, s := range st.Schemes {
+			retries += s.Retries[i]
+			transfers += s.Transfers[i]
+		}
+		obs := fp.Calibrated(retries, transfers, legs)
 		m := core.PricePackingUnderFaults(st.Bytes, prof, fp)
+		om := core.PricePackingUnderFaults(st.Bytes, prof, obs)
 		rec := core.RecommendUnderFaults(st.Bytes, false, core.GoalFastest, prof, fp)
 		st.Model = append(st.Model, ChaosModelRow{
-			Rate:         rate,
-			Slowdown:     m.Slowdown(),
-			DeliveryProb: m.DeliveryProb,
-			Recommended:  rec.Scheme.String(),
+			Rate:             rate,
+			Slowdown:         m.Slowdown(),
+			DeliveryProb:     m.DeliveryProb,
+			Recommended:      rec.Scheme.String(),
+			ObservedLegLoss:  obs.LegLossRate,
+			ObservedSlowdown: om.Slowdown(),
 		})
 	}
 	return st, nil
@@ -155,6 +181,7 @@ type chaosCell struct {
 	retries   int64
 	rejects   int64
 	faults    int64
+	transfers int64
 	delivered bool
 }
 
@@ -213,6 +240,7 @@ func (st *ChaosStudy) measureCell(profileName string, send func(*mpi.Comm, buf.B
 		cell.retries += ct.Retries
 		cell.rejects += ct.IntegrityRejects
 		cell.faults += ct.Drops + ct.Corruptions + ct.Truncations
+		cell.transfers += ct.EagerSends + ct.RendezvousSends
 	}
 	return cell, nil
 }
@@ -276,10 +304,11 @@ func (st *ChaosStudy) Render(w io.Writer) error {
 		}
 	}
 	fmt.Fprintln(w)
-	fmt.Fprintln(w, "reliability model (core.PricePackingUnderFaults, resend-class legs = envelope + internal chunks):")
+	fmt.Fprintln(w, "reliability model (core.PricePackingUnderFaults, resend-class legs = envelope + internal chunks);")
+	fmt.Fprintln(w, "observed columns calibrate the leg-loss rate back from the sweep's retries-per-transfer:")
 	for _, m := range st.Model {
-		fmt.Fprintf(w, "  rate %5.2f  predicted typed slowdown %5.2fx  delivery prob %.6f  fastest under faults: %s\n",
-			m.Rate, m.Slowdown, m.DeliveryProb, m.Recommended)
+		fmt.Fprintf(w, "  rate %5.2f (leg loss %.3f)  predicted typed slowdown %5.2fx  delivery prob %.6f  fastest under faults: %s  |  observed leg loss %.3f  slowdown %5.2fx\n",
+			m.Rate, m.Rate/2, m.Slowdown, m.DeliveryProb, m.Recommended, m.ObservedLegLoss, m.ObservedSlowdown)
 	}
 	fmt.Fprintln(w)
 	return nil

@@ -53,6 +53,19 @@ func TestChaosStudy(t *testing.T) {
 	if st.Model[1].Slowdown <= 1 || st.Model[1].DeliveryProb >= 1 {
 		t.Fatalf("lossy model row %+v", st.Model[1])
 	}
+	// The observed columns close the loop: the clean row calibrates to
+	// zero, the lossy row inverts its measured retries back to a leg
+	// loss within the configured resend-class rate and an inflation
+	// above one.
+	if st.Model[0].ObservedLegLoss != 0 || st.Model[0].ObservedSlowdown != 1 {
+		t.Fatalf("clean observed columns %+v", st.Model[0])
+	}
+	if got := st.Model[1].ObservedLegLoss; got <= 0 || got > 0.05 {
+		t.Fatalf("observed leg loss %g, want in (0, 0.05]", got)
+	}
+	if st.Model[1].ObservedSlowdown <= 1 {
+		t.Fatalf("observed slowdown %g, want > 1", st.Model[1].ObservedSlowdown)
+	}
 
 	var out bytes.Buffer
 	if err := st.Render(&out); err != nil {

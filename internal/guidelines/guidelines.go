@@ -51,6 +51,11 @@ const (
 	// RecommenderMinimal: the scheme Recommend picks under GoalFastest
 	// must not lose to any alternative scheme on the measured grid.
 	RecommenderMinimal
+	// NormalizedVsRaw: a type whose program the Commit-time normalizer
+	// canonicalised must never price slower than its raw table-walk
+	// program on the identical payload — the normalization pass may
+	// only help.
+	NormalizedVsRaw
 
 	numRules
 )
@@ -63,6 +68,7 @@ var ruleNames = [numRules]string{
 	AllgatherVsGatherBcast: "allgather<=gather+bcast",
 	CollectiveVsP2P:        "collective<=p2p",
 	RecommenderMinimal:     "recommended<=alternatives",
+	NormalizedVsRaw:        "normalized<=raw",
 }
 
 func (r Rule) String() string {

@@ -106,6 +106,15 @@ func measureCell(profile string, lay LayoutSpec, n int64, cfg Config) ([]Result,
 		Plan: plans[rec.Scheme],
 	})
 
+	// Normalizer bound: the canonicalised nested layout against its raw
+	// table-walk program on the identical payload.
+	norm, err := measureNormalized(p, lay, n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	norm.Profile, norm.Layout = profile, lay.Name
+	out = append(out, norm)
+
 	// Collective rules run their own bracketed worlds.
 	colls, err := measureCollectives(p, w, cfg)
 	if err != nil {
@@ -116,6 +125,83 @@ func measureCell(profile string, lay LayoutSpec, n int64, cfg Config) ([]Result,
 		out = append(out, cr)
 	}
 	return out, nil
+}
+
+// measureNormalized executes the NormalizedVsRaw rule for one grid
+// point: an hvector-of-vector nesting of the layout family — the shape
+// the Commit-time normalizer collapses into a canonical strided block —
+// is sent through the software-pipelined typed send (SendpType, the
+// engine whose slot ring the block kernels fill) with the normalizer on
+// (Lhs) and off (Rhs) over the virtual clock. Both runs move identical
+// bytes through identical protocol paths; only the compiled program
+// differs, so the canonicalised side must never price slower.
+func measureNormalized(p *perfmodel.Profile, lay LayoutSpec, n int64, cfg Config) (Result, error) {
+	const innerRuns, tag = 8, 7
+	rowBytes := int64(innerRuns * lay.BlockLen * 8)
+	rows := n / rowBytes
+	if rows < 2 {
+		rows = 2
+	}
+	run := func(on bool) (float64, datatype.PlanStats, error) {
+		prev := datatype.NormalizeEnabled()
+		datatype.SetNormalize(on)
+		defer datatype.SetNormalize(prev)
+		var secs float64
+		var plan datatype.PlanStats
+		err := mpi.Run(2, mpi.Options{Profile: p, WallLimit: 2 * time.Minute}, func(c *mpi.Comm) error {
+			inner, err := datatype.Vector(innerRuns, lay.BlockLen, lay.Stride, datatype.Float64)
+			if err != nil {
+				return err
+			}
+			// The +32 pad breaks the inner continuation, so the
+			// flattener emits the irregular table the normalizer
+			// collapses (a continuation-stride hvector stays regular
+			// and never reaches the pass).
+			ty, err := datatype.Hvector(int(rows), 1, inner.TrueExtent()+32, inner)
+			if err != nil {
+				return err
+			}
+			if err := ty.Commit(); err != nil {
+				return err
+			}
+			b := buf.Alloc(int(ty.Extent()))
+			if c.Rank() == 0 {
+				b.FillPattern(1)
+			}
+			c.Barrier()
+			before := datatype.PlanStatsSnapshot()
+			t0 := c.Wtime()
+			for rep := 0; rep < cfg.Reps; rep++ {
+				if c.Rank() == 0 {
+					if err := c.SendpType(b, 1, ty, 1, tag); err != nil {
+						return err
+					}
+				} else if _, err := c.RecvType(b, 1, ty, 0, tag); err != nil {
+					return err
+				}
+			}
+			c.Barrier()
+			if c.Rank() == 0 {
+				secs = (c.Wtime() - t0) / float64(cfg.Reps)
+				plan = datatype.PlanStatsSnapshot().Sub(before)
+			}
+			return nil
+		})
+		return secs, plan, err
+	}
+	normT, normPlan, err := run(true)
+	if err != nil {
+		return Result{}, fmt.Errorf("normalized send: %w", err)
+	}
+	rawT, _, err := run(false)
+	if err != nil {
+		return Result{}, fmt.Errorf("raw send: %w", err)
+	}
+	return Result{
+		Cell:    Cell{Rule: NormalizedVsRaw, Bytes: rows * rowBytes, Ranks: 2},
+		LhsName: "SendpType(normalized)", RhsName: "SendpType(raw)",
+		Lhs:     normT, Rhs: rawT, Plan: normPlan,
+	}, nil
 }
 
 // collMeasurement is one timed collective strategy: setup builds

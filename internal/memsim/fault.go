@@ -138,3 +138,30 @@ func (f FaultProfile) TransferDeliveryProb(legs int64) float64 {
 	}
 	return DeliveryProb(f.AttemptFailProb(legs), f.retries())
 }
+
+// EstimateLegLossRate inverts AttemptFailProb from observed recovery
+// counters: across transfers completed transfers that needed retries
+// extra attempts, the per-attempt failure fraction is
+// p̂ = retries/(transfers+retries), and with legs faultable delivery
+// legs per attempt the per-leg rate solving p̂ = 1-(1-λ)^legs is
+// λ̂ = 1-(1-p̂)^(1/legs). This is how a model panel calibrates its
+// FaultProfile from what the fabric actually did instead of what the
+// injector was configured to do.
+func EstimateLegLossRate(retries, transfers, legs int64) float64 {
+	if retries <= 0 || transfers <= 0 || legs <= 0 {
+		return 0
+	}
+	p := float64(retries) / float64(transfers+retries)
+	if p >= 1 {
+		p = math.Nextafter(1, 0)
+	}
+	return 1 - math.Pow(1-p, 1/float64(legs))
+}
+
+// Calibrated returns a copy of the profile with its leg-loss rate
+// replaced by the estimate observed over (retries, transfers, legs) —
+// the retry/backoff pricing fields are kept.
+func (f FaultProfile) Calibrated(retries, transfers, legs int64) FaultProfile {
+	f.LegLossRate = EstimateLegLossRate(retries, transfers, legs)
+	return f
+}

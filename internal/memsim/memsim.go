@@ -345,6 +345,46 @@ func (s *State) CompiledScatterCost(src buf.Region, dst buf.Region, st layout.St
 	return s.scatterCost(src, dst, st, s.h.SegmentOverhead/CompiledUnrollFactor, 1)
 }
 
+// NormalizedUnrollFactor is the additional per-segment amortisation of
+// a canonicalised block program over a generic compiled gather: the
+// Commit-time normalizer collapses the segment table into a closed-form
+// strided-block descriptor, so the kernel enumerates whole rows through
+// an unrolled tile with no table walk, no binary-search entry and no
+// per-segment length fetch. It composes with CompiledUnrollFactor.
+const NormalizedUnrollFactor = 2
+
+// NormalizedGatherCost prices the gather when the plan's program was
+// canonicalised into a strided-block form (datatype.KernelBlock): the
+// traffic term is unchanged — lines are lines — but the per-segment
+// bookkeeping amortises a further NormalizedUnrollFactor beyond the
+// generic compiled kernel. This is the cost term behind the
+// "normalized<=raw" guideline and the E19 model panel.
+func (s *State) NormalizedGatherCost(src buf.Region, dst buf.Region, st layout.Stats) float64 {
+	return s.gatherCost(src, dst, st, s.h.SegmentOverhead/(CompiledUnrollFactor*NormalizedUnrollFactor), 1)
+}
+
+// NormalizedScatterCost is the scatter-side mirror of
+// NormalizedGatherCost.
+func (s *State) NormalizedScatterCost(src buf.Region, dst buf.Region, st layout.Stats) float64 {
+	return s.scatterCost(src, dst, st, s.h.SegmentOverhead/(CompiledUnrollFactor*NormalizedUnrollFactor), 1)
+}
+
+// ParallelNormalizedGatherCost prices the canonicalised gather when the
+// plan engine splits the packed range across workers goroutines.
+func (s *State) ParallelNormalizedGatherCost(src buf.Region, dst buf.Region, st layout.Stats, workers int) float64 {
+	return s.gatherCost(src, dst, st,
+		s.h.SegmentOverhead/(CompiledUnrollFactor*NormalizedUnrollFactor)/float64(maxInt(workers, 1)),
+		s.h.parallelSpeedup(workers))
+}
+
+// ParallelNormalizedScatterCost is the scatter-side mirror of
+// ParallelNormalizedGatherCost.
+func (s *State) ParallelNormalizedScatterCost(src buf.Region, dst buf.Region, st layout.Stats, workers int) float64 {
+	return s.scatterCost(src, dst, st,
+		s.h.SegmentOverhead/(CompiledUnrollFactor*NormalizedUnrollFactor)/float64(maxInt(workers, 1)),
+		s.h.parallelSpeedup(workers))
+}
+
 // DefaultParallelBWScale is the saturation cap used when a Hierarchy
 // does not calibrate its own ParallelBWScale: the paper-era socket
 // shape, where roughly 3–4 cores' worth of copy bandwidth saturates a

@@ -1,0 +1,92 @@
+package memsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/buf"
+	"repro/internal/layout"
+)
+
+// TestNormalizedCostOrdering pins the engine ladder on a many-segment
+// layout: the canonicalised block kernel amortises per-segment
+// bookkeeping beyond the generic compiled gather, which already beats
+// the interpreting loop — and the traffic term is identical, so the
+// ordering is strict exactly because of the bookkeeping.
+func TestNormalizedCostOrdering(t *testing.T) {
+	h := testHierarchy()
+	st := layout.Describe(layout.Strided{Count: 1 << 16, BlockLen: 8, Stride: 16})
+	src := buf.Alloc(int(st.Extent))
+	dst := buf.Alloc(int(st.Bytes))
+	generic := NewState(h).GatherCost(src.Region(), dst.Region(), st)
+	compiled := NewState(h).CompiledGatherCost(src.Region(), dst.Region(), st)
+	norm := NewState(h).NormalizedGatherCost(src.Region(), dst.Region(), st)
+	if !(norm < compiled && compiled < generic) {
+		t.Fatalf("gather ladder broken: normalized %g, compiled %g, generic %g", norm, compiled, generic)
+	}
+	genericS := NewState(h).ScatterCost(src.Region(), dst.Region(), st)
+	compiledS := NewState(h).CompiledScatterCost(src.Region(), dst.Region(), st)
+	normS := NewState(h).NormalizedScatterCost(src.Region(), dst.Region(), st)
+	if !(normS < compiledS && compiledS < genericS) {
+		t.Fatalf("scatter ladder broken: normalized %g, compiled %g, generic %g", normS, compiledS, genericS)
+	}
+}
+
+// TestParallelNormalizedCosts checks the worker-split variants scale
+// the canonicalised cost down and never below the bandwidth-saturated
+// bound.
+func TestParallelNormalizedCosts(t *testing.T) {
+	h := testHierarchy()
+	st := layout.Describe(layout.Strided{Count: 1 << 16, BlockLen: 8, Stride: 16})
+	src := buf.Alloc(int(st.Extent))
+	dst := buf.Alloc(int(st.Bytes))
+	serial := NewState(h).NormalizedGatherCost(src.Region(), dst.Region(), st)
+	par := NewState(h).ParallelNormalizedGatherCost(src.Region(), dst.Region(), st, 4)
+	if par >= serial {
+		t.Fatalf("4-worker normalized gather %g not under serial %g", par, serial)
+	}
+	if floor := serial / 8; par < floor {
+		t.Fatalf("4-worker normalized gather %g below saturation floor %g", par, floor)
+	}
+	serialS := NewState(h).NormalizedScatterCost(src.Region(), dst.Region(), st)
+	parS := NewState(h).ParallelNormalizedScatterCost(src.Region(), dst.Region(), st, 4)
+	if parS >= serialS {
+		t.Fatalf("4-worker normalized scatter %g not under serial %g", parS, serialS)
+	}
+}
+
+// TestEstimateLegLossRate round-trips the calibration: from a true
+// per-leg rate, derive the exact expected counters and require the
+// estimator to recover the rate.
+func TestEstimateLegLossRate(t *testing.T) {
+	const lambda, legs = 0.01, 5
+	f := FaultProfile{LegLossRate: lambda, MaxRetries: 8}
+	p := f.AttemptFailProb(legs)
+	// Expected retries per delivered transfer are geometric: p/(1-p).
+	const transfers = 1_000_000
+	retries := int64(math.Round(transfers * p / (1 - p)))
+	got := EstimateLegLossRate(retries, transfers, legs)
+	if math.Abs(got-lambda) > 1e-4 {
+		t.Fatalf("estimated rate %g, want ≈%g", got, lambda)
+	}
+	// Degenerate counters estimate a clean link.
+	if r := EstimateLegLossRate(0, transfers, legs); r != 0 {
+		t.Fatalf("zero retries estimated rate %g", r)
+	}
+	if r := EstimateLegLossRate(5, 0, legs); r != 0 {
+		t.Fatalf("zero transfers estimated rate %g", r)
+	}
+}
+
+// TestCalibratedKeepsPricingFields checks Calibrated swaps only the
+// rate, keeping the retry/backoff pricing terms.
+func TestCalibratedKeepsPricingFields(t *testing.T) {
+	f := FaultProfile{LegLossRate: 0.5, MaxRetries: 8, BaseBackoff: 2e-5, MaxBackoff: 2e-3}
+	c := f.Calibrated(100, 10_000, 3)
+	if c.MaxRetries != f.MaxRetries || c.BaseBackoff != f.BaseBackoff || c.MaxBackoff != f.MaxBackoff {
+		t.Fatalf("Calibrated changed pricing fields: %+v", c)
+	}
+	if c.LegLossRate <= 0 || c.LegLossRate >= f.LegLossRate {
+		t.Fatalf("Calibrated rate %g, want observed (0, %g)", c.LegLossRate, f.LegLossRate)
+	}
+}

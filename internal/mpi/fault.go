@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/buf"
 	"repro/internal/datatype"
+	"repro/internal/memsim"
 	"repro/internal/simnet"
 	"repro/internal/vclock"
 )
@@ -244,6 +245,26 @@ func (rp RetryPolicy) backoff(retry int) vclock.Duration {
 // clean path stays byte- and allocation-identical to the fault-free
 // build.
 func (c *Comm) faultsOn() bool { return c.faults }
+
+// ObservedFaultProfile builds a memsim.FaultProfile calibrated from
+// what this rank's fabric actually did rather than what the injector
+// was configured to do: the retry counter against the completed sends,
+// inverted through the leg-compounding model at legsPerTransfer
+// faultable legs per attempt (memsim.EstimateLegLossRate). The
+// retry/backoff pricing fields come from the communicator's own policy,
+// converted from virtual nanoseconds to seconds. A model panel that
+// prices recovery from this profile tracks the run it sits next to,
+// drifting injector or not.
+func (c *Comm) ObservedFaultProfile(legsPerTransfer int64) memsim.FaultProfile {
+	ct := c.Counters()
+	pol := c.retry
+	f := memsim.FaultProfile{
+		MaxRetries:  pol.MaxRetries,
+		BaseBackoff: float64(pol.BaseBackoff) / 1e9,
+		MaxBackoff:  float64(pol.MaxBackoff) / 1e9,
+	}
+	return f.Calibrated(ct.Retries, ct.EagerSends+ct.RendezvousSends, legsPerTransfer)
+}
 
 // blockInfo builds the quiescence-detector record of a wait.
 func (c *Comm) blockInfo(op string, peer, tag int) simnet.BlockInfo {

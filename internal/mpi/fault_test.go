@@ -10,6 +10,7 @@ import (
 	"repro/internal/buf"
 	"repro/internal/datatype"
 	"repro/internal/elem"
+	"repro/internal/memsim"
 	"repro/internal/simnet"
 )
 
@@ -714,4 +715,65 @@ func FuzzFaultRecovery(f *testing.F) {
 			}
 		}
 	})
+}
+
+// TestObservedFaultProfile: the calibrated profile tracks what the
+// fabric actually did — a lossy run estimates a positive per-leg rate
+// in the injector's neighbourhood, a clean run estimates zero — and
+// carries the communicator's own retry-policy pricing fields converted
+// to seconds.
+func TestObservedFaultProfile(t *testing.T) {
+	observe := func(faults *simnet.FaultPlan) memsim.FaultProfile {
+		var prof memsim.FaultProfile
+		err := Run(2, Options{WallLimit: 30 * time.Second, Faults: faults}, func(c *Comm) error {
+			next, prev := ringPeers(c)
+			sb := buf.Alloc(4096)
+			rb := buf.Alloc(4096)
+			fillPat(sb, c.Rank(), next)
+			for i := 0; i < 32; i++ {
+				req, err := c.Irecv(rb, prev, i)
+				if err != nil {
+					return err
+				}
+				if err := c.Ssend(sb, next, i); err != nil {
+					return err
+				}
+				if _, err := req.Wait(); err != nil {
+					return err
+				}
+			}
+			if c.Rank() == 0 {
+				prof = c.ObservedFaultProfile(2)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return prof
+	}
+
+	const rate = 0.2 // resend-class per-leg rate rate/2 = 0.1
+	lossy := observe(simnet.UniformFaults(97, rate))
+	if !lossy.Enabled() {
+		t.Fatal("lossy run calibrated a clean profile")
+	}
+	// Loose bounds: the estimate should land in the injector's
+	// neighbourhood, not reproduce it exactly (finite sample, and the
+	// legs model is first-order).
+	if lossy.LegLossRate < rate/40 || lossy.LegLossRate > rate {
+		t.Fatalf("observed rate %g implausible for injected resend-class rate %g", lossy.LegLossRate, rate/2)
+	}
+	def := DefaultRetryPolicy()
+	if lossy.MaxRetries != def.MaxRetries {
+		t.Fatalf("MaxRetries = %d, want policy's %d", lossy.MaxRetries, def.MaxRetries)
+	}
+	if want := float64(def.BaseBackoff) / 1e9; lossy.BaseBackoff != want {
+		t.Fatalf("BaseBackoff = %g s, want %g s", lossy.BaseBackoff, want)
+	}
+
+	clean := observe(nil)
+	if clean.Enabled() {
+		t.Fatalf("clean run calibrated rate %g", clean.LegLossRate)
+	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/buf"
 	"repro/internal/datatype"
+	"repro/internal/layout"
 	"repro/internal/vclock"
 )
 
@@ -85,12 +86,7 @@ func (c *Comm) PackCompiled(b buf.Block, count int, ty *datatype.Type, outbuf bu
 		return err
 	}
 	st := ty.Stats(count)
-	var gather float64
-	if w := plan.Workers(); w > 1 {
-		gather = c.cache.ParallelCompiledGatherCost(b.Region(), outbuf.Region(), st, w)
-	} else {
-		gather = c.cache.CompiledGatherCost(b.Region(), outbuf.Region(), st)
-	}
+	gather := c.planGatherCost(plan, b.Region(), outbuf.Region(), st)
 	c.clock.Advance(vclock.FromSeconds(c.prof.PackCallOverhead + gather))
 	if _, err := plan.Pack(b, dst); err != nil {
 		return err
@@ -110,16 +106,46 @@ func (c *Comm) UnpackCompiled(inbuf buf.Block, position *int64, b buf.Block, cou
 		return err
 	}
 	st := ty.Stats(count)
-	var scatter float64
-	if w := plan.Workers(); w > 1 {
-		scatter = c.cache.ParallelCompiledScatterCost(inbuf.Region(), b.Region(), st, w)
-	} else {
-		scatter = c.cache.CompiledScatterCost(inbuf.Region(), b.Region(), st)
-	}
+	scatter := c.planScatterCost(plan, inbuf.Region(), b.Region(), st)
 	c.clock.Advance(vclock.FromSeconds(c.prof.PackCallOverhead + scatter))
 	if _, err := plan.Unpack(src, b); err != nil {
 		return err
 	}
 	*position += need
 	return nil
+}
+
+// planGatherCost prices the compiled gather behind plan. A plan whose
+// program the Commit-time normalizer collapsed into a canonical
+// strided-block form (datatype.KernelBlock) runs the registry's
+// unrolled tiles, so it is priced with the further-amortised normalized
+// term; every other program prices at the generic compiled term. Both
+// choices are parallel-pack aware.
+func (c *Comm) planGatherCost(plan *datatype.Plan, src, dst buf.Region, st layout.Stats) float64 {
+	norm := plan.Kernel() == datatype.KernelBlock
+	if w := plan.Workers(); w > 1 {
+		if norm {
+			return c.cache.ParallelNormalizedGatherCost(src, dst, st, w)
+		}
+		return c.cache.ParallelCompiledGatherCost(src, dst, st, w)
+	}
+	if norm {
+		return c.cache.NormalizedGatherCost(src, dst, st)
+	}
+	return c.cache.CompiledGatherCost(src, dst, st)
+}
+
+// planScatterCost is the scatter-side mirror of planGatherCost.
+func (c *Comm) planScatterCost(plan *datatype.Plan, src, dst buf.Region, st layout.Stats) float64 {
+	norm := plan.Kernel() == datatype.KernelBlock
+	if w := plan.Workers(); w > 1 {
+		if norm {
+			return c.cache.ParallelNormalizedScatterCost(src, dst, st, w)
+		}
+		return c.cache.ParallelCompiledScatterCost(src, dst, st, w)
+	}
+	if norm {
+		return c.cache.NormalizedScatterCost(src, dst, st)
+	}
+	return c.cache.CompiledScatterCost(src, dst, st)
 }

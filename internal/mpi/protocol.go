@@ -179,8 +179,13 @@ func (c *Comm) sendTyped(b buf.Block, count int, ty *datatype.Type, dest, tag in
 	var gather float64
 	if pipelined {
 		// The slot ring is filled by the compiled kernels, with their
-		// amortised per-segment bookkeeping.
-		gather = c.cache.CompiledGatherCost(b.Region(), c.internal.Region(), st)
+		// amortised per-segment bookkeeping — further amortised when
+		// the plan's program normalized into a canonical block form.
+		if plan, perr := ty.CompilePlan(count); perr == nil && plan.Kernel() == datatype.KernelBlock {
+			gather = c.cache.NormalizedGatherCost(b.Region(), c.internal.Region(), st)
+		} else {
+			gather = c.cache.CompiledGatherCost(b.Region(), c.internal.Region(), st)
+		}
 	} else {
 		gather = c.cache.GatherCost(b.Region(), c.internal.Region(), st)
 	}
