@@ -114,6 +114,25 @@ func MeasureSweep(p *Profile, s Scheme, ws []Workload, opt Options) ([]Measureme
 	return harness.MeasureSweep(p, s, ws, opt)
 }
 
+// JobMix drives many independent ring communicators over one fabric
+// at once, every rank holding several typed transfers in flight — the
+// scale-out regime of the sharded matcher. JobMixResult reports the
+// sustained aggregate throughput, completion quantiles, the
+// concurrent-transfer high-water mark, and the fabric's
+// shard-contention attribution.
+type (
+	JobMix       = harness.JobMix
+	JobMixResult = harness.JobMixResult
+)
+
+// RunJobMix executes a concurrent job mix and reports its sustained
+// throughput.
+func RunJobMix(m JobMix) (JobMixResult, error) { return harness.RunJobMix(m) }
+
+// MatchStats is the fabric's envelope-matching attribution: live
+// shard queues and the fast-path vs wildcard split.
+type MatchStats = simnet.MatchStats
+
 // Figure is one installation's full three-panel sweep (paper Figures
 // 1–4).
 type Figure = figures.Figure

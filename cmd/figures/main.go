@@ -8,7 +8,7 @@
 //	figures [-profile skx-impi|skx-mvapich|ls5-cray|knl-impi|all]
 //	        [-per-decade 4] [-reps 20] [-max-real 16777216]
 //	        [-csv dir] [-check] [-what-if] [-plan] [-plancache] [-fused]
-//	        [-halo] [-pipeline] [-guidelines] [-chaos] [-canon]
+//	        [-halo] [-pipeline] [-guidelines] [-chaos] [-canon] [-scale]
 //
 // Study flags:
 //
@@ -64,6 +64,16 @@
 //	             indexed control, with per-type run-count reductions,
 //	             registry classes and CanonicalString forms; runs once
 //	             per invocation — wall time, profile-independent)
+//	-scale       E20: the sustained-throughput scale study (a concurrent
+//	             job mix — several independent ring communicators over
+//	             one fabric, every rank holding multiple typed transfers
+//	             in flight — swept from 64 to 1024 ranks on a
+//	             16-ranks-per-node hierarchy; aggregate GB/s and p99
+//	             per-transfer completion against rank count, with the
+//	             fabric's shard-contention attribution per cell:
+//	             fast-path vs wildcard matches, live shard queues,
+//	             pool-pressure eager adaptations; payloads virtual, so
+//	             the 10³-rank end stays laptop-sized)
 package main
 
 import (
@@ -93,6 +103,7 @@ func main() {
 	guidelinesFlag := flag.Bool("guidelines", false, "also print the E17 performance-guidelines verifier (rule table, baseline-diffed violations, self-tuned recommender)")
 	chaos := flag.Bool("chaos", false, "also print the E18 fault-recovery chaos study (goodput and p99 tail vs injected fault rate with retry attribution and the reliability model)")
 	canon := flag.Bool("canon", false, "also print the E19 canonical-normalizer study (normalized vs raw pack bandwidth with run-count reductions and kernel-registry classes)")
+	scale := flag.Bool("scale", false, "also print the E20 sustained-throughput scale study (concurrent job mix at 64-1024 ranks: aggregate GB/s, p99 completion, shard-contention attribution)")
 	flag.Parse()
 
 	profiles := []string{"skx-impi", "skx-mvapich", "ls5-cray", "knl-impi"}
@@ -249,6 +260,16 @@ func main() {
 			}
 			fmt.Printf("at a 5%% fault rate the fused engine retains %.0f%% of its clean goodput\n\n",
 				100*st.CleanOverheadAt("fused zero-copy (SendvType)", 0.05))
+		}
+		if *scale {
+			st, err := figures.BuildScaleStudy(name, nil)
+			if err != nil {
+				fatal(err)
+			}
+			if err := st.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("the fabric sustained %d concurrent typed transfers at its widest mix\n\n", st.PeakInFlight())
 		}
 	}
 	if *canon {

@@ -54,7 +54,7 @@ var poolCounters struct {
 	gets, hits, puts atomic.Int64
 
 	shard [PoolShards]struct {
-		gets, hits, puts atomic.Int64
+		gets, hits, puts, inUse atomic.Int64
 	}
 }
 
@@ -67,6 +67,7 @@ var poolPressure struct {
 	inUse        atomic.Int64
 	capBytes     atomic.Int64
 	degradations atomic.Int64
+	eagerAdapted atomic.Int64
 }
 
 // SetPoolCap sets the pool occupancy cap in bytes (0 disables) and
@@ -94,6 +95,31 @@ func PoolOverCap(extra int64) bool {
 // fallback.
 func NotePoolDegradation() { poolPressure.degradations.Add(1) }
 
+// PoolPressureRatio returns the occupancy as a fraction of the cap in
+// [0,1]; 0 with no cap set. Senders use it to adapt their effective
+// eager limit before the hard PoolOverCap wall: shrinking eager
+// traffic early keeps occupancy bounded without the latency cliff of
+// an outright rendezvous degradation at the cap.
+func PoolPressureRatio() float64 {
+	cap := poolPressure.capBytes.Load()
+	if cap <= 0 {
+		return 0
+	}
+	r := float64(poolPressure.inUse.Load()) / float64(cap)
+	if r < 0 {
+		return 0
+	}
+	if r > 1 {
+		return 1
+	}
+	return r
+}
+
+// NoteEagerAdaptation records one send whose effective eager limit was
+// shrunk by pool pressure (it went rendezvous although the profile's
+// nominal eager limit would have allowed an eager transit copy).
+func NoteEagerAdaptation() { poolPressure.eagerAdapted.Add(1) }
+
 // ShardPoolStats is one free-list shard's slice of the pool counters.
 // Gets and Hits are attributed to the shard the block was drawn from;
 // Puts to the block's home shard — the shard the storage returns to —
@@ -103,6 +129,10 @@ type ShardPoolStats struct {
 	Gets int64
 	Hits int64
 	Puts int64
+	// InUseBytes is the class-rounded storage currently checked out of
+	// this shard — a point-in-time gauge (Sub carries it through), the
+	// per-shard occupancy the scale harness reports for imbalance.
+	InUseBytes int64
 }
 
 // PoolStats is a snapshot of the block-pool counters.
@@ -119,6 +149,10 @@ type PoolStats struct {
 	InUseBytes   int64
 	CapBytes     int64
 	Degradations int64
+	// EagerAdaptations counts sends whose effective eager limit was
+	// shrunk under pool pressure before the hard cap (see
+	// NoteEagerAdaptation).
+	EagerAdaptations int64
 
 	// Shards is the per-shard breakdown; the totals above are its sums.
 	Shards [PoolShards]ShardPoolStats
@@ -129,13 +163,15 @@ func (s PoolStats) Sub(o PoolStats) PoolStats {
 	d := PoolStats{
 		Gets: s.Gets - o.Gets, Hits: s.Hits - o.Hits, Puts: s.Puts - o.Puts,
 		InUseBytes: s.InUseBytes, CapBytes: s.CapBytes,
-		Degradations: s.Degradations - o.Degradations,
+		Degradations:     s.Degradations - o.Degradations,
+		EagerAdaptations: s.EagerAdaptations - o.EagerAdaptations,
 	}
 	for i := range d.Shards {
 		d.Shards[i] = ShardPoolStats{
-			Gets: s.Shards[i].Gets - o.Shards[i].Gets,
-			Hits: s.Shards[i].Hits - o.Shards[i].Hits,
-			Puts: s.Shards[i].Puts - o.Shards[i].Puts,
+			Gets:       s.Shards[i].Gets - o.Shards[i].Gets,
+			Hits:       s.Shards[i].Hits - o.Shards[i].Hits,
+			Puts:       s.Shards[i].Puts - o.Shards[i].Puts,
+			InUseBytes: s.Shards[i].InUseBytes,
 		}
 	}
 	return d
@@ -145,18 +181,20 @@ func (s PoolStats) Sub(o PoolStats) PoolStats {
 // per-shard breakdown.
 func PoolStatsSnapshot() PoolStats {
 	st := PoolStats{
-		Gets:         poolCounters.gets.Load(),
-		Hits:         poolCounters.hits.Load(),
-		Puts:         poolCounters.puts.Load(),
-		InUseBytes:   poolPressure.inUse.Load(),
-		CapBytes:     poolPressure.capBytes.Load(),
-		Degradations: poolPressure.degradations.Load(),
+		Gets:             poolCounters.gets.Load(),
+		Hits:             poolCounters.hits.Load(),
+		Puts:             poolCounters.puts.Load(),
+		InUseBytes:       poolPressure.inUse.Load(),
+		CapBytes:         poolPressure.capBytes.Load(),
+		Degradations:     poolPressure.degradations.Load(),
+		EagerAdaptations: poolPressure.eagerAdapted.Load(),
 	}
 	for i := range st.Shards {
 		st.Shards[i] = ShardPoolStats{
-			Gets: poolCounters.shard[i].gets.Load(),
-			Hits: poolCounters.shard[i].hits.Load(),
-			Puts: poolCounters.shard[i].puts.Load(),
+			Gets:       poolCounters.shard[i].gets.Load(),
+			Hits:       poolCounters.shard[i].hits.Load(),
+			Puts:       poolCounters.shard[i].puts.Load(),
+			InUseBytes: poolCounters.shard[i].inUse.Load(),
 		}
 	}
 	return st
@@ -199,6 +237,7 @@ func GetPooledFor(rank, n int) Block {
 	poolCounters.gets.Add(1)
 	poolCounters.shard[shard].gets.Add(1)
 	poolPressure.inUse.Add(int64(1) << (minPoolBits + c))
+	poolCounters.shard[shard].inUse.Add(int64(1) << (minPoolBits + c))
 	if v := blockPools[shard][c].Get(); v != nil {
 		poolCounters.hits.Add(1)
 		poolCounters.shard[shard].hits.Add(1)
@@ -219,6 +258,7 @@ func PutPooled(b Block) {
 	}
 	sl := b.data[:cap(b.data)]
 	poolPressure.inUse.Add(-(int64(1) << (minPoolBits + int(b.pool) - 1)))
+	poolCounters.shard[b.shard].inUse.Add(-(int64(1) << (minPoolBits + int(b.pool) - 1)))
 	poolCounters.puts.Add(1)
 	poolCounters.shard[b.shard].puts.Add(1)
 	blockPools[b.shard][b.pool-1].Put(&sl)

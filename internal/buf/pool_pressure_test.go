@@ -1,0 +1,57 @@
+package buf
+
+import "testing"
+
+// TestPoolPressureRatio pins the occupancy-ratio gauge behind the
+// adaptive eager limit: 0 with no cap, clamped to [0,1] otherwise.
+func TestPoolPressureRatio(t *testing.T) {
+	old := SetPoolCap(0)
+	defer SetPoolCap(old)
+	if r := PoolPressureRatio(); r != 0 {
+		t.Fatalf("uncapped ratio %v, want 0", r)
+	}
+
+	base := PoolInUse()
+	SetPoolCap(base + 4096)
+	b := GetPooledFor(0, 1024) // class-rounded to 1024
+	if got := PoolInUse() - base; got != 1024 {
+		t.Fatalf("inUse delta %d, want 1024", got)
+	}
+	r := PoolPressureRatio()
+	want := float64(base+1024) / float64(base+4096)
+	if r < want-1e-9 || r > want+1e-9 {
+		t.Fatalf("ratio %v, want %v", r, want)
+	}
+	PutPooled(b)
+	SetPoolCap(1) // any live residue clamps to 1
+	if r := PoolPressureRatio(); r < 0 || r > 1 {
+		t.Fatalf("ratio %v outside [0,1]", r)
+	}
+}
+
+// TestPoolShardInUseGauge pins the per-shard occupancy breakdown: a
+// checkout is charged to the drawing shard and released at the home
+// shard, wherever the release runs.
+func TestPoolShardInUseGauge(t *testing.T) {
+	const rank = 3 // shard 3
+	before := PoolStatsSnapshot()
+	b := GetPooledFor(rank, 2048)
+	mid := PoolStatsSnapshot()
+	if d := mid.Shards[rank].InUseBytes - before.Shards[rank].InUseBytes; d != 2048 {
+		t.Fatalf("shard %d inUse delta %d after get, want 2048", rank, d)
+	}
+	PutPooled(b)
+	after := PoolStatsSnapshot()
+	if d := after.Shards[rank].InUseBytes - before.Shards[rank].InUseBytes; d != 0 {
+		t.Fatalf("shard %d inUse delta %d after put, want 0", rank, d)
+	}
+}
+
+// TestEagerAdaptationCounter pins the counter plumbing.
+func TestEagerAdaptationCounter(t *testing.T) {
+	before := PoolStatsSnapshot().EagerAdaptations
+	NoteEagerAdaptation()
+	if d := PoolStatsSnapshot().EagerAdaptations - before; d != 1 {
+		t.Fatalf("EagerAdaptations delta %d, want 1", d)
+	}
+}

@@ -38,9 +38,12 @@ func TestPoolShardsIndependent(t *testing.T) {
 		t.Fatal("shard 2 was served shard 1's released storage")
 	}
 
-	// Shard 1 gets its storage back.
+	// Shard 1 gets its storage back. Under the race detector sync.Pool
+	// drops a random fraction of Puts by design, so the exact-recycling
+	// assertion only holds in plain builds; the isolation assertions
+	// above hold either way (a drop can never serve foreign storage).
 	d := GetPooledFor(1, n)
-	if len(d.Bytes()) == 0 || &d.Bytes()[0] != &mark[0] {
+	if !raceEnabled && (len(d.Bytes()) == 0 || &d.Bytes()[0] != &mark[0]) {
 		t.Fatal("shard 1 did not recycle its own released storage")
 	}
 	PutPooled(c)
@@ -103,8 +106,10 @@ func TestPoolCrossShardRelease(t *testing.T) {
 	if len(c.Bytes()) > 0 && &c.Bytes()[0] == &mark[0] {
 		t.Fatal("shard 5 was served shard 3's released storage")
 	}
+	// Exact recycling is only deterministic in plain builds: under the
+	// race detector sync.Pool drops a random fraction of Puts by design.
 	d3 := GetPooledFor(3, n)
-	if len(d3.Bytes()) == 0 || &d3.Bytes()[0] != &mark[0] {
+	if !raceEnabled && (len(d3.Bytes()) == 0 || &d3.Bytes()[0] != &mark[0]) {
 		t.Fatal("shard 3 did not recycle the cross-shard-released storage")
 	}
 	PutPooled(c)

@@ -1,0 +1,9 @@
+//go:build race
+
+package buf
+
+// raceEnabled reports whether the race detector instruments this
+// build. Under it, sync.Pool deliberately drops a random fraction of
+// Puts, so tests asserting that a released block's exact storage comes
+// back must skip that assertion.
+const raceEnabled = true

@@ -51,6 +51,18 @@ type CollectiveCostModel struct {
 	// Zero at tree sizes, where the chunk pipeline has nothing to
 	// overlap.
 	PipelinedRing float64
+
+	// Nodes is the node count the installation's hierarchy implies for
+	// this fan (⌈Ranks/NodeSize⌉); 1 on flat machines.
+	Nodes int
+	// TwoLevelTyped is the modeled completion time of the
+	// hierarchy-aware two-level typed fan (the topology behind the
+	// two-level Bcast/Allgather schedules): ⌈Ranks/NodeSize⌉
+	// concurrent intra-node fans over the cheap intra-node links feed
+	// a leader fan that crosses the wire once per node instead of once
+	// per rank. Zero on flat machines (NodeSize unset or no intra-node
+	// latency discount).
+	TwoLevelTyped float64
 }
 
 // TypedSpeedup returns PackedCollective/TypedCollective: >1 means the
@@ -115,6 +127,25 @@ func PriceCollective(ranks int, n int64, p *perfmodel.Profile) CollectiveCostMod
 		m.PackedCollective = prologue + memsim.LinearFanCost(ranks, 0, unpack, wire, over)
 	}
 
+	// Two-level hierarchy: with a node granularity and an intra-node
+	// latency discount declared, the same fan decomposes into
+	// concurrent per-node fans over the cheap links feeding a leader
+	// fan whose wire legs number one per node. The intra-node stage
+	// pays staged legs (eager store-and-forward at the node boundary);
+	// the leader stage keeps the shape the flat engine would pick.
+	m.Nodes = 1
+	if ns := p.Mem.NodeSize; ns > 1 && p.IntraNodeLatency > 0 && ranks > ns {
+		m.Nodes = (ranks + ns - 1) / ns
+		intraWire := p.WireTime(n) + p.IntraNodeLatency
+		stagedLeg := mem.StagedCollectiveLegCost(0, 0, st, st)
+		intra := memsim.LinearFanCost(ns, selfLeg, stagedLeg, intraWire, over)
+		if m.Tree {
+			m.TwoLevelTyped = intra + memsim.TreeFanCost(m.Nodes, 0, stagedLeg, wire, over)
+		} else {
+			m.TwoLevelTyped = intra + memsim.LinearFanCost(m.Nodes, 0, 0, wire, over)
+		}
+	}
+
 	// Pipelined packed-segment ring: one serial compiled pack of the
 	// contribution, then p-1 hops whose per-hop span is the chunked
 	// pipeline of the block's wire against its unpack (the forwarded
@@ -126,6 +157,16 @@ func PriceCollective(ranks int, n int64, p *perfmodel.Profile) CollectiveCostMod
 		m.PipelinedRing = serialPack + float64(ranks-1)*(over+hop)
 	}
 	return m
+}
+
+// TwoLevelSpeedup returns TypedCollective/TwoLevelTyped: >1 means the
+// hierarchy-aware two-level topology beats the flat fan. It is 1 on
+// flat machines, where the two-level schedule does not apply.
+func (m CollectiveCostModel) TwoLevelSpeedup() float64 {
+	if m.TwoLevelTyped <= 0 || m.TypedCollective <= 0 {
+		return 1
+	}
+	return m.TypedCollective / m.TwoLevelTyped
 }
 
 // PipelinedSpeedup returns TypedCollective/PipelinedRing: >1 means the

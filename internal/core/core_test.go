@@ -402,3 +402,31 @@ func TestRecommendForType(t *testing.T) {
 		t.Fatal("strided vector recommended the reference scheme")
 	}
 }
+
+// TestPriceCollectiveTwoLevel pins the hierarchy column: zero on flat
+// machines, positive and faster than the flat fan on a hierarchical
+// installation with a strong intra-node latency discount at
+// latency-bound sizes.
+func TestPriceCollectiveTwoLevel(t *testing.T) {
+	flat := PriceCollective(64, 1024, perfmodel.Generic())
+	if flat.TwoLevelTyped != 0 || flat.Nodes != 1 || flat.TwoLevelSpeedup() != 1 {
+		t.Fatalf("flat machine priced a two-level fan: %+v", flat)
+	}
+	p := perfmodel.Generic()
+	p.Mem.NodeSize = 8
+	p.IntraNodeLatency = p.NetLatency / 10
+	hier := PriceCollective(64, 1024, p)
+	if hier.Nodes != 8 {
+		t.Fatalf("64 ranks at 8 per node priced %d nodes", hier.Nodes)
+	}
+	if hier.TwoLevelTyped <= 0 {
+		t.Fatalf("hierarchical machine priced no two-level fan: %+v", hier)
+	}
+	if hier.TwoLevelSpeedup() <= 1 {
+		t.Errorf("two-level fan models %.2fx vs flat at 64 ranks, want >1", hier.TwoLevelSpeedup())
+	}
+	// Communicator inside one node: the hierarchy buys nothing.
+	if m := PriceCollective(8, 1024, p); m.TwoLevelTyped != 0 {
+		t.Errorf("intra-node fan priced a two-level schedule: %+v", m)
+	}
+}

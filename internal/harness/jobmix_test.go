@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// TestJobMixScaleSmoke is the concurrent job-mix smoke at scale: four
+// ring communicators over one fabric, every rank holding several typed
+// transfers in flight. Under the race detector the mix is capped so
+// the instrumented run stays fast; the plain run drives 256 ranks with
+// 1024 concurrent transfers — the acceptance regime.
+func TestJobMixScaleSmoke(t *testing.T) {
+	mix := JobMix{Ranks: 256, Jobs: 4, InFlight: 4, Rounds: 2, Bytes: 1 << 20,
+		NodeSize: 16, WallLimit: 4 * time.Minute}
+	if raceEnabled {
+		mix.Ranks, mix.InFlight, mix.Rounds = 64, 2, 1
+	}
+	res, err := RunJobMix(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTransfers := int64(mix.Ranks * mix.InFlight * mix.Rounds)
+	if res.Transfers != wantTransfers {
+		t.Errorf("completed %d transfers, want %d", res.Transfers, wantTransfers)
+	}
+	wantPeak := int64(mix.Ranks * mix.InFlight)
+	if res.InFlightPeak < wantPeak {
+		t.Errorf("in-flight peak %d, want ≥ %d (the post/drain barrier pins it)", res.InFlightPeak, wantPeak)
+	}
+	if !raceEnabled && res.InFlightPeak < 1000 {
+		t.Errorf("in-flight peak %d, acceptance wants ≥1000 concurrent typed transfers", res.InFlightPeak)
+	}
+	if res.AggregateGBs <= 0 {
+		t.Errorf("aggregate throughput %.3f GB/s, want >0", res.AggregateGBs)
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 {
+		t.Errorf("completion quantiles p50=%g p99=%g, want 0 < p50 ≤ p99", res.P50, res.P99)
+	}
+	if res.Matching.FastTakes == 0 {
+		t.Errorf("matching attribution recorded no fast-path takes: %+v", res.Matching)
+	}
+	if res.Matching.Queues == 0 {
+		t.Errorf("matching attribution recorded no shard queues: %+v", res.Matching)
+	}
+	if res.Elapsed <= 0 {
+		t.Errorf("elapsed virtual time %g, want >0", res.Elapsed)
+	}
+}
+
+// TestJobMixValidation pins the mix's argument checks.
+func TestJobMixValidation(t *testing.T) {
+	if _, err := RunJobMix(JobMix{Ranks: 1}); err == nil {
+		t.Error("1-rank mix accepted")
+	}
+	if _, err := RunJobMix(JobMix{Ranks: 4, Jobs: 3}); err == nil {
+		t.Error("4 ranks over 3 jobs accepted (rings under 2 ranks)")
+	}
+}

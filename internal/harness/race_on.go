@@ -1,0 +1,6 @@
+//go:build race
+
+package harness
+
+// raceEnabled gates scale smoke sizes under the race detector.
+const raceEnabled = true

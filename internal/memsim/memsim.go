@@ -90,6 +90,14 @@ type Hierarchy struct {
 	// the real executor exhibits), at the cost of depth×InternalChunk
 	// of pooled staging per transfer. Zero means DefaultPipelineDepth.
 	PipelineDepth int
+
+	// NodeSize is the node boundary of the simulated machine: blocks
+	// of NodeSize consecutive world ranks share one node (ranks a and
+	// b are node-local iff a/NodeSize == b/NodeSize). 0 or 1 means a
+	// flat machine — every pair of ranks is internode. The mpi layer
+	// keys its two-level (leader tree / leader ring) collective
+	// topologies and the intra-node latency discount off this field.
+	NodeSize int
 }
 
 // DefaultInternalChunk is the internal pack-buffer chunk size used
@@ -135,6 +143,8 @@ func (h *Hierarchy) Validate() error {
 		return fmt.Errorf("memsim: PipelineDepth %d", h.PipelineDepth)
 	case h.ParallelBWScale < 0:
 		return fmt.Errorf("memsim: ParallelBWScale %g", h.ParallelBWScale)
+	case h.NodeSize < 0:
+		return fmt.Errorf("memsim: NodeSize %d", h.NodeSize)
 	}
 	return nil
 }

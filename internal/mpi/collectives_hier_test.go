@@ -1,0 +1,229 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/buf"
+	"repro/internal/datatype"
+	"repro/internal/perfmodel"
+)
+
+// contigDouble is a committed one-double contiguous type.
+func contigDouble(tb testing.TB) *datatype.Type {
+	tb.Helper()
+	ty, err := datatype.Contiguous(1, datatype.Float64)
+	return mustCommit(tb, ty, err)
+}
+
+// hierProfile is Generic with a node hierarchy: blocks of nodeSize
+// consecutive world ranks share a node, and intra-node hops cost a
+// tenth of the wire latency — enough discount that the two-level
+// schedules engage and win on latency-bound payloads.
+func hierProfile(nodeSize int) *perfmodel.Profile {
+	p := perfmodel.Generic()
+	p.Mem.NodeSize = nodeSize
+	p.IntraNodeLatency = p.NetLatency / 10
+	return p
+}
+
+// runHier runs body on size ranks of a hierarchical installation.
+func runHier(t *testing.T, size, nodeSize int, body func(c *Comm) error) {
+	t.Helper()
+	if err := Run(size, Options{Profile: hierProfile(nodeSize), WallLimit: 30 * time.Second}, body); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTwoLevelBcastDifferential checks the leader-tree broadcast on a
+// 16-rank, 4-per-node machine against the pack→unpack oracle for
+// every layout family and several roots (leader and non-leader roots).
+func TestTwoLevelBcastDifferential(t *testing.T) {
+	const size, nodeSize = 16, 4
+	for _, cfg := range collConfigs {
+		for _, root := range []int{0, 5, 15} {
+			t.Run(fmt.Sprintf("%s/root%d", cfg.name, root), func(t *testing.T) {
+				ty := cfg.mk(t)
+				count := cfg.count
+				const seed = 0x3C
+				got := make([][]byte, size)
+				runHier(t, size, nodeSize, func(c *Comm) error {
+					var b buf.Block
+					if c.Rank() == root {
+						b = typedBuf(ty, count, seed)
+					} else {
+						b = buf.Alloc(typedNeed(ty, count))
+					}
+					if err := c.BcastType(b, count, ty, root); err != nil {
+						return err
+					}
+					if c.Rank() != root {
+						got[c.Rank()] = append([]byte(nil), b.Bytes()...)
+					}
+					return nil
+				})
+				packed := packView(t, ty, count, typedBuf(ty, count, seed))
+				oracle := buf.Alloc(typedNeed(ty, count))
+				if _, err := ty.Unpack(buf.FromBytes(packed), count, oracle); err != nil {
+					t.Fatal(err)
+				}
+				for r := 0; r < size; r++ {
+					if r == root {
+						continue
+					}
+					if !bytes.Equal(got[r], oracle.Bytes()) {
+						t.Fatalf("two-level bcast rank %d differs from oracle", r)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestTwoLevelAllgatherDifferential checks the leader-ring allgather
+// on the same machine against the oracle on every rank.
+func TestTwoLevelAllgatherDifferential(t *testing.T) {
+	const size, nodeSize = 16, 4
+	for _, cfg := range collConfigs {
+		t.Run(cfg.name, func(t *testing.T) {
+			ty := cfg.mk(t)
+			count := cfg.count
+			pitch := int(int64(count) * ty.Extent())
+			recvLen := pitch*(size-1) + typedNeed(ty, count)
+			got := make([][]byte, size)
+			runHier(t, size, nodeSize, func(c *Comm) error {
+				send := typedBuf(ty, count, rankSeed(c.Rank()))
+				recv := buf.Alloc(recvLen)
+				if err := c.AllgatherType(send, count, ty, recv, count, ty); err != nil {
+					return err
+				}
+				got[c.Rank()] = append([]byte(nil), recv.Bytes()...)
+				return nil
+			})
+			oracle := buf.Alloc(recvLen)
+			for r := 0; r < size; r++ {
+				packed := packView(t, ty, count, typedBuf(ty, count, rankSeed(r)))
+				view := oracle.Slice(r*pitch, recvLen-r*pitch)
+				if _, err := ty.Unpack(buf.FromBytes(packed), count, view); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for r := 0; r < size; r++ {
+				if !bytes.Equal(got[r], oracle.Bytes()) {
+					t.Fatalf("two-level allgather rank %d differs from oracle", r)
+				}
+			}
+		})
+	}
+}
+
+// TestTwoLevelSplitScattered drives the collectives over a Split
+// communicator whose members interleave across nodes (world order
+// 0,4,1,5 on a 4-per-node machine): the broadcast stays two-level on
+// the true node boundaries, the allgather detects the non-contiguous
+// node blocks and falls back to the flat ring — both must still
+// deliver oracle bytes.
+func TestTwoLevelSplitScattered(t *testing.T) {
+	const world, nodeSize = 8, 4
+	vec, vecErr := datatype.Vector(5, 1, 2, datatype.Float64)
+	ty := mustCommit(t, vec, vecErr)
+	const count = 3
+	pitch := int(int64(count) * ty.Extent())
+	recvLen := pitch*3 + typedNeed(ty, count)
+	const seed = 0x61
+	gotB := make([][]byte, world)
+	gotA := make([][]byte, world)
+	runHier(t, world, nodeSize, func(c *Comm) error {
+		// color 0: world {0,1,4,5}; keys interleave them across nodes
+		// so comm order is world 0,4,1,5 → node groups {0,2} and {1,3}.
+		color := 1
+		if r := c.Rank(); r == 0 || r == 1 || r == 4 || r == 5 {
+			color = 0
+		}
+		key := map[int]int{0: 0, 4: 1, 1: 2, 5: 3}[c.Rank()]
+		sub, err := c.Split(color, key)
+		if err != nil {
+			return err
+		}
+		if color != 0 {
+			return nil
+		}
+		b := buf.Alloc(typedNeed(ty, count))
+		if sub.Rank() == 0 {
+			b.FillPattern(seed)
+		}
+		if err := sub.BcastType(b, count, ty, 0); err != nil {
+			return err
+		}
+		gotB[c.Rank()] = append([]byte(nil), b.Bytes()...)
+		send := typedBuf(ty, count, rankSeed(sub.Rank()))
+		recv := buf.Alloc(recvLen)
+		if err := sub.AllgatherType(send, count, ty, recv, count, ty); err != nil {
+			return err
+		}
+		gotA[c.Rank()] = append([]byte(nil), recv.Bytes()...)
+		return nil
+	})
+	packed := packView(t, ty, count, typedBuf(ty, count, seed))
+	oracleB := buf.Alloc(typedNeed(ty, count))
+	if _, err := ty.Unpack(buf.FromBytes(packed), count, oracleB); err != nil {
+		t.Fatal(err)
+	}
+	oracleA := buf.Alloc(recvLen)
+	for r := 0; r < 4; r++ {
+		p := packView(t, ty, count, typedBuf(ty, count, rankSeed(r)))
+		view := oracleA.Slice(r*pitch, recvLen-r*pitch)
+		if _, err := ty.Unpack(buf.FromBytes(p), count, view); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, w := range []int{4, 1, 5} { // sub ranks 1..3
+		if !bytes.Equal(gotB[w], oracleB.Bytes()) {
+			t.Fatalf("scattered split bcast world rank %d differs from oracle", w)
+		}
+	}
+	for _, w := range []int{0, 4, 1, 5} {
+		if !bytes.Equal(gotA[w], oracleA.Bytes()) {
+			t.Fatalf("scattered split allgather world rank %d differs from oracle", w)
+		}
+	}
+}
+
+// TestTwoLevelBeatsFlatOnLatency pins the point of the topology: on a
+// latency-bound broadcast the two-level schedule finishes earlier on
+// the virtual clock than the flat binomial tree over the same machine
+// (same profile with the intra-node discount withheld, which disables
+// the two-level dispatch).
+func TestTwoLevelBeatsFlatOnLatency(t *testing.T) {
+	const size, nodeSize = 16, 4
+	bcastTime := func(p *perfmodel.Profile) float64 {
+		var worst float64
+		err := Run(size, Options{Profile: p, WallLimit: 30 * time.Second}, func(c *Comm) error {
+			b := buf.Alloc(64)
+			if c.Rank() == 0 {
+				b.FillPattern(0x11)
+			}
+			if err := c.BcastType(b, 8, contigDouble(t), 0); err != nil {
+				return err
+			}
+			c.Barrier()
+			if c.Rank() == 0 {
+				worst = c.Wtime()
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return worst
+	}
+	hier := bcastTime(hierProfile(nodeSize))
+	flatP := hierProfile(nodeSize)
+	flatP.IntraNodeLatency = 0 // boundary known, discount withheld → flat dispatch
+	flat := bcastTime(flatP)
+	if hier >= flat {
+		t.Fatalf("two-level bcast %.3gs not faster than flat %.3gs", hier, flat)
+	}
+}

@@ -243,6 +243,9 @@ func (c *Comm) bcastType(b buf.Block, count int, ty *datatype.Type, root int) er
 	if c.size == 1 {
 		return nil
 	}
+	if g := c.twoLevel(); g != nil {
+		return c.bcastTwoLevel(b, count, ty, root, g)
+	}
 	if n := plan.Bytes(); c.size > 2 && n > c.prof.CollectiveTreeLimit() && pipelineEnabled() {
 		// Dense layouts keep the tree of raw contiguous hops; the
 		// scatter+allgather win is the relay's pack passes, which a
@@ -753,6 +756,9 @@ func (c *Comm) allgatherType(send buf.Block, sendCount int, sendTy *datatype.Typ
 	}
 	if c.size == 1 {
 		return nil
+	}
+	if g := c.twoLevel(); g != nil && g.contig {
+		return c.allgatherTwoLevel(send, sendCount, sendTy, recv, recvCount, recvTy, g)
 	}
 	if n := rp.Bytes(); c.size > 2 && n > c.prof.CollectiveTreeLimit() && !rp.FusedDstSafe() && pipelineEnabled() {
 		// Large slots the fused engine cannot scatter into (overlapping

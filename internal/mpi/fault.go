@@ -466,7 +466,7 @@ func (c *Comm) rdvSendLoop(m *simnet.Message, dest, tag int, n int64,
 		final := m.Ack == nil || attempt >= pol.MaxRetries
 		m.NoteWake()
 		m.Done <- simnet.RdvDone{
-			Arrival: c.clock.Now() + dur(c.prof.NetLatency),
+			Arrival: c.clock.Now() + dur(c.linkLatency(dest)),
 			Bytes:   n,
 			Sum:     sum, HasSum: hasSum, Poisoned: poisoned, Final: final,
 		}

@@ -678,6 +678,47 @@ func TestBackpressureDegradesToRendezvous(t *testing.T) {
 	}
 }
 
+// TestEagerAdaptationUnderPressure: past half of the pool occupancy
+// cap the effective eager limit shrinks, so a nominally eager-sized
+// send goes rendezvous BEFORE the hard over-cap wall — and the
+// adaptation is counted separately from the cliff degradations.
+func TestEagerAdaptationUnderPressure(t *testing.T) {
+	base := buf.PoolInUse()
+	hold := buf.GetPooled(64 << 10) // occupancy ≈ cap → ratio ≈ 1
+	defer buf.PutPooled(hold)
+	old := buf.SetPoolCap(base + (64 << 10))
+	defer buf.SetPoolCap(old)
+
+	before := buf.PoolStatsSnapshot()
+	err := Run(2, Options{WallLimit: 30 * time.Second}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			sb := buf.Alloc(512)
+			fillPat(sb, 0, 1)
+			if err := c.Send(sb, 1, 0); err != nil {
+				return err
+			}
+			eager, rdv := c.Counters().EagerSends, c.Counters().RendezvousSends
+			if eager != 0 || rdv == 0 {
+				return fmt.Errorf("eager=%d rdv=%d, want the send adapted to rendezvous", eager, rdv)
+			}
+			return nil
+		}
+		rb := buf.Alloc(512)
+		_, err := c.Recv(rb, 0, 0)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := buf.PoolStatsSnapshot().Sub(before)
+	if d.EagerAdaptations == 0 {
+		t.Fatal("no eager adaptation recorded")
+	}
+	if d.Degradations != 0 {
+		t.Fatalf("%d hard degradations recorded; the adaptive limit should act first", d.Degradations)
+	}
+}
+
 // FuzzFaultRecovery drives the differential property from arbitrary
 // (seed, rate, size) corners: whatever the fault plan, a run within
 // the default retry budget either delivers byte-identical results or

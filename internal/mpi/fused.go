@@ -118,7 +118,7 @@ func (c *Comm) IssendvType(b buf.Block, count int, ty *datatype.Type, dest, tag 
 func (c *Comm) sendTypedFused(b buf.Block, count int, ty *datatype.Type, dest, tag int, fl sendFlags) error {
 	p := c.prof
 	n := ty.PackSize(count)
-	if n == 0 || (!fl.forceRdv && p.Eager(n, fl.packed)) {
+	if n == 0 || (!fl.forceRdv && c.eagerOK(n, fl.packed, !fl.asyncReturn && !b.IsVirtual())) {
 		// Eager-sized (or empty): stage through the ordinary typed path.
 		return c.sendTyped(b, count, ty, dest, tag, fl)
 	}
@@ -155,7 +155,7 @@ func (c *Comm) sendTypedFused(b buf.Block, count int, ty *datatype.Type, dest, t
 	if err != nil {
 		return err
 	}
-	ctsAt := match.MatchTime + dur(p.NetLatency)
+	ctsAt := match.MatchTime + dur(c.linkLatency(dest))
 	c.clock.AdvanceTo(ctsAt)
 
 	// Each attempt re-runs the one-pass (or staged-emulation) transfer;

@@ -296,6 +296,14 @@ func (c *Comm) Counters() simnet.Counters {
 	return c.fabric.CountersFor(c.endpoint(c.rank))
 }
 
+// MatchStats returns the fabric-wide matching attribution snapshot:
+// live shard queues and the fast-path vs wildcard split of every
+// envelope match so far. The fabric is fresh per Run, so a snapshot at
+// the end of a run attributes that run's whole traffic.
+func (c *Comm) MatchStats() simnet.MatchStats {
+	return c.fabric.MatchStatsSnapshot()
+}
+
 // checkRank validates a peer rank.
 func (c *Comm) checkRank(r int) error {
 	if r < 0 || r >= c.size {

@@ -141,7 +141,7 @@ func (c *Comm) bsendShip(region buf.Block, n int64, dest, tag int, release func(
 		wire = float64(n) / (p.InternalBW(n) / p.BsendWireFactor)
 	}
 	injectEnd := c.clock.Now() + dur(wire)
-	arrival := injectEnd + dur(p.NetLatency)
+	arrival := injectEnd + dur(c.linkLatency(dest))
 	if !c.faultsOn() {
 		c.deliverEager(dest, tag, region, n, injectEnd, sendFlags{
 			onConsume: func() { release(arrival) },
@@ -153,7 +153,7 @@ func (c *Comm) bsendShip(region buf.Block, n int64, dest, tag int, release func(
 		f := c.deliverEager(dest, tag, c.transitCopy(region), n, injectEnd, sendFlags{})
 		again, err := c.eagerRetryStep(&attempt, "bsend", dest, tag, f)
 		if err != nil || !again {
-			release(c.clock.Now() + dur(p.NetLatency))
+			release(c.clock.Now() + dur(c.linkLatency(dest)))
 			return err
 		}
 		injectEnd = c.clock.Now() + dur(wire)

@@ -52,6 +52,38 @@ func (fl *sendFlags) signalDelivered() {
 	}
 }
 
+// eagerOK decides the protocol for an n-byte payload: the profile's
+// nominal eager test, with the effective limit adapted under pool
+// pressure. Past half of the configured pool-occupancy cap the limit
+// shrinks linearly — reaching zero at the cap — so eager transit
+// traffic tapers off before the hard PoolOverCap wall and its latency
+// cliff. wouldPool says whether this send would actually draw a pooled
+// transit copy (synchronous, non-virtual payload); other sends keep
+// the nominal limit. Adapted refusals are counted through
+// buf.NoteEagerAdaptation and surface in PoolStats.EagerAdaptations.
+func (c *Comm) eagerOK(n int64, packed, wouldPool bool) bool {
+	p := c.prof
+	if !p.Eager(n, packed) {
+		return false
+	}
+	if !wouldPool {
+		return true
+	}
+	r := buf.PoolPressureRatio()
+	if r <= 0.5 {
+		return true
+	}
+	limit := p.EagerLimit
+	if packed {
+		limit = int64(float64(limit) * p.PackedEagerFactor)
+	}
+	if n <= int64(float64(limit)*2*(1-r)) {
+		return true
+	}
+	buf.NoteEagerAdaptation()
+	return false
+}
+
 // sendContig implements every contiguous-payload send: the reference
 // scheme, the manual-copy scheme, and packed sends. The payload block
 // is read as one stream.
@@ -68,7 +100,7 @@ func (c *Comm) sendContig(b buf.Block, dest, tag int, fl sendFlags) error {
 	if wireBW == 0 {
 		wireBW = p.NetBandwidth
 	}
-	eager := !fl.forceRdv && p.Eager(n, fl.packed)
+	eager := !fl.forceRdv && c.eagerOK(n, fl.packed, !fl.asyncReturn && !b.IsVirtual())
 	if eager && !fl.asyncReturn && !b.IsVirtual() && buf.PoolOverCap(n) {
 		// Backpressure: the transit pool is past its configured cap, so
 		// an eager send would push it further — fall back to
@@ -115,7 +147,7 @@ func (c *Comm) sendContig(b buf.Block, dest, tag int, fl sendFlags) error {
 	if err != nil {
 		return err
 	}
-	ctsAt := match.MatchTime + dur(p.NetLatency)
+	ctsAt := match.MatchTime + dur(c.linkLatency(dest))
 	c.clock.AdvanceTo(ctsAt)
 	streamCost := c.cache.StreamCost(b.Region(), n)
 	occupy := math.Max(streamCost, float64(n)/wireBW)
@@ -149,7 +181,7 @@ func (c *Comm) deliverRdv(m *simnet.Message, dest, tag int) error {
 		if err != nil || !again {
 			return err
 		}
-		m.Arrival = c.clock.Now() + dur(c.prof.NetLatency)
+		m.Arrival = c.clock.Now() + dur(c.linkLatency(dest))
 	}
 }
 
@@ -169,7 +201,7 @@ func (c *Comm) sendTyped(b buf.Block, count int, ty *datatype.Type, dest, tag in
 	}
 	st := ty.Stats(count)
 	chunks := p.Chunks(n)
-	eager := !fl.forceRdv && p.Eager(n, fl.packed)
+	eager := !fl.forceRdv && c.eagerOK(n, fl.packed, !fl.asyncReturn && !b.IsVirtual())
 	// The pipelined engine needs the rendezvous chunk loop (eager
 	// sends pack in one shot before the envelope leaves) and the
 	// compiled kernels (the cursor is the true fallback); under the
@@ -426,7 +458,7 @@ func (c *Comm) newRdvMessage(dest, tag int, n int64, fl sendFlags) *simnet.Messa
 		Tag:     tag,
 		Kind:    simnet.KindRendezvous,
 		Bytes:   n,
-		Arrival: c.clock.Now() + dur(c.prof.NetLatency),
+		Arrival: c.clock.Now() + dur(c.linkLatency(dest)),
 		Packed:  fl.packed,
 		Sendv:   fl.sendv,
 		Match:   make(chan simnet.RdvMatch, 1),
@@ -454,7 +486,7 @@ func (c *Comm) deliverEager(dest, tag int, transit buf.Block, n int64, injectEnd
 		Kind:      simnet.KindEager,
 		Payload:   transit,
 		Bytes:     n,
-		Arrival:   injectEnd + dur(c.prof.NetLatency),
+		Arrival:   injectEnd + dur(c.linkLatency(dest)),
 		Packed:    fl.packed,
 		OnConsume: fl.onConsume,
 	}

@@ -41,6 +41,14 @@ type Profile struct {
 	// the plateau of the figures' bandwidth panel.
 	NetBandwidth float64
 
+	// IntraNodeLatency is the one-way latency between two ranks on the
+	// same node when Mem.NodeSize groups ranks into nodes (the
+	// shared-memory transport's hop). 0 means NetLatency — the flat
+	// model every measured paper profile uses; scale studies set it
+	// (with Mem.NodeSize) to exercise the two-level collective
+	// topologies.
+	IntraNodeLatency float64
+
 	// EagerLimit is the protocol switch point (§4.5): messages at or
 	// under it are sent eagerly (no handshake, but an extra
 	// receive-side copy out of the bounce buffer); larger messages use
@@ -146,6 +154,8 @@ func (p *Profile) Validate() error {
 		return fmt.Errorf("profile %s: NetBandwidth %g", p.Name, p.NetBandwidth)
 	case p.NetLatency < 0 || p.SendOverhead < 0 || p.RecvOverhead < 0:
 		return fmt.Errorf("profile %s: negative latency/overhead", p.Name)
+	case p.IntraNodeLatency < 0:
+		return fmt.Errorf("profile %s: IntraNodeLatency %g", p.Name, p.IntraNodeLatency)
 	case p.EagerLimit < 0:
 		return fmt.Errorf("profile %s: EagerLimit %d", p.Name, p.EagerLimit)
 	case p.PackedEagerFactor <= 0:

@@ -473,9 +473,7 @@ func (f *Fabric) AbortChan() <-chan struct{} { return f.abortCh }
 // re-check its cancel channel or the abort state.
 func (f *Fabric) KickAll() {
 	for _, b := range f.boxes {
-		b.mu.Lock()
-		b.mu.Unlock() //nolint:staticcheck // pairing orders the broadcast after any in-flight scan
-		b.cond.Broadcast()
+		b.kick()
 	}
 }
 

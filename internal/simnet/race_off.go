@@ -1,0 +1,7 @@
+//go:build !race
+
+package simnet
+
+// raceEnabled reports whether the race detector instruments this
+// build; wall-time performance assertions are skipped under it.
+const raceEnabled = false

@@ -8,6 +8,33 @@
 // *pricing* (what an operation costs in virtual time) happens in the
 // mpi layer using perfmodel/memsim; all *payload* semantics (datatypes,
 // packing) happen in the datatype layer.
+//
+// # Sharded matching
+//
+// Each mailbox shards its unexpected-message queue per (communicator
+// context, source): an incoming envelope lands in the queue keyed by
+// its (Ctx, Src), and a receive posted for a specific source takes the
+// O(1) fast path — one map lookup plus one per-queue mutex, so the n²
+// (rank × rank) traffic of a large job never serialises on a mailbox-
+// wide lock. Cross-queue arrival order is preserved by a per-mailbox
+// ticket counter stamped at enqueue time (reorder faults enqueue at
+// the front with negative tickets, so they still overtake everything
+// queued, exactly like the legacy whole-mailbox prepend).
+//
+// Wildcard (AnySource) receives take a slow path: phase one scans
+// every queue of the context, locking each briefly, and records the
+// ticket of its first tag-matching envelope; phase two locks the queue
+// with the lowest such ticket and re-selects, restarting the scan if
+// the winner was emptied concurrently. Within the winning queue the
+// lowest link-sequence number wins (pairwise FIFO, healing reorder
+// faults), which reproduces the legacy single-scan matcher's order
+// exactly — the property the randomized differential test in
+// shard_test.go pins against the reference implementation.
+//
+// Blocking receives wait on a per-mailbox version counter: every
+// enqueue bumps the version and wakes waiters only when the waiter
+// count is non-zero, so uncontended delivery is two atomic ops, not a
+// mutex + broadcast.
 package simnet
 
 import (
@@ -158,6 +185,14 @@ type Message struct {
 	// attached-buffer region.
 	OnConsume func()
 
+	// ticket is the mailbox-wide arrival order stamped at enqueue
+	// time: positive and increasing for normal deliveries, negative
+	// and decreasing for reorder-fault front insertions. Wildcard
+	// matching compares tickets across the per-source queues to find
+	// the envelope the legacy whole-mailbox scan would have seen
+	// first.
+	ticket int64
+
 	// wake counts handshake events posted on Match/Done/Ack. Blocked-
 	// wait readiness predicates compare it against the count captured
 	// at block time, so a wake that was consumed from the channel but
@@ -229,22 +264,93 @@ type Counters struct {
 	IntegrityRejects int64
 }
 
+// rankCounters is the hot-path mirror of Counters: one cache-line-
+// padded struct of atomics per rank, so concurrent senders never share
+// a lock (or a line) when bumping their own statistics.
+type rankCounters struct {
+	eagerSends      atomic.Int64
+	rendezvousSends atomic.Int64
+	bytesInjected   atomic.Int64
+	bytesDelivered  atomic.Int64
+	messagesMatched atomic.Int64
+	probes          atomic.Int64
+
+	drops            atomic.Int64
+	corruptions      atomic.Int64
+	truncations      atomic.Int64
+	duplicates       atomic.Int64
+	reorders         atomic.Int64
+	delays           atomic.Int64
+	retries          atomic.Int64
+	integrityRejects atomic.Int64
+
+	_ [16]byte // 14×8 B of counters + 16 B pad = two full 64 B lines
+}
+
+// snapshot loads a consistent-enough copy for reporting.
+func (c *rankCounters) snapshot() Counters {
+	return Counters{
+		EagerSends:      c.eagerSends.Load(),
+		RendezvousSends: c.rendezvousSends.Load(),
+		BytesInjected:   c.bytesInjected.Load(),
+		BytesDelivered:  c.bytesDelivered.Load(),
+		MessagesMatched: c.messagesMatched.Load(),
+		Probes:          c.probes.Load(),
+
+		Drops:            c.drops.Load(),
+		Corruptions:      c.corruptions.Load(),
+		Truncations:      c.truncations.Load(),
+		Duplicates:       c.duplicates.Load(),
+		Reorders:         c.reorders.Load(),
+		Delays:           c.delays.Load(),
+		Retries:          c.retries.Load(),
+		IntegrityRejects: c.integrityRejects.Load(),
+	}
+}
+
+// MatchStats is the fabric-wide matching attribution: how many sharded
+// queues exist and how the take traffic split between the O(1)
+// specific-source fast path and the all-queue wildcard slow path. The
+// scale harness reports it per cell so shard contention is visible.
+type MatchStats struct {
+	// Queues is the live (ctx, source) queue count across mailboxes.
+	Queues int64
+	// FastTakes counts specific-source matches (single queue lock).
+	FastTakes int64
+	// WildTakes counts AnySource matches (full context scan).
+	WildTakes int64
+}
+
+// Sub returns the delta s - prev (Queues stays absolute).
+func (s MatchStats) Sub(prev MatchStats) MatchStats {
+	return MatchStats{
+		Queues:    s.Queues,
+		FastTakes: s.FastTakes - prev.FastTakes,
+		WildTakes: s.WildTakes - prev.WildTakes,
+	}
+}
+
 // Fabric connects n endpoints. It is safe for concurrent use by the n
 // rank goroutines.
 type Fabric struct {
-	n     int
-	boxes []*mailbox
-	group *vclock.Group
-
-	mu       sync.Mutex
-	counters []Counters
-	groups   map[int]*vclock.Group // per-communicator sync groups, by ctx
-	nextCtx  int
-	shared   map[string]interface{} // window state registry
+	n        int
+	boxes    []*mailbox
+	group    *vclock.Group
+	counters []rankCounters
 
 	// faults, when non-nil, is the armed fault plan with its per-link
 	// injection counters; SetFaultPlan arms it before any traffic.
-	faults *faultState
+	// An atomic pointer so FaultsEnabled/PayloadFault/Deliver read it
+	// without touching the registry mutex on every payload op.
+	faults atomic.Pointer[faultState]
+
+	// mu guards the cold-path registries only (communicator groups,
+	// context allocation, the shared-object table) — never the
+	// per-message hot path.
+	mu      sync.Mutex
+	groups  map[int]*vclock.Group // per-communicator sync groups, by ctx
+	nextCtx int
+	shared  map[string]interface{} // window state registry
 
 	// quiescence-detector bookkeeping (see fault.go).
 	tracking atomic.Bool
@@ -263,7 +369,7 @@ func New(n int) *Fabric {
 	if n <= 0 {
 		panic(fmt.Sprintf("simnet: fabric size %d", n))
 	}
-	f := &Fabric{n: n, group: vclock.NewGroup(n), counters: make([]Counters, n)}
+	f := &Fabric{n: n, group: vclock.NewGroup(n), counters: make([]rankCounters, n)}
 	f.boxes = make([]*mailbox, n)
 	for i := range f.boxes {
 		f.boxes[i] = newMailbox()
@@ -278,35 +384,29 @@ func New(n int) *Fabric {
 // the moment of the call. Arming also turns on mailbox deduplication
 // (consumed-sequence tracking for duplicate faults).
 func (f *Fabric) SetFaultPlan(p *FaultPlan) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
 	if p == nil {
-		f.faults = nil
+		f.faults.Store(nil)
 		return
 	}
-	f.faults = newFaultState(p)
+	f.faults.Store(newFaultState(p))
 	for _, b := range f.boxes {
-		b.mu.Lock()
-		b.dedup = true
-		b.mu.Unlock()
+		b.dedup.Store(true)
 	}
 }
 
-// FaultsEnabled reports whether a fault plan is armed.
+// FaultsEnabled reports whether a fault plan is armed. Lock-free: one
+// atomic pointer load, so protocol code may consult it per payload.
 func (f *Fabric) FaultsEnabled() bool {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.faults != nil
+	return f.faults.Load() != nil
 }
 
 // PayloadFault draws the fault verdict for the next rendezvous payload
 // transfer on (src → dst) of n bytes. It returns FaultNone when no
-// plan is armed. Duplicate/reorder/delay make no sense for a
-// handshake-synchronised stream, so they are folded into FaultNone.
+// plan is armed (a single atomic load, no lock). Duplicate/reorder/
+// delay make no sense for a handshake-synchronised stream, so they are
+// folded into FaultNone.
 func (f *Fabric) PayloadFault(src, dst int, n int64) Fault {
-	f.mu.Lock()
-	fs := f.faults
-	f.mu.Unlock()
+	fs := f.faults.Load()
 	if fs == nil {
 		return Fault{}
 	}
@@ -323,38 +423,32 @@ func (f *Fabric) PayloadFault(src, dst int, n int64) Fault {
 
 // noteFault records a fault against the sender's counters.
 func (f *Fabric) noteFault(src int, kind FaultKind) {
-	f.mu.Lock()
 	c := &f.counters[src]
 	switch kind {
 	case FaultDrop:
-		c.Drops++
+		c.drops.Add(1)
 	case FaultCorrupt:
-		c.Corruptions++
+		c.corruptions.Add(1)
 	case FaultTruncate:
-		c.Truncations++
+		c.truncations.Add(1)
 	case FaultDuplicate:
-		c.Duplicates++
+		c.duplicates.Add(1)
 	case FaultReorder:
-		c.Reorders++
+		c.reorders.Add(1)
 	case FaultDelay:
-		c.Delays++
+		c.delays.Add(1)
 	}
-	f.mu.Unlock()
 }
 
 // NoteRetry counts one protocol-level retransmission by src.
 func (f *Fabric) NoteRetry(src int) {
-	f.mu.Lock()
-	f.counters[src].Retries++
-	f.mu.Unlock()
+	f.counters[src].retries.Add(1)
 }
 
 // NoteIntegrityReject counts one checksum-verification rejection at
 // the receiving rank.
 func (f *Fabric) NoteIntegrityReject(rank int) {
-	f.mu.Lock()
-	f.counters[rank].IntegrityRejects++
-	f.mu.Unlock()
+	f.counters[rank].integrityRejects.Add(1)
 }
 
 // Size returns the endpoint count.
@@ -442,17 +536,15 @@ func (f *Fabric) DropShared(key string) {
 func (f *Fabric) Deliver(dst int, m *Message) Fault {
 	f.checkRank(dst)
 	f.checkRank(m.Src)
-	f.mu.Lock()
 	c := &f.counters[m.Src]
 	switch m.Kind {
 	case KindEager:
-		c.EagerSends++
+		c.eagerSends.Add(1)
 	case KindRendezvous:
-		c.RendezvousSends++
+		c.rendezvousSends.Add(1)
 	}
-	c.BytesInjected += m.Bytes
-	fs := f.faults
-	f.mu.Unlock()
+	c.bytesInjected.Add(m.Bytes)
+	fs := f.faults.Load()
 
 	if fs == nil {
 		f.boxes[dst].put(m, false)
@@ -528,10 +620,9 @@ func (f *Fabric) MatchCancel(rank, ctx, src, tag int, cancel <-chan struct{}) (*
 	if err != nil {
 		return nil, err
 	}
-	f.mu.Lock()
-	f.counters[rank].MessagesMatched++
-	f.counters[rank].BytesDelivered += m.Bytes
-	f.mu.Unlock()
+	c := &f.counters[rank]
+	c.messagesMatched.Add(1)
+	c.bytesDelivered.Add(m.Bytes)
 	return m, nil
 }
 
@@ -556,9 +647,7 @@ func (f *Fabric) Takes(rank int) int64 {
 // when nothing matches right now. The envelope is left in place.
 func (f *Fabric) TryMatch(rank, ctx, src, tag int) *Message {
 	f.checkRank(rank)
-	f.mu.Lock()
-	f.counters[rank].Probes++
-	f.mu.Unlock()
+	f.counters[rank].probes.Add(1)
 	return f.boxes[rank].peek(ctx, src, tag)
 }
 
@@ -572,18 +661,27 @@ func (f *Fabric) Probe(rank, ctx, src, tag int) *Message {
 // ProbeCancel is Probe with teardown semantics (see MatchCancel).
 func (f *Fabric) ProbeCancel(rank, ctx, src, tag int, cancel <-chan struct{}) (*Message, error) {
 	f.checkRank(rank)
-	f.mu.Lock()
-	f.counters[rank].Probes++
-	f.mu.Unlock()
+	f.counters[rank].probes.Add(1)
 	return f.boxes[rank].wait(ctx, src, tag, f, cancel)
 }
 
 // CountersFor returns a snapshot of rank's counters.
 func (f *Fabric) CountersFor(rank int) Counters {
 	f.checkRank(rank)
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.counters[rank]
+	return f.counters[rank].snapshot()
+}
+
+// MatchStatsSnapshot sums the per-mailbox matching attribution.
+func (f *Fabric) MatchStatsSnapshot() MatchStats {
+	var s MatchStats
+	for _, b := range f.boxes {
+		b.qmu.RLock()
+		s.Queues += int64(len(b.queues))
+		b.qmu.RUnlock()
+		s.FastTakes += b.fastTakes.Load()
+		s.WildTakes += b.wildTakes.Load()
+	}
+	return s
 }
 
 func (f *Fabric) checkRank(r int) {
@@ -592,141 +690,348 @@ func (f *Fabric) checkRank(r int) {
 	}
 }
 
-// mailbox is an ordered queue with condition-variable matching.
-type mailbox struct {
+// qkey addresses one sharded queue: the (communicator, source) pair of
+// its envelopes.
+type qkey struct{ ctx, src int }
+
+// srcQueue is one shard: the envelopes of a single (ctx, source) pair
+// in ticket (arrival) order, with its own lock and consumed-sequence
+// set. Specific-source receives touch exactly one srcQueue.
+type srcQueue struct {
 	mu   sync.Mutex
-	cond *sync.Cond
-	msgs []*Message
-	// dedup turns on consumed-sequence tracking (duplicate faults):
-	// a (src, seq) pair is consumed at most once.
-	dedup    bool
-	consumed map[uint64]struct{}
+	msgs []*Message // ticket order: reorder-fault inserts at the front
+	// consumed tracks delivered link sequences when dedup is armed
+	// (duplicate faults): within one (ctx, src) shard the Seq alone
+	// identifies the injection.
+	consumed map[int64]struct{}
+}
+
+// selectLocked picks the envelope the matcher should deliver for tag,
+// with q.mu held: the lowest link-sequence number among tag matches,
+// earliest arrival breaking ties (the slice is ticket-ordered, so the
+// first match is the earliest and is only displaced by a strictly
+// lower Seq — exactly the legacy whole-mailbox rule restricted to one
+// source). It also returns the ticket of the first (earliest) match,
+// which the wildcard path compares across queues, and prunes consumed
+// duplicate copies when dedup is on.
+func (q *srcQueue) selectLocked(tag int, dedup bool) (best int, firstTicket int64) {
+	if dedup && len(q.consumed) > 0 {
+		kept := q.msgs[:0]
+		for _, m := range q.msgs {
+			if _, dup := q.consumed[m.Seq]; dup {
+				continue
+			}
+			kept = append(kept, m)
+		}
+		for i := len(kept); i < len(q.msgs); i++ {
+			q.msgs[i] = nil
+		}
+		q.msgs = kept
+	}
+	best = -1
+	for i, m := range q.msgs {
+		if tag != AnyTag && m.Tag != tag {
+			continue
+		}
+		if best == -1 {
+			best = i
+			firstTicket = m.ticket
+			continue
+		}
+		if m.Seq < q.msgs[best].Seq {
+			best = i
+		}
+	}
+	return best, firstTicket
+}
+
+// removeLocked takes the envelope at index i out of the shard, marking
+// its sequence consumed when dedup is on. q.mu held.
+func (q *srcQueue) removeLocked(i int, dedup bool) *Message {
+	m := q.msgs[i]
+	copy(q.msgs[i:], q.msgs[i+1:])
+	q.msgs[len(q.msgs)-1] = nil
+	q.msgs = q.msgs[:len(q.msgs)-1]
+	if dedup {
+		if q.consumed == nil {
+			q.consumed = make(map[int64]struct{})
+		}
+		q.consumed[m.Seq] = struct{}{}
+	}
+	return m
+}
+
+// mailbox is one endpoint's unexpected-message store, sharded per
+// (ctx, source). See the package comment for the matching design.
+type mailbox struct {
+	// qmu guards the queue registry (map + per-ctx index), NOT the
+	// queues themselves: lookups take the read side, and a queue is
+	// created at most once per (ctx, src), so steady-state delivery
+	// never writes the registry.
+	qmu    sync.RWMutex
+	queues map[qkey]*srcQueue
+	byCtx  map[int][]*srcQueue
+
+	// ticket stamps normal arrivals (increasing from 1); fticket
+	// stamps reorder-fault front insertions (decreasing from -1), so
+	// a front-inserted envelope orders before everything already
+	// queued and a later front insertion overtakes an earlier one —
+	// the legacy whole-mailbox prepend semantics.
+	ticket  atomic.Int64
+	fticket atomic.Int64
+
+	// version counts enqueues (and kicks); blocked receives wait for
+	// it to move. Putters broadcast only when waiters is non-zero, so
+	// uncontended delivery never takes waitMu.
+	version atomic.Int64
+	waiters atomic.Int64
+	waitMu  sync.Mutex
+	cond    *sync.Cond
+
+	// dedup turns on consumed-sequence tracking (duplicate faults).
+	dedup atomic.Bool
 	// takes counts successful removals. Blocked receives capture it at
 	// block time: a take that happened while the record was registered
 	// is progress even after the message left the queue (the taker may
 	// be the waiter itself, descheduled before deregistering).
 	takes atomic.Int64
+
+	// fast/wild split the take traffic for MatchStats attribution.
+	fastTakes atomic.Int64
+	wildTakes atomic.Int64
 }
 
 func newMailbox() *mailbox {
-	b := &mailbox{}
-	b.cond = sync.NewCond(&b.mu)
+	b := &mailbox{
+		queues: make(map[qkey]*srcQueue),
+		byCtx:  make(map[int][]*srcQueue),
+	}
+	b.cond = sync.NewCond(&b.waitMu)
 	return b
 }
 
-// seqKey folds (src, seq) into one dedup key; sources are small rank
-// indices and per-link sequences fit comfortably in 48 bits.
-func seqKey(m *Message) uint64 {
-	return uint64(m.Src)<<48 | uint64(m.Seq)&((1<<48)-1)
+// queueFor returns the (ctx, src) shard, creating it on first use.
+func (b *mailbox) queueFor(ctx, src int) *srcQueue {
+	k := qkey{ctx, src}
+	b.qmu.RLock()
+	q := b.queues[k]
+	b.qmu.RUnlock()
+	if q != nil {
+		return q
+	}
+	b.qmu.Lock()
+	defer b.qmu.Unlock()
+	if q = b.queues[k]; q != nil {
+		return q
+	}
+	q = &srcQueue{}
+	b.queues[k] = q
+	b.byCtx[ctx] = append(b.byCtx[ctx], q)
+	return q
+}
+
+// lookup returns the (ctx, src) shard or nil; receives use it so a
+// posted receive never materialises an empty queue.
+func (b *mailbox) lookup(ctx, src int) *srcQueue {
+	b.qmu.RLock()
+	q := b.queues[qkey{ctx, src}]
+	b.qmu.RUnlock()
+	return q
+}
+
+// ctxQueues snapshots the shard list of a context. The returned slice
+// prefix is immutable (creators append under the write lock), so the
+// caller may iterate without the registry lock.
+func (b *mailbox) ctxQueues(ctx int) []*srcQueue {
+	b.qmu.RLock()
+	qs := b.byCtx[ctx]
+	b.qmu.RUnlock()
+	return qs
 }
 
 func (b *mailbox) put(m *Message, front bool) {
-	b.mu.Lock()
+	q := b.queueFor(m.Ctx, m.Src)
+	q.mu.Lock()
 	if front {
-		b.msgs = append([]*Message{m}, b.msgs...)
+		m.ticket = b.fticket.Add(-1)
+		q.msgs = append(q.msgs, nil)
+		copy(q.msgs[1:], q.msgs)
+		q.msgs[0] = m
 	} else {
-		b.msgs = append(b.msgs, m)
+		m.ticket = b.ticket.Add(1)
+		q.msgs = append(q.msgs, m)
 	}
-	b.mu.Unlock()
-	b.cond.Broadcast()
+	q.mu.Unlock()
+	b.version.Add(1)
+	if b.waiters.Load() > 0 {
+		b.waitMu.Lock()
+		b.cond.Broadcast()
+		b.waitMu.Unlock()
+	}
 }
 
-// selectIdx returns the index of the matching envelope to deliver, or
-// -1. The rule: take the first queue position whose envelope matches,
-// then prefer a lower link-sequence number from the same source — on a
-// clean run sequences arrive in queue order, so this IS pairwise FIFO;
-// under reordering faults it restores injection order. Stale duplicate
-// copies (consumed sequences) are dropped on the way.
-func (b *mailbox) selectIdx(ctx, src, tag int) int {
-	if b.dedup && len(b.consumed) > 0 {
-		kept := b.msgs[:0]
-		for _, m := range b.msgs {
-			if _, dup := b.consumed[seqKey(m)]; dup {
+// kick wakes every blocked receive so it can re-check its cancel
+// channel or the abort state.
+func (b *mailbox) kick() {
+	b.waitMu.Lock()
+	b.version.Add(1)
+	b.cond.Broadcast()
+	b.waitMu.Unlock()
+}
+
+// tryTakeFrom attempts a removal from one shard.
+func (b *mailbox) tryTakeFrom(q *srcQueue, tag int) *Message {
+	dedup := b.dedup.Load()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	i, _ := q.selectLocked(tag, dedup)
+	if i < 0 {
+		return nil
+	}
+	return q.removeLocked(i, dedup)
+}
+
+// tryTakeAny is the wildcard slow path: phase one scans every shard of
+// the context and records the ticket of its earliest tag match; phase
+// two locks the queue with the lowest such ticket and re-selects,
+// restarting if a concurrent taker emptied it. With a single taker
+// (the differential-test regime) nothing moves between phases and the
+// result equals the legacy whole-mailbox scan exactly; with racing
+// wildcard takers the linearisation is whichever scan wins, which MPI
+// leaves unspecified anyway.
+func (b *mailbox) tryTakeAny(ctx, tag int) *Message {
+	dedup := b.dedup.Load()
+	for {
+		var win *srcQueue
+		var winTicket int64
+		for _, q := range b.ctxQueues(ctx) {
+			q.mu.Lock()
+			i, ft := q.selectLocked(tag, dedup)
+			q.mu.Unlock()
+			if i < 0 {
 				continue
 			}
-			kept = append(kept, m)
+			if win == nil || ft < winTicket {
+				win, winTicket = q, ft
+			}
 		}
-		for i := len(kept); i < len(b.msgs); i++ {
-			b.msgs[i] = nil
+		if win == nil {
+			return nil
 		}
-		b.msgs = kept
+		win.mu.Lock()
+		i, _ := win.selectLocked(tag, dedup)
+		if i >= 0 {
+			m := win.removeLocked(i, dedup)
+			win.mu.Unlock()
+			return m
+		}
+		win.mu.Unlock()
+		// The winner was drained between the phases; rescan.
 	}
-	best := -1
-	for i, m := range b.msgs {
-		if !m.matches(ctx, src, tag) {
-			continue
+}
+
+// tryTake removes the matching envelope, or returns nil.
+func (b *mailbox) tryTake(ctx, src, tag int) *Message {
+	if src != AnySource {
+		q := b.lookup(ctx, src)
+		if q == nil {
+			return nil
 		}
-		if best == -1 {
-			best = i
-			continue
+		m := b.tryTakeFrom(q, tag)
+		if m != nil {
+			b.fastTakes.Add(1)
+			b.takes.Add(1)
 		}
-		if m.Src == b.msgs[best].Src && m.Seq < b.msgs[best].Seq {
-			best = i
+		return m
+	}
+	m := b.tryTakeAny(ctx, tag)
+	if m != nil {
+		b.wildTakes.Add(1)
+		b.takes.Add(1)
+	}
+	return m
+}
+
+// peekLocked-free peek: returns the envelope take would deliver,
+// without removing it.
+func (b *mailbox) peek(ctx, src, tag int) *Message {
+	dedup := b.dedup.Load()
+	if src != AnySource {
+		q := b.lookup(ctx, src)
+		if q == nil {
+			return nil
 		}
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		i, _ := q.selectLocked(tag, dedup)
+		if i < 0 {
+			return nil
+		}
+		return q.msgs[i]
+	}
+	var best *Message
+	var bestTicket int64
+	for _, q := range b.ctxQueues(ctx) {
+		q.mu.Lock()
+		i, ft := q.selectLocked(tag, dedup)
+		if i >= 0 && (best == nil || ft < bestTicket) {
+			best, bestTicket = q.msgs[i], ft
+		}
+		q.mu.Unlock()
 	}
 	return best
 }
 
-func (b *mailbox) take(ctx, src, tag int, f *Fabric, cancel <-chan struct{}) (*Message, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	for {
-		if cancel != nil {
-			select {
-			case <-cancel:
-				return nil, ErrCanceled
-			default:
-			}
-		}
-		if f != nil {
-			if err := f.AbortErr(); err != nil {
-				return nil, fmt.Errorf("%w: %w", ErrAborted, err)
-			}
-		}
-		if i := b.selectIdx(ctx, src, tag); i >= 0 {
-			m := b.msgs[i]
-			b.msgs = append(b.msgs[:i], b.msgs[i+1:]...)
-			if b.dedup {
-				if b.consumed == nil {
-					b.consumed = make(map[uint64]struct{})
-				}
-				b.consumed[seqKey(m)] = struct{}{}
-			}
-			b.takes.Add(1)
-			return m, nil
-		}
+// block waits until the mailbox version moves past v (or a kick).
+func (b *mailbox) block(v int64) {
+	b.waitMu.Lock()
+	b.waiters.Add(1)
+	for b.version.Load() == v {
 		b.cond.Wait()
 	}
+	b.waiters.Add(-1)
+	b.waitMu.Unlock()
 }
 
-func (b *mailbox) peek(ctx, src, tag int) *Message {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if i := b.selectIdx(ctx, src, tag); i >= 0 {
-		return b.msgs[i]
+// checkLive surfaces cancellation and abort in blocking loops.
+func checkLive(f *Fabric, cancel <-chan struct{}) error {
+	if cancel != nil {
+		select {
+		case <-cancel:
+			return ErrCanceled
+		default:
+		}
+	}
+	if f != nil {
+		if err := f.AbortErr(); err != nil {
+			return fmt.Errorf("%w: %w", ErrAborted, err)
+		}
 	}
 	return nil
 }
 
-func (b *mailbox) wait(ctx, src, tag int, f *Fabric, cancel <-chan struct{}) (*Message, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+func (b *mailbox) take(ctx, src, tag int, f *Fabric, cancel <-chan struct{}) (*Message, error) {
 	for {
-		if cancel != nil {
-			select {
-			case <-cancel:
-				return nil, ErrCanceled
-			default:
-			}
+		if err := checkLive(f, cancel); err != nil {
+			return nil, err
 		}
-		if f != nil {
-			if err := f.AbortErr(); err != nil {
-				return nil, fmt.Errorf("%w: %w", ErrAborted, err)
-			}
+		v := b.version.Load()
+		if m := b.tryTake(ctx, src, tag); m != nil {
+			return m, nil
 		}
-		if i := b.selectIdx(ctx, src, tag); i >= 0 {
-			return b.msgs[i], nil
+		b.block(v)
+	}
+}
+
+func (b *mailbox) wait(ctx, src, tag int, f *Fabric, cancel <-chan struct{}) (*Message, error) {
+	for {
+		if err := checkLive(f, cancel); err != nil {
+			return nil, err
 		}
-		b.cond.Wait()
+		v := b.version.Load()
+		if m := b.peek(ctx, src, tag); m != nil {
+			return m, nil
+		}
+		b.block(v)
 	}
 }
