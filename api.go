@@ -123,6 +123,11 @@ func MeasureSweep(p *Profile, s Scheme, ws []Workload, opt Options) ([]Measureme
 type (
 	JobMix       = harness.JobMix
 	JobMixResult = harness.JobMixResult
+
+	// RecoveryStats is a faulted mix's repair attribution, summed
+	// across ranks: injected damage, retries, integrity rejections and
+	// the selective-retransmission split.
+	RecoveryStats = harness.RecoveryStats
 )
 
 // RunJobMix executes a concurrent job mix and reports its sustained
@@ -168,6 +173,28 @@ type CollectiveCostModel = core.CollectiveCostModel
 // exchanging n-byte per-rank payloads of the canonical layout.
 func PriceCollective(ranks int, n int64, p *Profile) CollectiveCostModel {
 	return core.PriceCollective(ranks, n, p)
+}
+
+// FaultyCollectiveModel is the collective cost model re-priced under
+// a fault profile: tree hops pay whole-replay inflation while the
+// chunked pipelined ring recovers selectively, with per-topology
+// delivery probabilities (deep trees lose reliability to rings as the
+// fault rate climbs).
+type FaultyCollectiveModel = core.FaultyCollectiveModel
+
+// PriceCollectiveUnderFaults evaluates the collective cost model and
+// inflates each alternative by the fault profile's expected retries
+// and backoff, leg-compounded over each topology's critical path.
+func PriceCollectiveUnderFaults(ranks int, n int64, p *Profile, fp FaultProfile) FaultyCollectiveModel {
+	return core.PriceCollectiveUnderFaults(ranks, n, p, fp)
+}
+
+// RecommendCollectiveUnderFaults is the fault-adjusted
+// RecommendCollective: the same ladder priced with the re-priced
+// tree-vs-ring exposure folded in. With a disabled FaultProfile it
+// reduces exactly to RecommendCollective.
+func RecommendCollectiveUnderFaults(ranks int, n int64, contiguous bool, goal Goal, p *Profile, fp FaultProfile) Recommendation {
+	return core.RecommendCollectiveUnderFaults(ranks, n, contiguous, goal, p, fp)
 }
 
 // RecommendCollective advises between the typed collectives and the
@@ -286,6 +313,12 @@ type (
 	DeadlockError   = mpi.DeadlockError
 	CollectiveError = mpi.CollectiveError
 
+	// RequestStateError reports request-lifecycle misuse (Wait after
+	// completion, Start on an active persistent request, double Free)
+	// with the operation, rank, request state and — after an abort —
+	// the underlying fault that finished the request.
+	RequestStateError = mpi.RequestStateError
+
 	// FaultProfile prices the recovery machinery for the cost model
 	// (expected retries, backoff, delivery probability).
 	FaultProfile = memsim.FaultProfile
@@ -298,6 +331,9 @@ var (
 	ErrIntegrity        = mpi.ErrIntegrity
 	ErrRetriesExhausted = mpi.ErrRetriesExhausted
 	ErrDeadlock         = mpi.ErrDeadlock
+	ErrRequestInactive  = mpi.ErrRequestInactive
+	ErrRequestActive    = mpi.ErrRequestActive
+	ErrRequestFreed     = mpi.ErrRequestFreed
 )
 
 // UniformFaults builds a plan injecting every fault kind uniformly at

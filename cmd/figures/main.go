@@ -74,6 +74,18 @@
 //	             fast-path vs wildcard matches, live shard queues,
 //	             pool-pressure eager adaptations; payloads virtual, so
 //	             the 10³-rank end stays laptop-sized)
+//	-chaosscale  E21: the chaos-at-scale study (the E20 concurrent job
+//	             mix with the fault injector armed, swept over rank
+//	             count × fault rate; per cell the goodput retention and
+//	             p99 tail inflation against the clean baseline, the
+//	             summed recovery attribution — injected faults,
+//	             retries, integrity rejects, selectively retransmitted
+//	             chunks and bytes, suppressed duplicates — and a
+//	             measured counterfactual arm with selective
+//	             retransmission disabled, so the per-chunk protocol's
+//	             goodput edge over whole-transfer replay is read off
+//	             the same fabric; the reliability model prices the
+//	             same comparison analytically alongside)
 package main
 
 import (
@@ -104,6 +116,7 @@ func main() {
 	chaos := flag.Bool("chaos", false, "also print the E18 fault-recovery chaos study (goodput and p99 tail vs injected fault rate with retry attribution and the reliability model)")
 	canon := flag.Bool("canon", false, "also print the E19 canonical-normalizer study (normalized vs raw pack bandwidth with run-count reductions and kernel-registry classes)")
 	scale := flag.Bool("scale", false, "also print the E20 sustained-throughput scale study (concurrent job mix at 64-1024 ranks: aggregate GB/s, p99 completion, shard-contention attribution)")
+	chaosScale := flag.Bool("chaosscale", false, "also print the E21 chaos-at-scale study (the E20 job mix under injected faults across rank count x fault rate, with recovery attribution and the measured whole-replay counterfactual)")
 	flag.Parse()
 
 	profiles := []string{"skx-impi", "skx-mvapich", "ls5-cray", "knl-impi"}
@@ -270,6 +283,17 @@ func main() {
 				fatal(err)
 			}
 			fmt.Printf("the fabric sustained %d concurrent typed transfers at its widest mix\n\n", st.PeakInFlight())
+		}
+		if *chaosScale {
+			st, err := figures.BuildChaosScaleStudy(name, nil, nil)
+			if err != nil {
+				fatal(err)
+			}
+			if err := st.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("at a 5%% fault rate and 64 ranks the selective protocol retained %.0f%% of clean goodput (whole-transfer replay: %.0f%%)\n\n",
+				100*st.GoodputRatioAt(64, 0.05), 100*st.WholeReplayRatioAt(64, 0.05))
 		}
 	}
 	if *canon {

@@ -44,7 +44,7 @@ func main() {
 		Faults:  repro.UniformFaults(42, 0.3),
 	}
 	var elapsed float64
-	var retries, rejects int64
+	var retries, rejects, chunkRetx, retxBytes, dups int64
 	err = repro.Run(4, opts, func(c *repro.Comm) error {
 		src := buf.Alloc(int(ty.Extent()))
 		dst := buf.Alloc(int(ty.Extent()))
@@ -65,6 +65,9 @@ func main() {
 		ct := c.Counters()
 		retries += ct.Retries
 		rejects += ct.IntegrityRejects
+		chunkRetx += ct.ChunkRetransmits
+		retxBytes += ct.RetransmitBytes
+		dups += ct.DupChunksSuppressed
 		return nil
 	})
 	if err != nil {
@@ -72,6 +75,12 @@ func main() {
 	}
 	fmt.Printf("lossy ring delivered: %d ranks × %d B in %.3g s (%d retries, %d integrity rejections)\n",
 		4, ty.Size(), elapsed, retries, rejects)
+	// The repair traffic is selective: multi-chunk rendezvous transfers
+	// checksum each chunk, the receiver NACKs a damage bitmap, and only
+	// those chunks are re-packed and resent — whole-transfer replays
+	// are reserved for single-chunk payloads.
+	fmt.Printf("  selective repair: %d chunks (%d B) retransmitted instead of whole transfers, %d duplicates suppressed\n",
+		chunkRetx, retxBytes, dups)
 
 	// 2. Exhaust the budget. With retries disabled, the first drop is
 	// terminal and surfaces as a typed DeliveryError instead of a hang.
@@ -110,9 +119,44 @@ func main() {
 		log.Fatalf("expected DeadlockError, got %v", err)
 	}
 
-	// 4. What the cost model says. The fault-adjusted recommendation
-	// folds expected retries and backoff into the scheme ladder.
+	// 4. A collective that fails with its leg named. With retries
+	// disabled every rank's broadcast dies on the first drop, and the
+	// CollectiveError carries which leg of the tree broke and toward
+	// which peer — rank and edge, not just "bcast failed".
+	err = repro.Run(4, repro.RunOptions{
+		Profile: prof,
+		Faults:  repro.DropOnly(11, 1.0),
+		Retry:   repro.RetryPolicy{MaxRetries: -1},
+	}, func(c *repro.Comm) error {
+		dst := buf.Alloc(int(ty.Extent()))
+		return c.BcastType(dst, 1, ty, 0)
+	})
+	var ce *repro.CollectiveError
+	if errors.As(err, &ce) {
+		if ce.Leg != "" {
+			fmt.Printf("collective failed with attribution: op=%s rank=%d leg=%s peer=%d\n", ce.Op, ce.Rank, ce.Leg, ce.Peer)
+		} else {
+			fmt.Printf("collective failed: %v\n", ce)
+		}
+	} else {
+		log.Fatalf("expected CollectiveError, got %v", err)
+	}
+
+	// 5. What the cost model says. The fault-adjusted recommendation
+	// folds expected retries and backoff into the scheme ladder —
+	// selective chunk recovery keeps the pipelined engines ahead where
+	// whole-transfer replay used to sink them.
 	fp := repro.FaultProfile{LegLossRate: 0.04, MaxRetries: 8, BaseBackoff: 20e-6, MaxBackoff: 2e-3}
 	rec := repro.RecommendUnderFaults(ty.Size(), false, repro.GoalFastest, prof, fp)
 	fmt.Printf("\nrecommended under 4%% leg loss: %s\n  (%s)\n", rec.Scheme, rec.Reason)
+
+	// 6. The same question for a collective. Tree hops replay whole
+	// transfers on damage while the chunked pipelined ring recovers
+	// selectively, so as the loss rate climbs the ladder flips from the
+	// tree toward the ring.
+	crec := repro.RecommendCollectiveUnderFaults(16, 16<<20, false, repro.GoalFastest, prof, fp)
+	fmt.Printf("collective at 16 ranks × 16 MiB under 4%% leg loss: %s\n  (%s)\n", crec.Scheme, crec.Reason)
+	cm := repro.PriceCollectiveUnderFaults(16, 16<<20, prof, fp)
+	fmt.Printf("  tree delivery %.4f vs ring delivery %.4f (ring gain %.2fx)\n",
+		cm.TreeDeliveryProb, cm.RingDeliveryProb, cm.RingGainUnderFaults())
 }

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/memsim"
+	"repro/internal/perfmodel"
+)
+
+func TestRecommendCollectiveUnderFaultsCleanReduces(t *testing.T) {
+	p := perfmodel.Generic()
+	for _, ranks := range []int{4, 16, 64} {
+		for _, n := range []int64{1 << 12, 1 << 20, 1 << 24} {
+			for _, goal := range []Goal{GoalBalanced, GoalFastest} {
+				clean := RecommendCollective(ranks, n, false, goal, p)
+				got := RecommendCollectiveUnderFaults(ranks, n, false, goal, p, memsim.FaultProfile{})
+				if got.Scheme != clean.Scheme || got.Reason != clean.Reason {
+					t.Fatalf("ranks=%d n=%d goal=%v: clean fault profile diverged: %+v vs %+v", ranks, n, goal, got, clean)
+				}
+			}
+		}
+	}
+}
+
+func TestPriceCollectiveUnderFaults(t *testing.T) {
+	p := perfmodel.Generic()
+	fp := memsim.FaultProfile{LegLossRate: 0.02, MaxRetries: 8, BaseBackoff: 20e-6, MaxBackoff: 2e-3}
+	m := PriceCollectiveUnderFaults(16, 1<<24, p, fp)
+	if m.Depth != 4 {
+		t.Fatalf("16-rank tree priced depth %d", m.Depth)
+	}
+	if m.Chunks <= 1 {
+		t.Fatalf("16 MiB hop priced %d chunks", m.Chunks)
+	}
+	if m.FaultyTyped <= m.TypedCollective {
+		t.Fatal("loss did not inflate the typed collective")
+	}
+	if m.RingClean <= 0 || m.FaultyPipelinedRing <= m.RingClean {
+		t.Fatalf("ring not priced under loss: clean %g faulty %g", m.RingClean, m.FaultyPipelinedRing)
+	}
+	if m.TreeDeliveryProb <= 0 || m.TreeDeliveryProb >= 1 || m.RingDeliveryProb <= 0 || m.RingDeliveryProb >= 1 {
+		t.Fatalf("delivery probs %g / %g", m.TreeDeliveryProb, m.RingDeliveryProb)
+	}
+	// The ring must be priced even at tree sizes, so the fault ladder
+	// can flip where the clean ladder never offers the ring at all.
+	small := PriceCollectiveUnderFaults(8, 1<<14, p, fp)
+	if !small.Tree {
+		t.Skip("profile does not tree this size")
+	}
+	if small.PipelinedRing != 0 {
+		t.Fatalf("clean model priced a ring at tree size: %g", small.PipelinedRing)
+	}
+	if small.RingClean <= 0 || small.FaultyPipelinedRing <= 0 {
+		t.Fatalf("fault model did not price the ring at tree size: %g / %g", small.RingClean, small.FaultyPipelinedRing)
+	}
+}
+
+// TestCollectiveLadderFlipsToRingUnderLoss pins the re-priced ladder:
+// the typed fan's hops replay whole transfers on a fault while the
+// packed-segment ring's chunked hops retransmit selectively, so as the
+// fault rate climbs the typed schedule inflates faster than the ring
+// and the recommendation flips to the pipelined ring — at a size where
+// the clean ladder picks the typed collective.
+func TestCollectiveLadderFlipsToRingUnderLoss(t *testing.T) {
+	p := perfmodel.Generic()
+	const ranks, n = 16, int64(1 << 24)
+	if clean := RecommendCollective(ranks, n, false, GoalFastest, p); clean.Scheme != Sendv {
+		t.Skipf("clean ladder picks %v here, not the typed collective", clean.Scheme)
+	}
+	price := func(rate float64) FaultyCollectiveModel {
+		return PriceCollectiveUnderFaults(ranks, n, p, memsim.FaultProfile{LegLossRate: rate, MaxRetries: 8, BaseBackoff: 20e-6, MaxBackoff: 2e-3})
+	}
+	// The ring's relative standing improves monotonically with loss.
+	rates := []float64{0.005, 0.02, 0.05, 0.1}
+	prev := price(0).RingGainUnderFaults()
+	for _, rate := range rates {
+		g := price(rate).RingGainUnderFaults()
+		if g <= prev {
+			t.Fatalf("ring gain not monotone in loss: %.4f at rate below %g, then %.4f", prev, rate, g)
+		}
+		prev = g
+	}
+	// And past 2% loss the ladder actually flips.
+	rec := RecommendCollectiveUnderFaults(ranks, n, false, GoalFastest, p, memsim.FaultProfile{LegLossRate: 0.02, MaxRetries: 8})
+	if rec.Scheme != TypedPipelined {
+		t.Fatalf("ladder did not flip to the ring at 2%% leg loss: %+v", rec)
+	}
+	if !strings.Contains(rec.Reason, "fault-adjusted") {
+		t.Fatalf("reason not annotated: %q", rec.Reason)
+	}
+}
+
+// TestDeepTreeLosesReliabilityToRing pins the exposure accounting: the
+// tree's store-and-forward critical path compounds per-hop loss, and
+// with chunked hops the ring's selective recovery delivers the whole
+// collective with higher probability than the whole-replay tree even
+// though the ring crosses more edges.
+func TestDeepTreeLosesReliabilityToRing(t *testing.T) {
+	p := perfmodel.Generic()
+	fp := memsim.FaultProfile{LegLossRate: 0.05, MaxRetries: 1}
+	m := PriceCollectiveUnderFaults(16, 1<<24, p, fp)
+	if m.Chunks <= 1 {
+		t.Fatalf("hop priced %d chunks", m.Chunks)
+	}
+	if m.RingDeliveryProb <= m.TreeDeliveryProb {
+		t.Fatalf("selective ring delivery %g not above whole-replay tree delivery %g",
+			m.RingDeliveryProb, m.TreeDeliveryProb)
+	}
+	// Exposure grows with depth: a deeper fan faults more often per
+	// attempt.
+	shallow := PriceCollectiveUnderFaults(4, 1<<24, p, fp)
+	if m.TreeExposure <= shallow.TreeExposure {
+		t.Fatalf("exposure not monotone in depth: %g (16 ranks) vs %g (4 ranks)",
+			m.TreeExposure, shallow.TreeExposure)
+	}
+}

@@ -48,8 +48,8 @@ func TestPricePackingUnderFaults(t *testing.T) {
 		t.Fatal("more legs should deliver less reliably")
 	}
 
-	// More loss, more slowdown.
-	worse := PricePackingUnderFaults(1<<26, p, memsim.FaultProfile{LegLossRate: 0.1, MaxRetries: 8})
+	// More loss, more slowdown (same retry/backoff pricing fields).
+	worse := PricePackingUnderFaults(1<<26, p, memsim.FaultProfile{LegLossRate: 0.1, MaxRetries: 8, BaseBackoff: 20e-6, MaxBackoff: 2e-3})
 	if worse.Slowdown() <= big.Slowdown() {
 		t.Fatalf("slowdown not monotone in loss: %g vs %g", worse.Slowdown(), big.Slowdown())
 	}
@@ -75,22 +75,53 @@ func TestRecommendUnderFaultsAnnotates(t *testing.T) {
 	}
 }
 
-// TestPipelinedLosesEdgeUnderHeavyLoss pins the modeling asymmetry:
-// retries replay the pipelined span serially, so as loss grows the
-// pipelined engine's advantage over the schemes with cheap retry
-// units erodes rather than holding constant.
-func TestPipelinedLosesEdgeUnderHeavyLoss(t *testing.T) {
+// TestPipelinedKeepsEdgeUnderLoss pins the flip of PR 7's conclusion:
+// with selective chunk retransmission the pipelined engine no longer
+// pays a whole-span serial replay per retry — a damaged chunk replays
+// only itself — so its advantage over the serial typed send survives
+// heavy loss, and the selective pricing sits strictly below the
+// whole-replay baseline it displaced.
+func TestPipelinedKeepsEdgeUnderLoss(t *testing.T) {
 	p := perfmodel.Generic()
 	n := int64(1 << 26)
 	base := PricePacking(n, p)
 	if base.PipelinedSend <= 0 {
 		t.Skip("profile does not pipeline this size")
 	}
-	edge := func(rate float64) float64 {
-		m := PricePackingUnderFaults(n, p, memsim.FaultProfile{LegLossRate: rate, MaxRetries: 8})
-		return m.FaultyTypedSend / m.FaultyPipelinedSend
+	price := func(rate float64) FaultyCostModel {
+		return PricePackingUnderFaults(n, p, memsim.FaultProfile{LegLossRate: rate, MaxRetries: 8})
 	}
-	if e0, e1 := edge(0.001), edge(0.05); e1 >= e0 {
-		t.Fatalf("pipelined edge did not erode under loss: %.4f → %.4f", e0, e1)
+	for _, rate := range []float64{0.02, 0.05} {
+		m := price(rate)
+		if m.Chunks <= 1 {
+			t.Fatalf("rate %g: rendezvous payload priced %d chunks", rate, m.Chunks)
+		}
+		// Selective recovery strictly undercuts the whole-replay
+		// baseline for the engine with the expensive serial retry.
+		if m.FaultyPipelinedSend >= m.WholeReplayPipelinedSend {
+			t.Fatalf("rate %g: selective pipelined %g not under whole-replay %g",
+				rate, m.FaultyPipelinedSend, m.WholeReplayPipelinedSend)
+		}
+		if m.SelectiveGain() <= 1 {
+			t.Fatalf("rate %g: selective gain %g", rate, m.SelectiveGain())
+		}
+		// The edge itself survives: pipelined stays ahead of the serial
+		// typed send even at 5% leg loss.
+		if m.FaultyPipelinedSend >= m.FaultyTypedSend {
+			t.Fatalf("rate %g: pipelined lost its edge: %g vs typed %g",
+				rate, m.FaultyPipelinedSend, m.FaultyTypedSend)
+		}
+		// And selective preserves more of it than whole replay did at
+		// the same rate.
+		selEdge := m.FaultyTypedSend / m.FaultyPipelinedSend
+		wrEdge := m.WholeReplayTypedSend / m.WholeReplayPipelinedSend
+		if selEdge <= wrEdge {
+			t.Fatalf("rate %g: selective edge %.4f not above whole-replay edge %.4f",
+				rate, selEdge, wrEdge)
+		}
+	}
+	// The payoff of per-chunk recovery grows with the loss rate.
+	if g2, g5 := price(0.02).SelectiveGain(), price(0.05).SelectiveGain(); g5 <= g2 {
+		t.Fatalf("selective gain not monotone in loss: %.4f → %.4f", g2, g5)
 	}
 }

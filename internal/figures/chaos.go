@@ -78,6 +78,16 @@ type ChaosModelRow struct {
 
 	ObservedLegLoss  float64 // calibrated from summed retries/transfers
 	ObservedSlowdown float64 // slowdown priced under the observed profile
+
+	// The pipelined engine's predicted goodput retention (clean cost
+	// over lossy cost) under the selective chunk protocol and under
+	// the displaced whole-transfer replay, with their quotient. The
+	// selective column sitting above the whole-replay one at every
+	// lossy rate is what flips PR 7's conclusion: pipelining keeps its
+	// edge under loss once repairs stop replaying the whole transfer.
+	SelectiveRetention   float64
+	WholeReplayRetention float64
+	SelectiveGain        float64
 }
 
 // BuildChaosStudy measures the study for one profile. rates sweeps the
@@ -159,18 +169,28 @@ func BuildChaosStudy(profileName string, rates []float64, reps int) (*ChaosStudy
 			retries += s.Retries[i]
 			transfers += s.Transfers[i]
 		}
-		obs := fp.Calibrated(retries, transfers, legs)
+		obs, _ := fp.Calibrated(retries, transfers, legs)
 		m := core.PricePackingUnderFaults(st.Bytes, prof, fp)
 		om := core.PricePackingUnderFaults(st.Bytes, prof, obs)
 		rec := core.RecommendUnderFaults(st.Bytes, false, core.GoalFastest, prof, fp)
-		st.Model = append(st.Model, ChaosModelRow{
-			Rate:             rate,
-			Slowdown:         m.Slowdown(),
-			DeliveryProb:     m.DeliveryProb,
-			Recommended:      rec.Scheme.String(),
-			ObservedLegLoss:  obs.LegLossRate,
-			ObservedSlowdown: om.Slowdown(),
-		})
+		row := ChaosModelRow{
+			Rate:                 rate,
+			Slowdown:             m.Slowdown(),
+			DeliveryProb:         m.DeliveryProb,
+			Recommended:          rec.Scheme.String(),
+			ObservedLegLoss:      obs.LegLossRate,
+			ObservedSlowdown:     om.Slowdown(),
+			SelectiveRetention:   1,
+			WholeReplayRetention: 1,
+			SelectiveGain:        m.SelectiveGain(),
+		}
+		if m.FaultyPipelinedSend > 0 {
+			row.SelectiveRetention = m.PipelinedSend / m.FaultyPipelinedSend
+		}
+		if m.WholeReplayPipelinedSend > 0 {
+			row.WholeReplayRetention = m.PipelinedSend / m.WholeReplayPipelinedSend
+		}
+		st.Model = append(st.Model, row)
 	}
 	return st, nil
 }
@@ -305,10 +325,12 @@ func (st *ChaosStudy) Render(w io.Writer) error {
 	}
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "reliability model (core.PricePackingUnderFaults, resend-class legs = envelope + internal chunks);")
-	fmt.Fprintln(w, "observed columns calibrate the leg-loss rate back from the sweep's retries-per-transfer:")
+	fmt.Fprintln(w, "observed columns calibrate the leg-loss rate back from the sweep's retries-per-transfer;")
+	fmt.Fprintln(w, "pipelined retention compares selective chunk recovery against whole-transfer replay:")
 	for _, m := range st.Model {
-		fmt.Fprintf(w, "  rate %5.2f (leg loss %.3f)  predicted typed slowdown %5.2fx  delivery prob %.6f  fastest under faults: %s  |  observed leg loss %.3f  slowdown %5.2fx\n",
-			m.Rate, m.Rate/2, m.Slowdown, m.DeliveryProb, m.Recommended, m.ObservedLegLoss, m.ObservedSlowdown)
+		fmt.Fprintf(w, "  rate %5.2f (leg loss %.3f)  predicted typed slowdown %5.2fx  delivery prob %.6f  fastest under faults: %s  |  observed leg loss %.3f  slowdown %5.2fx  |  pipelined retention %5.1f%% selective vs %5.1f%% whole-replay (gain %.2fx)\n",
+			m.Rate, m.Rate/2, m.Slowdown, m.DeliveryProb, m.Recommended, m.ObservedLegLoss, m.ObservedSlowdown,
+			100*m.SelectiveRetention, 100*m.WholeReplayRetention, m.SelectiveGain)
 	}
 	fmt.Fprintln(w)
 	return nil

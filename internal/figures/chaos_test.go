@@ -66,6 +66,16 @@ func TestChaosStudy(t *testing.T) {
 	if st.Model[1].ObservedSlowdown <= 1 {
 		t.Fatalf("observed slowdown %g, want > 1", st.Model[1].ObservedSlowdown)
 	}
+	// The PR's acceptance column: at a lossy rate the pipelined
+	// engine's predicted goodput retention under selective chunk
+	// recovery sits strictly above the whole-transfer-replay baseline.
+	if m := st.Model[0]; m.SelectiveRetention != 1 || m.WholeReplayRetention != 1 || m.SelectiveGain != 1 {
+		t.Fatalf("clean retention columns %+v", m)
+	}
+	if m := st.Model[1]; !(m.SelectiveRetention > m.WholeReplayRetention) || m.SelectiveGain <= 1 {
+		t.Fatalf("lossy retention columns: selective %.4f vs whole-replay %.4f (gain %.3f), want selective strictly above",
+			m.SelectiveRetention, m.WholeReplayRetention, m.SelectiveGain)
+	}
 
 	var out bytes.Buffer
 	if err := st.Render(&out); err != nil {

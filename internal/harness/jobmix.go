@@ -51,6 +51,58 @@ type JobMix struct {
 	NodeSize int
 	// WallLimit is the deadlock watchdog; zero means 2 minutes.
 	WallLimit time.Duration
+
+	// Faults, when non-nil, arms the fault-injecting fabric under the
+	// whole mix — the chaos-at-scale regime (E21): every job's typed
+	// transfers recover through the checksum/NACK/selective-retransmit
+	// machinery while competing for the same sharded matcher.
+	Faults *simnet.FaultPlan
+	// Retry bounds the recovery machinery when Faults is armed; the
+	// zero value selects mpi.DefaultRetryPolicy.
+	Retry mpi.RetryPolicy
+}
+
+// RecoveryStats is the fault/recovery attribution of a mix, summed
+// from every rank's fabric counters: what the injector did (drops,
+// corruptions, truncations), what the recovery machinery paid for it
+// (retries, integrity rejections), and how much of the repair traffic
+// the selective chunk protocol confined (chunks and bytes
+// retransmitted instead of whole transfers, duplicates suppressed).
+type RecoveryStats struct {
+	Drops, Corruptions, Truncations   int64
+	Retries, IntegrityRejects         int64
+	ChunkRetransmits, RetransmitBytes int64
+	DupChunksSuppressed               int64
+}
+
+// Faulted reports whether the run recorded any injected faults.
+func (r RecoveryStats) Faulted() bool {
+	return r.Drops+r.Corruptions+r.Truncations > 0
+}
+
+// Merge folds another run's attribution in (multi-trial studies sum
+// their per-trial recovery work).
+func (r *RecoveryStats) Merge(o RecoveryStats) {
+	r.Drops += o.Drops
+	r.Corruptions += o.Corruptions
+	r.Truncations += o.Truncations
+	r.Retries += o.Retries
+	r.IntegrityRejects += o.IntegrityRejects
+	r.ChunkRetransmits += o.ChunkRetransmits
+	r.RetransmitBytes += o.RetransmitBytes
+	r.DupChunksSuppressed += o.DupChunksSuppressed
+}
+
+// add folds one rank's counters in.
+func (r *RecoveryStats) add(ct simnet.Counters) {
+	r.Drops += ct.Drops
+	r.Corruptions += ct.Corruptions
+	r.Truncations += ct.Truncations
+	r.Retries += ct.Retries
+	r.IntegrityRejects += ct.IntegrityRejects
+	r.ChunkRetransmits += ct.ChunkRetransmits
+	r.RetransmitBytes += ct.RetransmitBytes
+	r.DupChunksSuppressed += ct.DupChunksSuppressed
 }
 
 // JobMixResult is one mix's sustained-throughput measurement with the
@@ -79,6 +131,10 @@ type JobMixResult struct {
 	// Pool is the block-pool counter delta over the run, including
 	// per-shard contention splits and eager-limit adaptations.
 	Pool buf.PoolStats
+
+	// Recovery sums the per-rank fault and recovery counters; zero on
+	// clean runs.
+	Recovery RecoveryStats
 }
 
 // RunJobMix executes the mix and reports the sustained throughput.
@@ -142,7 +198,7 @@ func RunJobMix(m JobMix) (JobMixResult, error) {
 		completions               = make([][]float64, m.Ranks)
 	)
 	poolBefore := buf.PoolStatsSnapshot()
-	err = mpi.Run(m.Ranks, mpi.Options{Profile: prof, WallLimit: m.WallLimit}, func(c *mpi.Comm) error {
+	err = mpi.Run(m.Ranks, mpi.Options{Profile: prof, WallLimit: m.WallLimit, Faults: m.Faults, Retry: m.Retry}, func(c *mpi.Comm) error {
 		job, err := c.Split(c.Rank()%m.Jobs, c.Rank())
 		if err != nil {
 			return err
@@ -200,6 +256,7 @@ func RunJobMix(m JobMix) (JobMixResult, error) {
 		if t := c.Wtime(); t > elapsed {
 			elapsed = t
 		}
+		res.Recovery.add(c.Counters())
 		elapsedMu.Unlock()
 		if c.Rank() == 0 {
 			res.Matching = c.MatchStats()

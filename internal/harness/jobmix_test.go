@@ -3,6 +3,8 @@ package harness
 import (
 	"testing"
 	"time"
+
+	"repro/internal/simnet"
 )
 
 // TestJobMixScaleSmoke is the concurrent job-mix smoke at scale: four
@@ -45,6 +47,49 @@ func TestJobMixScaleSmoke(t *testing.T) {
 	}
 	if res.Elapsed <= 0 {
 		t.Errorf("elapsed virtual time %g, want >0", res.Elapsed)
+	}
+}
+
+// TestJobMixUnderFaults is the chaos-at-scale smoke: the same
+// concurrent mix with the fault injector armed. The run must still
+// complete every transfer, the recovery attribution must show both the
+// injected damage and the machinery that repaired it, and the repair
+// traffic must be selective — chunks, not whole transfers.
+func TestJobMixUnderFaults(t *testing.T) {
+	mix := JobMix{Ranks: 32, Jobs: 2, InFlight: 2, Rounds: 2, Bytes: 1 << 20,
+		WallLimit: 4 * time.Minute,
+		Faults:    simnet.UniformFaults(97, 0.04)}
+	if raceEnabled {
+		mix.Ranks, mix.InFlight = 16, 1
+	}
+	res, err := RunJobMix(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTransfers := int64(mix.Ranks * mix.InFlight * mix.Rounds)
+	if res.Transfers != wantTransfers {
+		t.Errorf("completed %d transfers, want %d", res.Transfers, wantTransfers)
+	}
+	if res.AggregateGBs <= 0 {
+		t.Errorf("aggregate throughput %.3f GB/s, want >0", res.AggregateGBs)
+	}
+	if !res.Recovery.Faulted() {
+		t.Errorf("4%% fault rate recorded no injected faults: %+v", res.Recovery)
+	}
+	if res.Recovery.Retries == 0 && res.Recovery.ChunkRetransmits == 0 {
+		t.Errorf("recovery attribution shows no repair work: %+v", res.Recovery)
+	}
+	// Clean baseline for comparison: same mix, no faults.
+	mix.Faults = nil
+	clean, err := RunJobMix(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Recovery != (RecoveryStats{}) {
+		t.Errorf("clean mix recorded recovery activity: %+v", clean.Recovery)
+	}
+	if res.Elapsed < clean.Elapsed {
+		t.Errorf("faulted mix finished in %g s, under the clean %g s", res.Elapsed, clean.Elapsed)
 	}
 }
 

@@ -139,6 +139,47 @@ func (f FaultProfile) TransferDeliveryProb(legs int64) float64 {
 	return DeliveryProb(f.AttemptFailProb(legs), f.retries())
 }
 
+// SelectiveInflateTransfer returns the fault-adjusted expected
+// one-way time of a transfer recovered per chunk instead of per
+// transfer: the packed stream travels as chunks chunks, each carrying
+// its own checksum, and a damaged chunk replays only its own
+// chunkResend cost (the selective-retransmission engine). The backoff
+// rounds are still shared — one retransmission round covers every
+// chunk NACKed in the attempt — so they compound with the probability
+// ANY chunk was damaged, while the replay work compounds only with
+// the per-chunk loss.
+func (f FaultProfile) SelectiveInflateTransfer(clean, chunkResend float64, chunks int64) float64 {
+	if !f.Enabled() || chunks <= 0 {
+		return clean
+	}
+	extraPerChunk := ExpectedAttempts(f.rate(), f.retries()) - 1
+	pAny := f.AttemptFailProb(chunks)
+	return clean + float64(chunks)*extraPerChunk*chunkResend +
+		ExpectedBackoff(pAny, f.retries(), f.BaseBackoff, f.MaxBackoff)
+}
+
+// SelectiveDeliveryProb returns the probability a chunked transfer
+// recovered per chunk completes within the per-chunk retry budget:
+// every chunk must land, and each retries independently.
+func (f FaultProfile) SelectiveDeliveryProb(chunks int64) float64 {
+	if !f.Enabled() || chunks <= 0 {
+		return 1
+	}
+	return math.Pow(DeliveryProb(f.rate(), f.retries()), float64(chunks))
+}
+
+// DepthLossExposure returns the per-attempt failure probability of a
+// store-and-forward path depth hops deep, each hop staged through
+// legsPerHop faultable legs: the per-leg terms compound across the
+// whole path, which is why deep fan trees lose reliability (and pay
+// retries) faster than flat rings as the fault rate climbs.
+func (f FaultProfile) DepthLossExposure(depth int, legsPerHop int64) float64 {
+	if depth <= 0 || legsPerHop <= 0 {
+		return 0
+	}
+	return f.AttemptFailProb(int64(depth) * legsPerHop)
+}
+
 // EstimateLegLossRate inverts AttemptFailProb from observed recovery
 // counters: across transfers completed transfers that needed retries
 // extra attempts, the per-attempt failure fraction is
@@ -146,22 +187,31 @@ func (f FaultProfile) TransferDeliveryProb(legs int64) float64 {
 // legs per attempt the per-leg rate solving p̂ = 1-(1-λ)^legs is
 // λ̂ = 1-(1-p̂)^(1/legs). This is how a model panel calibrates its
 // FaultProfile from what the fabric actually did instead of what the
-// injector was configured to do.
-func EstimateLegLossRate(retries, transfers, legs int64) float64 {
-	if retries <= 0 || transfers <= 0 || legs <= 0 {
-		return 0
+// injector was configured to do. The second result reports whether
+// the counters could calibrate anything at all: with zero completed
+// transfers (or a degenerate leg count) there is no evidence, and the
+// zero rate returned must not be read as "measured clean".
+func EstimateLegLossRate(retries, transfers, legs int64) (float64, bool) {
+	if transfers <= 0 || legs <= 0 {
+		return 0, false
+	}
+	if retries <= 0 {
+		return 0, true
 	}
 	p := float64(retries) / float64(transfers+retries)
 	if p >= 1 {
 		p = math.Nextafter(1, 0)
 	}
-	return 1 - math.Pow(1-p, 1/float64(legs))
+	return 1 - math.Pow(1-p, 1/float64(legs)), true
 }
 
 // Calibrated returns a copy of the profile with its leg-loss rate
 // replaced by the estimate observed over (retries, transfers, legs) —
-// the retry/backoff pricing fields are kept.
-func (f FaultProfile) Calibrated(retries, transfers, legs int64) FaultProfile {
-	f.LegLossRate = EstimateLegLossRate(retries, transfers, legs)
-	return f
+// the retry/backoff pricing fields are kept. The second result is
+// false when the counters carry no evidence (no completed transfers):
+// the returned profile is then the not-calibrated zero-rate state.
+func (f FaultProfile) Calibrated(retries, transfers, legs int64) (FaultProfile, bool) {
+	rate, ok := EstimateLegLossRate(retries, transfers, legs)
+	f.LegLossRate = rate
+	return f, ok
 }

@@ -65,16 +65,20 @@ func TestEstimateLegLossRate(t *testing.T) {
 	// Expected retries per delivered transfer are geometric: p/(1-p).
 	const transfers = 1_000_000
 	retries := int64(math.Round(transfers * p / (1 - p)))
-	got := EstimateLegLossRate(retries, transfers, legs)
-	if math.Abs(got-lambda) > 1e-4 {
-		t.Fatalf("estimated rate %g, want ≈%g", got, lambda)
+	got, ok := EstimateLegLossRate(retries, transfers, legs)
+	if !ok || math.Abs(got-lambda) > 1e-4 {
+		t.Fatalf("estimated rate %g (ok=%v), want ≈%g", got, ok, lambda)
 	}
-	// Degenerate counters estimate a clean link.
-	if r := EstimateLegLossRate(0, transfers, legs); r != 0 {
-		t.Fatalf("zero retries estimated rate %g", r)
+	// Zero retries over real traffic is a measured-clean link.
+	if r, ok := EstimateLegLossRate(0, transfers, legs); r != 0 || !ok {
+		t.Fatalf("zero retries estimated rate %g (ok=%v)", r, ok)
 	}
-	if r := EstimateLegLossRate(5, 0, legs); r != 0 {
-		t.Fatalf("zero transfers estimated rate %g", r)
+	// Zero transfers carry no evidence: explicitly not calibrated.
+	if r, ok := EstimateLegLossRate(5, 0, legs); r != 0 || ok {
+		t.Fatalf("zero transfers estimated rate %g (ok=%v), want not-calibrated", r, ok)
+	}
+	if r, ok := EstimateLegLossRate(5, transfers, 0); r != 0 || ok {
+		t.Fatalf("zero legs estimated rate %g (ok=%v), want not-calibrated", r, ok)
 	}
 }
 
@@ -82,7 +86,10 @@ func TestEstimateLegLossRate(t *testing.T) {
 // rate, keeping the retry/backoff pricing terms.
 func TestCalibratedKeepsPricingFields(t *testing.T) {
 	f := FaultProfile{LegLossRate: 0.5, MaxRetries: 8, BaseBackoff: 2e-5, MaxBackoff: 2e-3}
-	c := f.Calibrated(100, 10_000, 3)
+	c, ok := f.Calibrated(100, 10_000, 3)
+	if !ok {
+		t.Fatal("real counters reported not-calibrated")
+	}
 	if c.MaxRetries != f.MaxRetries || c.BaseBackoff != f.BaseBackoff || c.MaxBackoff != f.MaxBackoff {
 		t.Fatalf("Calibrated changed pricing fields: %+v", c)
 	}

@@ -86,7 +86,7 @@ func (c *Comm) bcastTwoLevel(b buf.Block, count int, ty *datatype.Type, root int
 	myGrp := g.index[c.rank]
 	myLeader := leader(myGrp)
 	if c.rank != myLeader {
-		return c.collRecv(b, count, ty, myLeader)
+		return c.collRecv(b, count, ty, myLeader, "intra-fan")
 	}
 	// Binomial tree over the leaders, rooted at the root's node.
 	nL := len(g.groups)
@@ -95,7 +95,7 @@ func (c *Comm) bcastTwoLevel(b buf.Block, count int, ty *datatype.Type, root int
 	mask := 1
 	for mask < nL {
 		if rel&mask != 0 {
-			if err := c.collRecv(b, count, ty, abs(rel-mask)); err != nil {
+			if err := c.collRecv(b, count, ty, abs(rel-mask), "tree-parent"); err != nil {
 				return err
 			}
 			break
@@ -105,7 +105,7 @@ func (c *Comm) bcastTwoLevel(b buf.Block, count int, ty *datatype.Type, root int
 	mask >>= 1
 	for mask > 0 {
 		if rel&mask == 0 && rel+mask < nL {
-			if err := c.collSend(b, count, ty, abs(rel+mask)); err != nil {
+			if err := c.collSend(b, count, ty, abs(rel+mask), "tree-child"); err != nil {
 				return err
 			}
 		}
@@ -116,7 +116,7 @@ func (c *Comm) bcastTwoLevel(b buf.Block, count int, ty *datatype.Type, root int
 		if r == myLeader {
 			continue
 		}
-		if err := c.collSend(b, count, ty, r); err != nil {
+		if err := c.collSend(b, count, ty, r, "intra-fan"); err != nil {
 			return err
 		}
 	}
@@ -138,10 +138,10 @@ func (c *Comm) allgatherTwoLevel(send buf.Block, sendCount int, sendTy *datatype
 		return err
 	}
 	if c.rank != leader {
-		if err := c.collSend(send, sendCount, sendTy, leader); err != nil {
+		if err := c.collSend(send, sendCount, sendTy, leader, "intra-gather"); err != nil {
 			return err
 		}
-		return c.collRecv(full, c.size*recvCount, recvTy, leader)
+		return c.collRecv(full, c.size*recvCount, recvTy, leader, "leader-fan")
 	}
 	// Gather the node's contributions into their rank slots.
 	for _, r := range grp {
@@ -152,7 +152,7 @@ func (c *Comm) allgatherTwoLevel(send buf.Block, sendCount int, sendTy *datatype
 		if err != nil {
 			return err
 		}
-		if err := c.collRecv(view, recvCount, recvTy, r); err != nil {
+		if err := c.collRecv(view, recvCount, recvTy, r, "intra-gather"); err != nil {
 			return err
 		}
 	}
@@ -174,7 +174,7 @@ func (c *Comm) allgatherTwoLevel(send buf.Block, sendCount int, sendTy *datatype
 		if err != nil {
 			return err
 		}
-		req, err := c.collIsend(sv, sn, recvTy, right)
+		req, err := c.collIsend(sv, sn, recvTy, right, "ring-send")
 		if err != nil {
 			return err
 		}
@@ -183,7 +183,7 @@ func (c *Comm) allgatherTwoLevel(send buf.Block, sendCount int, sendTy *datatype
 		if err != nil {
 			return err
 		}
-		if err := c.collRecv(rv, rn, recvTy, left); err != nil {
+		if err := c.collRecv(rv, rn, recvTy, left, "ring-recv"); err != nil {
 			return err
 		}
 		if _, err := req.Wait(); err != nil {
@@ -195,7 +195,7 @@ func (c *Comm) allgatherTwoLevel(send buf.Block, sendCount int, sendTy *datatype
 		if r == leader {
 			continue
 		}
-		if err := c.collSend(full, c.size*recvCount, recvTy, r); err != nil {
+		if err := c.collSend(full, c.size*recvCount, recvTy, r, "leader-fan"); err != nil {
 			return err
 		}
 	}

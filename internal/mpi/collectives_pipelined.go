@@ -98,7 +98,7 @@ func (c *Comm) bcastPipelined(b buf.Block, count int, ty *datatype.Type, root in
 		scratch = c.transitAlloc(b, blockN)
 		defer buf.PutPooled(scratch)
 		if err := c.crecv(scratch.Slice(0, int(blockN)), abs(parent)); err != nil {
-			return err
+			return legWrap(abs(parent), "pipeline-scatter", err)
 		}
 	}
 	// Forward subtree blocks to the children, largest subtree first;
@@ -106,6 +106,7 @@ func (c *Comm) bcastPipelined(b buf.Block, count int, ty *datatype.Type, root in
 	// the pack of block k+1 with the flight of block k.
 	var pending *Request
 	var pendingBlk buf.Block
+	pendingPeer := -1
 	flush := func() error {
 		if pending == nil {
 			return nil
@@ -113,7 +114,10 @@ func (c *Comm) bcastPipelined(b buf.Block, count int, ty *datatype.Type, root in
 		_, err := pending.Wait()
 		buf.PutPooled(pendingBlk)
 		pending, pendingBlk = nil, buf.Block{}
-		return err
+		if err != nil {
+			return legWrap(pendingPeer, "pipeline-scatter", err)
+		}
+		return nil
 	}
 	stride := 1
 	for stride < span {
@@ -136,16 +140,16 @@ func (c *Comm) bcastPipelined(b buf.Block, count int, ty *datatype.Type, root in
 			req, err := c.cisend(blk.Slice(0, int(hi-lo)), abs(child), collTag)
 			if err != nil {
 				buf.PutPooled(blk)
-				return err
+				return legWrap(abs(child), "pipeline-scatter", err)
 			}
 			if err := flush(); err != nil {
 				return err
 			}
-			pending, pendingBlk = req, blk
+			pending, pendingBlk, pendingPeer = req, blk, abs(child)
 			continue
 		}
 		if err := c.csend(scratch.Slice(int(lo-myLo), int(hi-lo)), abs(child)); err != nil {
-			return err
+			return legWrap(abs(child), "pipeline-scatter", err)
 		}
 	}
 	if err := flush(); err != nil {

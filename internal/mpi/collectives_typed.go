@@ -127,35 +127,37 @@ func contigWindow(view buf.Block, count int, ty *datatype.Type) (buf.Block, bool
 // collSend transmits one collective leg to dest over the collective
 // tag: dense windows ride the contiguous protocol, typed layouts the
 // fused sendv rendezvous (which itself falls back to the staged typed
-// path at eager sizes, exactly like SendvType).
-func (c *Comm) collSend(view buf.Block, count int, ty *datatype.Type, dest int) error {
+// path at eager sizes, exactly like SendvType). leg names the leg's
+// topology role for fault attribution (CollectiveError.Leg).
+func (c *Comm) collSend(view buf.Block, count int, ty *datatype.Type, dest int, leg string) error {
 	if w, ok := contigWindow(view, count, ty); ok {
-		return c.sendContig(w, dest, collTag, sendFlags{})
+		return legWrap(dest, leg, c.sendContig(w, dest, collTag, sendFlags{}))
 	}
-	return c.sendTypedFused(view, count, ty, dest, collTag, sendFlags{})
+	return legWrap(dest, leg, c.sendTypedFused(view, count, ty, dest, collTag, sendFlags{}))
 }
 
 // collRecv receives one collective leg from src.
-func (c *Comm) collRecv(view buf.Block, count int, ty *datatype.Type, src int) error {
+func (c *Comm) collRecv(view buf.Block, count int, ty *datatype.Type, src int, leg string) error {
 	if w, ok := contigWindow(view, count, ty); ok {
 		_, err := c.recvContig(w, src, collTag)
-		return err
+		return legWrap(src, leg, err)
 	}
 	_, err := c.recvTyped(view, count, ty, src, collTag)
-	return err
+	return legWrap(src, leg, err)
 }
 
 // collIsend starts a collective leg send whose completion the caller
 // folds in after its paired receive (ring and pairwise exchange
-// steps).
-func (c *Comm) collIsend(view buf.Block, count int, ty *datatype.Type, dest int) (*Request, error) {
+// steps). The leg attribution travels inside the async closure, so it
+// surfaces at Wait.
+func (c *Comm) collIsend(view buf.Block, count int, ty *datatype.Type, dest int, leg string) (*Request, error) {
 	if w, ok := contigWindow(view, count, ty); ok {
 		return c.startAsyncSend(func(cc *Comm, fl sendFlags) error {
-			return cc.sendContig(w, dest, collTag, fl)
+			return legWrap(dest, leg, cc.sendContig(w, dest, collTag, fl))
 		})
 	}
 	return c.startAsyncSend(func(cc *Comm, fl sendFlags) error {
-		return cc.sendTypedFused(view, count, ty, dest, collTag, fl)
+		return legWrap(dest, leg, cc.sendTypedFused(view, count, ty, dest, collTag, fl))
 	})
 }
 
@@ -259,7 +261,7 @@ func (c *Comm) bcastType(b buf.Block, count int, ty *datatype.Type, root int) er
 	mask := 1
 	for mask < c.size {
 		if rel&mask != 0 {
-			if err := c.collRecv(b, count, ty, abs(rel-mask)); err != nil {
+			if err := c.collRecv(b, count, ty, abs(rel-mask), "tree-parent"); err != nil {
 				return err
 			}
 			break
@@ -269,7 +271,7 @@ func (c *Comm) bcastType(b buf.Block, count int, ty *datatype.Type, root int) er
 	mask >>= 1
 	for mask > 0 {
 		if rel&mask == 0 && rel+mask < c.size {
-			if err := c.collSend(b, count, ty, abs(rel+mask)); err != nil {
+			if err := c.collSend(b, count, ty, abs(rel+mask), "tree-child"); err != nil {
 				return err
 			}
 		}
@@ -338,7 +340,7 @@ func (c *Comm) gatherType(send buf.Block, sendCount int, sendTy *datatype.Type, 
 		return c.gatherTree(send, sendCount, sendTy, recv, recvCount, recvTy, root, n)
 	}
 	if c.rank != root {
-		return c.collSend(send, sendCount, sendTy, root)
+		return c.collSend(send, sendCount, sendTy, root, "fan-in")
 	}
 	for r := 0; r < c.size; r++ {
 		view, err := collSlotView(recv, collSlotOff(r, recvCount, recvTy), recvCount, recvTy, "gather")
@@ -351,7 +353,7 @@ func (c *Comm) gatherType(send buf.Block, sendCount int, sendTy *datatype.Type, 
 			}
 			continue
 		}
-		if err := c.collRecv(view, recvCount, recvTy, r); err != nil {
+		if err := c.collRecv(view, recvCount, recvTy, r, "fan-in"); err != nil {
 			return err
 		}
 	}
@@ -464,7 +466,7 @@ func (c *Comm) gathervType(send buf.Block, sendCount int, sendTy *datatype.Type,
 		return err
 	}
 	if c.rank != root {
-		return c.collSend(send, sendCount, sendTy, root)
+		return c.collSend(send, sendCount, sendTy, root, "fan-in")
 	}
 	if len(recvCounts) != c.size || len(displs) != c.size {
 		return fmt.Errorf("%w: gatherv needs %d counts and displacements, have %d/%d",
@@ -493,7 +495,7 @@ func (c *Comm) gathervType(send buf.Block, sendCount int, sendTy *datatype.Type,
 			}
 			continue
 		}
-		if err := c.collRecv(view, recvCounts[r], recvTy, r); err != nil {
+		if err := c.collRecv(view, recvCounts[r], recvTy, r, "fan-in"); err != nil {
 			return err
 		}
 	}
@@ -554,7 +556,7 @@ func (c *Comm) scatterType(send buf.Block, sendCount int, sendTy *datatype.Type,
 		return c.scatterTree(send, sendCount, sendTy, recv, recvCount, recvTy, root, n)
 	}
 	if c.rank != root {
-		return c.collRecv(recv, recvCount, recvTy, root)
+		return c.collRecv(recv, recvCount, recvTy, root, "fan-out")
 	}
 	for r := 0; r < c.size; r++ {
 		view, err := collSlotView(send, collSlotOff(r, sendCount, sendTy), sendCount, sendTy, "scatter")
@@ -567,7 +569,7 @@ func (c *Comm) scatterType(send buf.Block, sendCount int, sendTy *datatype.Type,
 			}
 			continue
 		}
-		if err := c.collSend(view, sendCount, sendTy, r); err != nil {
+		if err := c.collSend(view, sendCount, sendTy, r, "fan-out"); err != nil {
 			return err
 		}
 	}
@@ -673,7 +675,7 @@ func (c *Comm) scattervType(send buf.Block, sendCounts, displs []int, sendTy *da
 		return err
 	}
 	if c.rank != root {
-		return c.collRecv(recv, recvCount, recvTy, root)
+		return c.collRecv(recv, recvCount, recvTy, root, "fan-out")
 	}
 	if len(sendCounts) != c.size || len(displs) != c.size {
 		return fmt.Errorf("%w: scatterv needs %d counts and displacements, have %d/%d",
@@ -702,7 +704,7 @@ func (c *Comm) scattervType(send buf.Block, sendCounts, displs []int, sendTy *da
 			}
 			continue
 		}
-		if err := c.collSend(view, sendCounts[r], sendTy, r); err != nil {
+		if err := c.collSend(view, sendCounts[r], sendTy, r, "fan-out"); err != nil {
 			return err
 		}
 	}
@@ -774,13 +776,13 @@ func (c *Comm) allgatherType(send buf.Block, sendCount int, sendTy *datatype.Typ
 	blk := c.rank
 	for k := 0; k < c.size-1; k++ {
 		sv, _ := slot(blk)
-		req, err := c.collIsend(sv, recvCount, recvTy, right)
+		req, err := c.collIsend(sv, recvCount, recvTy, right, "ring-send")
 		if err != nil {
 			return err
 		}
 		blk = (blk - 1 + c.size) % c.size
 		rv, _ := slot(blk)
-		if err := c.collRecv(rv, recvCount, recvTy, left); err != nil {
+		if err := c.collRecv(rv, recvCount, recvTy, left, "ring-recv"); err != nil {
 			return err
 		}
 		if _, err := req.Wait(); err != nil {
@@ -842,12 +844,12 @@ func (c *Comm) alltoallType(send buf.Block, sendCount int, sendTy *datatype.Type
 		dst := (c.rank + step) % c.size
 		src := (c.rank - step + c.size) % c.size
 		sv, _ := sslot(dst)
-		req, err := c.collIsend(sv, sendCount, sendTy, dst)
+		req, err := c.collIsend(sv, sendCount, sendTy, dst, "pairwise-send")
 		if err != nil {
 			return err
 		}
 		rv, _ := rslot(src)
-		if err := c.collRecv(rv, recvCount, recvTy, src); err != nil {
+		if err := c.collRecv(rv, recvCount, recvTy, src, "pairwise-recv"); err != nil {
 			return err
 		}
 		if _, err := req.Wait(); err != nil {

@@ -49,6 +49,37 @@ var (
 	errPeerGone = errors.New("mpi: rendezvous peer abandoned the handshake")
 )
 
+// RequestStateError is the typed request-misuse error: an operation
+// invoked against a request in a state that cannot honor it (Wait or
+// Test on a completed request, Start or Wait on a freed persistent
+// request, double Free). Cause is the matching sentinel —
+// ErrRequestInactive, ErrRequestActive or ErrRequestFreed — so
+// errors.Is keeps matching; Prior, when non-nil, is the error the
+// request originally completed with, so a Wait-after-abort misuse
+// still surfaces the abort reason it swallowed.
+type RequestStateError struct {
+	Op    string // "wait", "test", "start", "free"
+	Rank  int
+	ID    int    // Request id; 0 for persistent requests
+	State string // "finished", "aborted", "active", "inactive", "freed"
+	Cause error
+	Prior error
+}
+
+func (e *RequestStateError) Error() string {
+	s := fmt.Sprintf("mpi: rank %d: %s on %s request", e.Rank, e.Op, e.State)
+	if e.ID > 0 {
+		s = fmt.Sprintf("%s #%d", s, e.ID)
+	}
+	if e.Prior != nil {
+		s = fmt.Sprintf("%s (completed with: %v)", s, e.Prior)
+	}
+	return fmt.Sprintf("%s: %v", s, e.Cause)
+}
+
+// Unwrap exposes the sentinel to errors.Is/As.
+func (e *RequestStateError) Unwrap() error { return e.Cause }
+
 // TimeoutError is the typed error of a deadline-bounded Wait: the
 // operation did not complete within the virtual-clock deadline.
 type TimeoutError struct {
@@ -138,24 +169,62 @@ func (e *DeadlockError) Error() string {
 func (e *DeadlockError) Is(target error) bool { return target == ErrDeadlock }
 
 // CollectiveError wraps the failure of one leg of a collective with
-// the operation and the reporting rank, so a failed leg surfaces as a
-// typed error at every participant instead of deadlocking the
-// tree/ring.
+// the operation, the reporting rank, and — when the failure is
+// attributable to a specific transport leg — the peer rank and the
+// topology role of that leg, so a failed leg surfaces as a typed
+// error at every participant instead of deadlocking the tree/ring,
+// and a chaos run can attribute the failure to the exact edge of the
+// topology that lost it.
 type CollectiveError struct {
 	Op   string
 	Rank int
-	Err  error
+	// Peer is the remote rank of the failed leg; -1 when the failure
+	// happened outside an attributable point-to-point leg (argument
+	// validation, local staging, a fabric-wide abort).
+	Peer int
+	// Leg names the topology role of the failed leg ("tree-parent",
+	// "tree-child", "fan-in", "fan-out", "ring-send", "ring-recv",
+	// "pairwise-send", "pairwise-recv", "intra-fan", "intra-gather",
+	// "leader-fan"); empty when unknown.
+	Leg string
+	Err error
 }
 
 func (e *CollectiveError) Error() string {
+	if e.Peer >= 0 && e.Leg != "" {
+		return fmt.Sprintf("mpi: collective %s failed at rank %d (%s leg, peer %d): %v", e.Op, e.Rank, e.Leg, e.Peer, e.Err)
+	}
 	return fmt.Sprintf("mpi: collective %s failed at rank %d: %v", e.Op, e.Rank, e.Err)
 }
 
 // Unwrap exposes the leg's error to errors.Is/As.
 func (e *CollectiveError) Unwrap() error { return e.Err }
 
+// legFault carries the attribution of one failed collective transport
+// leg — the peer rank and the topology role — from the collSend /
+// collRecv / collIsend call sites up to wrapColl, which folds it into
+// the CollectiveError.
+type legFault struct {
+	peer int
+	leg  string
+	err  error
+}
+
+func (e *legFault) Error() string { return e.err.Error() }
+func (e *legFault) Unwrap() error { return e.err }
+
+// legWrap tags a transport leg's failure with its peer and topology
+// role; nil passes through.
+func legWrap(peer int, leg string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &legFault{peer: peer, leg: leg, err: err}
+}
+
 // wrapColl tags a collective leg's failure; nil and already-tagged
-// errors pass through.
+// errors pass through. Leg attribution recorded at the transport call
+// site (legFault) is folded into the CollectiveError.
 func (c *Comm) wrapColl(op string, err error) error {
 	if err == nil {
 		return err
@@ -164,7 +233,12 @@ func (c *Comm) wrapColl(op string, err error) error {
 	if errors.As(err, &ce) {
 		return err
 	}
-	return &CollectiveError{Op: op, Rank: c.rank, Err: err}
+	peer, leg := -1, ""
+	var lf *legFault
+	if errors.As(err, &lf) {
+		peer, leg = lf.peer, lf.leg
+	}
+	return &CollectiveError{Op: op, Rank: c.rank, Peer: peer, Leg: leg, Err: err}
 }
 
 // collErr tags a collective leg's failure and, when the failure is a
@@ -199,6 +273,13 @@ type RetryPolicy struct {
 	BaseBackoff vclock.Duration
 	// MaxBackoff caps the exponential growth.
 	MaxBackoff vclock.Duration
+	// WholeReplay disables selective chunk retransmission: damaged
+	// rendezvous attempts are verified and replayed as whole
+	// transfers, exactly as before the per-chunk protocol existed.
+	// Chunking, checksumming, and every other cost stay identical, so
+	// a run with this set is the controlled baseline the chaos-scale
+	// study (E21) measures the selective protocol against.
+	WholeReplay bool
 }
 
 // DefaultRetryPolicy survives the chaos suite's default fault rates:
@@ -254,8 +335,10 @@ func (c *Comm) faultsOn() bool { return c.faults }
 // retry/backoff pricing fields come from the communicator's own policy,
 // converted from virtual nanoseconds to seconds. A model panel that
 // prices recovery from this profile tracks the run it sits next to,
-// drifting injector or not.
-func (c *Comm) ObservedFaultProfile(legsPerTransfer int64) memsim.FaultProfile {
+// drifting injector or not. The second result is false when this rank
+// has completed no sends at all: the zero-rate profile is then an
+// explicit not-calibrated state, not a measured-clean link.
+func (c *Comm) ObservedFaultProfile(legsPerTransfer int64) (memsim.FaultProfile, bool) {
 	ct := c.Counters()
 	pol := c.retry
 	f := memsim.FaultProfile{
@@ -494,12 +577,19 @@ func (c *Comm) rdvSendLoop(m *simnet.Message, dest, tag int, n int64,
 
 // rdvRecvVerify completes the receiver half of a rendezvous payload:
 // it waits for each attempt's Done, verifies what landed against the
-// sender's checksum (verify recomputes the receiver-side sum over the
-// landed bytes; the second result reports whether verification is
-// possible), and ACKs or NACKs through the handshake's Ack channel
-// until an attempt passes or the sender's budget runs out.
-func (c *Comm) rdvRecvVerify(m *simnet.Message, peer, tag int, verify func(done simnet.RdvDone) (uint64, bool)) (simnet.RdvDone, error) {
+// sender's checksum claims, and ACKs or NACKs through the handshake's
+// Ack channel until an attempt passes or the sender's budget runs out.
+// verify recomputes the receiver-side sum over the landed bytes of
+// packed-stream range [lo,hi), clamped to local capacity; the second
+// result reports whether verification is possible. Whole-transfer
+// attempts verify [0,Bytes) once and NACK with ErrIntegrity; chunked
+// attempts (Done.Chunks > 0) verify per chunk, track which chunks have
+// been accepted across attempts, suppress redelivered duplicates, and
+// NACK a simnet.ChunkNack bitmap so the sender replays only the
+// damaged chunks.
+func (c *Comm) rdvRecvVerify(m *simnet.Message, peer, tag int, verify func(lo, hi int64) (uint64, bool)) (simnet.RdvDone, error) {
 	attempts := 0
+	var accepted simnet.ChunkBitmap
 	for {
 		done, err := c.awaitDone(m, peer, tag)
 		if err != nil {
@@ -512,11 +602,70 @@ func (c *Comm) rdvRecvVerify(m *simnet.Message, peer, tag int, verify func(done 
 		if m.Ack == nil {
 			return done, nil
 		}
+		if done.Chunks > 0 {
+			if accepted == nil {
+				accepted = simnet.NewChunkBitmap(done.Chunks)
+			}
+			damaged := simnet.NewChunkBitmap(done.Chunks)
+			var want, got uint64
+			for i := 0; i < done.Chunks; i++ {
+				if !done.Sent.Get(i) {
+					// Not in this attempt: damaged if still outstanding.
+					if !accepted.Get(i) {
+						damaged.Set(i)
+					}
+					continue
+				}
+				if accepted.Get(i) {
+					// Redelivery of a chunk we already hold.
+					c.fabric.NoteDupChunkSuppressed(c.endpoint(c.rank))
+					continue
+				}
+				lo := int64(i) * done.ChunkSize
+				hi := lo + done.ChunkSize
+				if hi > done.Covered {
+					hi = done.Covered
+				}
+				ok := !done.PoisonedChunks.Get(i)
+				var sum uint64
+				if ok && done.HasSum {
+					var checkable bool
+					sum, checkable = verify(lo, hi)
+					if checkable && sum != done.ChunkSums[i] {
+						ok = false
+					}
+				}
+				if !ok {
+					damaged.Set(i)
+					want, got = done.ChunkSums[i], sum
+					continue
+				}
+				accepted.Set(i)
+				if done.Dup.Get(i) {
+					// The fabric delivered this chunk twice within the
+					// attempt; the second copy is discarded.
+					c.fabric.NoteDupChunkSuppressed(c.endpoint(c.rank))
+				}
+			}
+			if !damaged.Any() {
+				m.NoteWake()
+				m.Ack <- nil
+				return done, nil
+			}
+			c.fabric.NoteIntegrityReject(c.endpoint(c.rank))
+			m.NoteWake()
+			m.Ack <- &simnet.ChunkNack{Damaged: damaged}
+			if done.Final {
+				return done, &IntegrityError{Op: "rdv-recv", Rank: c.rank, Peer: c.localRank(m.Src), Tag: m.Tag,
+					Attempts: attempts, Want: want, Got: got}
+			}
+			continue
+		}
 		ok := !done.Poisoned
 		var got uint64
 		if ok && done.HasSum {
 			var checkable bool
-			got, checkable = verify(done)
+			got, checkable = verify(0, done.Bytes)
 			if checkable && got != done.Sum {
 				ok = false
 			}

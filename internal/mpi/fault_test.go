@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"repro/internal/datatype"
 	"repro/internal/elem"
 	"repro/internal/memsim"
+	"repro/internal/perfmodel"
 	"repro/internal/simnet"
 )
 
@@ -503,8 +505,13 @@ func TestRequestMisuse(t *testing.T) {
 			if _, err := req.Wait(); err != nil {
 				return err
 			}
-			if _, err := req.Wait(); !errors.Is(err, ErrRequestInactive) {
-				t.Errorf("double Wait = %v, want ErrRequestInactive", err)
+			_, werr := req.Wait()
+			if !errors.Is(werr, ErrRequestInactive) {
+				t.Errorf("double Wait = %v, want ErrRequestInactive", werr)
+			}
+			var rse *RequestStateError
+			if !errors.As(werr, &rse) || rse.Op != "wait" || rse.State != "finished" || rse.ID == 0 {
+				t.Errorf("double Wait detail = %+v, want typed wait-on-finished state", rse)
 			}
 			if _, _, err := req.Test(); !errors.Is(err, ErrRequestInactive) {
 				t.Errorf("Test after Wait = %v, want ErrRequestInactive", err)
@@ -547,11 +554,56 @@ func TestPersistentMisuseTyped(t *testing.T) {
 		if err := req.Free(); err != nil {
 			return err
 		}
+		ferr := req.Free()
+		if !errors.Is(ferr, ErrRequestFreed) {
+			t.Errorf("double Free = %v, want ErrRequestFreed", ferr)
+		}
+		var rse *RequestStateError
+		if !errors.As(ferr, &rse) || rse.Op != "free" || rse.State != "freed" {
+			t.Errorf("double Free detail = %+v, want typed free-on-freed state", rse)
+		}
 		if err := req.Start(); !errors.Is(err, ErrRequestFreed) {
 			t.Errorf("Start after Free = %v, want ErrRequestFreed", err)
 		}
 		if _, err := req.Wait(); !errors.Is(err, ErrRequestFreed) {
 			t.Errorf("Wait after Free = %v, want ErrRequestFreed", err)
+		}
+		return nil
+	})
+}
+
+// TestWaitAfterAbortCarriesReason: a second Wait on a request that
+// completed with a fabric-abort error is still misuse, but the typed
+// error preserves the abort reason instead of swallowing it behind a
+// bare "request is not active".
+func TestWaitAfterAbortCarriesReason(t *testing.T) {
+	plan := &simnet.FaultPlan{Seed: 5, Default: simnet.LinkFaults{Drop: 1}}
+	_ = Run(2, Options{
+		WallLimit: 30 * time.Second,
+		Faults:    plan,
+		Retry:     RetryPolicy{MaxRetries: 0},
+	}, func(c *Comm) error {
+		if c.Rank() != 0 {
+			_, err := c.Recv(buf.Alloc(256<<10), 0, 0)
+			return err
+		}
+		req, err := c.Isend(buf.Alloc(256<<10), 1, 0)
+		if err != nil {
+			return err
+		}
+		if _, err := req.Wait(); err == nil {
+			t.Error("total-loss Isend completed cleanly")
+		}
+		_, werr := req.Wait()
+		var rse *RequestStateError
+		if !errors.As(werr, &rse) {
+			t.Fatalf("Wait after abort = %v, want RequestStateError", werr)
+		}
+		if rse.Prior == nil {
+			t.Errorf("Wait-after-abort detail %+v lost the original failure", rse)
+		}
+		if !errors.Is(werr, ErrRequestInactive) {
+			t.Errorf("Wait after abort = %v, want ErrRequestInactive match", werr)
 		}
 		return nil
 	})
@@ -636,6 +688,65 @@ func TestCollectiveFaultPropagation(t *testing.T) {
 		if !errors.As(rerr, &ce) {
 			t.Errorf("rank %d error %v carries no CollectiveError", r, rerr)
 		}
+	}
+}
+
+// TestCollectiveLegAttribution: a failed typed-collective leg names the
+// topology role and the peer rank of the exact edge that lost it, so a
+// chaos run can attribute the failure to a specific link instead of
+// just "the collective failed".
+func TestCollectiveLegAttribution(t *testing.T) {
+	const size = 4
+	ty, err := datatype.Vector(16, 1, 2, datatype.Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ty.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rankErrs := make([]error, size)
+	plan := &simnet.FaultPlan{Seed: 11, Default: simnet.LinkFaults{Drop: 1}}
+	runErr := Run(size, Options{
+		WallLimit: 30 * time.Second,
+		Faults:    plan,
+		Retry:     RetryPolicy{MaxRetries: -1},
+	}, func(c *Comm) error {
+		b := buf.Alloc(int(ty.Extent()))
+		rankErrs[c.Rank()] = c.BcastType(b, 1, ty, 0)
+		return rankErrs[c.Rank()]
+	})
+	if runErr == nil {
+		t.Fatal("total-loss typed collective returned nil")
+	}
+	attributed := false
+	for r, rerr := range rankErrs {
+		if rerr == nil {
+			t.Errorf("rank %d error = nil, want a propagated collective failure", r)
+			continue
+		}
+		var ce *CollectiveError
+		if !errors.As(rerr, &ce) {
+			t.Errorf("rank %d error %v carries no CollectiveError", r, rerr)
+			continue
+		}
+		if ce.Op != "BcastType" {
+			t.Errorf("rank %d attributed op %q", r, ce.Op)
+		}
+		if ce.Leg != "" {
+			if ce.Peer < 0 || ce.Peer >= size {
+				t.Errorf("rank %d leg %q carries peer %d", r, ce.Leg, ce.Peer)
+			}
+			if ce.Leg != "tree-parent" && ce.Leg != "tree-child" {
+				t.Errorf("rank %d leg %q, want a bcast tree role", r, ce.Leg)
+			}
+			if !strings.Contains(ce.Error(), ce.Leg) {
+				t.Errorf("rank %d error text %q omits the leg", r, ce.Error())
+			}
+			attributed = true
+		}
+	}
+	if !attributed {
+		t.Error("no rank attributed the failure to a topology leg")
 	}
 }
 
@@ -755,6 +866,64 @@ func FuzzFaultRecovery(f *testing.F) {
 				t.Fatalf("rank %d bytes diverge (seed=%d rate=%g size=%d)", r, seed, rate, n)
 			}
 		}
+
+		// Selective-retransmission split: a typed rendezvous transfer
+		// under a fuzz-chosen internal chunk size with scripted
+		// multi-chunk damage on top of the random rates. Recovery must
+		// reproduce the fault-free oracle while replaying strictly less
+		// than the whole packed stream.
+		chunkSz := int64(1024) << (seed % 2)
+		prof := perfmodel.Generic()
+		prof.Mem.InternalChunk = chunkSz
+		ty, err := datatype.Vector(2048, 1, 2, datatype.Float64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ty.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		total := ty.PackSize(1) // 16 KiB packed
+		nchunks := (total + chunkSz - 1) / chunkSz
+		plan := simnet.UniformFaults(seed^0x9e3779b97f4a7c15, rate/2)
+		plan.Scripted = []simnet.ScriptedFault{
+			{Src: 0, Dst: 1, Seq: int64(seed) % nchunks, Payload: true, Kind: simnet.FaultCorrupt},
+			{Src: 0, Dst: 1, Seq: int64(seed>>8) % nchunks, Payload: true, Kind: simnet.FaultTruncate},
+		}
+		need := int(ty.TrueLB() + ty.TrueExtent())
+		typedRun := func(faults *simnet.FaultPlan) ([]byte, simnet.Counters) {
+			var out []byte
+			var sc simnet.Counters
+			err := Run(2, Options{Profile: prof, WallLimit: 60 * time.Second, Faults: faults}, func(c *Comm) error {
+				if c.Rank() == 0 {
+					src := buf.Alloc(need)
+					fillPat(src, 0, 1)
+					err := c.SsendType(src, 1, ty, 1, 0)
+					sc = c.Counters()
+					return err
+				}
+				dst := buf.Alloc(need)
+				if _, err := c.RecvType(dst, 1, ty, 0, 0); err != nil {
+					return err
+				}
+				out = append([]byte(nil), dst.Bytes()...)
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("typed split (seed=%d rate=%g): %v", seed, rate, err)
+			}
+			return out, sc
+		}
+		tOracle, _ := typedRun(nil)
+		tGot, sc := typedRun(plan)
+		if !bytes.Equal(tOracle, tGot) {
+			t.Fatalf("typed recovery diverges from oracle (seed=%d rate=%g chunk=%d)", seed, rate, chunkSz)
+		}
+		if sc.RetransmitBytes == 0 {
+			t.Fatalf("scripted chunk damage triggered no selective replay (seed=%d)", seed)
+		}
+		if sc.RetransmitBytes >= total {
+			t.Fatalf("selective replay resent %d of %d bytes (seed=%d rate=%g)", sc.RetransmitBytes, total, seed, rate)
+		}
 	})
 }
 
@@ -767,6 +936,11 @@ func TestObservedFaultProfile(t *testing.T) {
 	observe := func(faults *simnet.FaultPlan) memsim.FaultProfile {
 		var prof memsim.FaultProfile
 		err := Run(2, Options{WallLimit: 30 * time.Second, Faults: faults}, func(c *Comm) error {
+			// Before any traffic the counters carry no evidence: the
+			// profile must report the explicit not-calibrated state.
+			if _, ok := c.ObservedFaultProfile(2); ok {
+				t.Error("zero-transfer counters reported a calibrated profile")
+			}
 			next, prev := ringPeers(c)
 			sb := buf.Alloc(4096)
 			rb := buf.Alloc(4096)
@@ -784,7 +958,10 @@ func TestObservedFaultProfile(t *testing.T) {
 				}
 			}
 			if c.Rank() == 0 {
-				prof = c.ObservedFaultProfile(2)
+				var ok bool
+				if prof, ok = c.ObservedFaultProfile(2); !ok {
+					t.Error("completed traffic reported not-calibrated")
+				}
 			}
 			return nil
 		})

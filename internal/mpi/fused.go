@@ -158,6 +158,92 @@ func (c *Comm) sendTypedFused(b buf.Block, count int, ty *datatype.Type, dest, t
 	ctsAt := match.MatchTime + dur(c.linkLatency(dest))
 	c.clock.AdvanceTo(ctsAt)
 
+	if c.faultsOn() && !c.retry.WholeReplay && m.Ack != nil {
+		fd, hasFd := match.FusedDst.(*fusedDst)
+		hasFd = hasFd && fd != nil
+		covered := minInt64(n, int64(match.Dst.Len()))
+		if hasFd {
+			covered = minInt64(n, fd.need)
+		}
+		chunkSz := p.InternalChunk()
+		if schunks := int((covered + chunkSz - 1) / chunkSz); schunks > 1 {
+			// Selective chunk retransmission over the fused rendezvous:
+			// replays re-pack only the damaged stream ranges — through a
+			// chunk-sized staging hop into a fused receiver's layout, or
+			// straight into a contiguous receiver's block.
+			var attemptCost float64
+			x := &chunkedXfer{
+				covered: covered, chunkSize: chunkSz, chunks: schunks,
+				drainAll: func() error {
+					var copyCost float64
+					var xferErr error
+					if hasFd {
+						if n == fd.need && !buf.Overlaps(b, fd.user) {
+							if w := datatype.ParallelWorkersFor(n); w > 1 {
+								copyCost = c.cache.ParallelFusedCopyCost(b.Region(), fd.user.Region(), st, fd.stats, w)
+							} else {
+								copyCost = c.cache.FusedCopyCost(b.Region(), fd.user.Region(), st, fd.stats)
+							}
+							_, xferErr = datatype.FusedCopy(plan, fd.plan, b, fd.user)
+						} else {
+							copyCost, xferErr = c.stagedScatter(plan, fd, b, st, n)
+						}
+					} else {
+						dst := match.Dst
+						dstSt := layout.Stats{Segments: 1, Bytes: covered, Extent: covered, AvgBlock: float64(covered), MinBlock: covered, MaxBlock: covered, Density: 1}
+						if w := datatype.ParallelWorkersFor(covered); w > 1 {
+							copyCost = c.cache.ParallelFusedCopyCost(b.Region(), dst.Region(), st, dstSt, w)
+						} else {
+							copyCost = c.cache.FusedCopyCost(b.Region(), dst.Region(), st, dstSt)
+						}
+						if covered > 0 {
+							xferErr = plan.PackRange(b, dst, 0, covered)
+						}
+					}
+					if xferErr != nil {
+						return xferErr
+					}
+					attemptCost = math.Max(copyCost, wire)
+					c.clock.Advance(vclock.FromSeconds(attemptCost))
+					return nil
+				},
+				resend: func(lo, hi int64) error {
+					if hasFd {
+						scratch := c.transitAlloc(b, hi-lo)
+						err := plan.PackRange(b, scratch, lo, hi)
+						if err == nil {
+							err = fd.plan.UnpackRange(scratch, fd.user, lo, hi)
+						}
+						buf.PutPooled(scratch)
+						if err != nil {
+							return err
+						}
+					} else if err := plan.PackRange(b, match.Dst.Slice(int(lo), int(hi-lo)), lo, hi); err != nil {
+						return err
+					}
+					c.clock.Advance(vclock.FromSeconds(attemptCost * float64(hi-lo) / float64(covered)))
+					return nil
+				},
+				sum: func(lo, hi int64) (uint64, bool) {
+					recvReal := (hasFd && !fd.user.IsVirtual()) || (!hasFd && !match.Dst.IsVirtual())
+					if b.IsVirtual() || !recvReal || hi <= lo {
+						return 0, false
+					}
+					var cs buf.Checksum
+					plan.ChecksumRange(b, lo, hi, &cs)
+					return cs.Sum64(), true
+				},
+				damage: func(f simnet.Fault, lo, hi int64) bool {
+					if hasFd {
+						return damagePlanRange(fd.plan, fd.user, lo, hi, f)
+					}
+					return damageContigRange(match.Dst, lo, hi, f)
+				},
+			}
+			return c.rdvSendSelective(m, dest, tag, n, x)
+		}
+	}
+
 	// Each attempt re-runs the one-pass (or staged-emulation) transfer;
 	// under faults the drawn damage lands in the receiver's layout
 	// through its own plan, and the checksum claim covers the packed

@@ -92,10 +92,10 @@ func (c *Comm) RecvTypeInit(b buf.Block, count int, ty *datatype.Type, src, tag 
 // an error to start an already-active or freed request.
 func (p *PersistentRequest) Start() error {
 	if p.freed {
-		return fmt.Errorf("%w: Start after Free", ErrRequestFreed)
+		return &RequestStateError{Op: "start", Rank: p.owner.rank, State: "freed", Cause: ErrRequestFreed}
 	}
 	if p.active != nil {
-		return fmt.Errorf("%w: Start while active", ErrRequestActive)
+		return &RequestStateError{Op: "start", Rank: p.owner.rank, State: "active", Cause: ErrRequestActive}
 	}
 	if p.path != "" && p.owner.observed != nil {
 		p.startAt = p.owner.Wtime()
@@ -114,10 +114,10 @@ func (p *PersistentRequest) Start() error {
 // virtual-clock cost is recorded against the operation's path.
 func (p *PersistentRequest) Wait() (Status, error) {
 	if p.freed {
-		return Status{}, fmt.Errorf("%w: Wait after Free", ErrRequestFreed)
+		return Status{}, &RequestStateError{Op: "wait", Rank: p.owner.rank, State: "freed", Cause: ErrRequestFreed}
 	}
 	if p.active == nil {
-		return Status{}, fmt.Errorf("%w: Wait while inactive", ErrRequestInactive)
+		return Status{}, &RequestStateError{Op: "wait", Rank: p.owner.rank, State: "inactive", Cause: ErrRequestInactive}
 	}
 	st, err := p.active.Wait()
 	p.active = nil
@@ -131,10 +131,15 @@ func (p *PersistentRequest) Wait() (Status, error) {
 
 // Free retires the request, like MPI_Request_free on an inactive
 // persistent request. Freeing an active (started, un-waited) request
-// is an error; freeing twice is a no-op.
+// and freeing twice are request misuse and return typed
+// RequestStateErrors — a double Free is a lifecycle bug a fault-laden
+// run would otherwise mask as success.
 func (p *PersistentRequest) Free() error {
 	if p.active != nil {
-		return fmt.Errorf("%w: Free while active", ErrRequestActive)
+		return &RequestStateError{Op: "free", Rank: p.owner.rank, State: "active", Cause: ErrRequestActive}
+	}
+	if p.freed {
+		return &RequestStateError{Op: "free", Rank: p.owner.rank, State: "freed", Cause: ErrRequestFreed}
 	}
 	p.freed = true
 	return nil

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"testing"
 
@@ -174,8 +175,8 @@ func TestPersistentFree(t *testing.T) {
 		if err := req.Free(); err != nil {
 			t.Errorf("Free on inactive request: %v", err)
 		}
-		if err := req.Free(); err != nil {
-			t.Errorf("double Free: %v", err)
+		if err := req.Free(); !errors.Is(err, ErrRequestFreed) {
+			t.Errorf("double Free = %v, want ErrRequestFreed", err)
 		}
 		if err := req.Start(); err == nil {
 			t.Error("Start after Free succeeded")

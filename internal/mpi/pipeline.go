@@ -135,7 +135,7 @@ func (c *Comm) ringHop(out buf.Block, dest int, in buf.Block, src int, unpack fu
 	if outPieces > 0 {
 		var err error
 		if sendReq, err = c.cisend(piece(out, 0), dest, chunkTag(0)); err != nil {
-			return err
+			return legWrap(dest, "pipeline-ring-send", err)
 		}
 	}
 	if inPieces > 0 {
@@ -146,7 +146,7 @@ func (c *Comm) ringHop(out buf.Block, dest int, in buf.Block, src int, unpack fu
 			// Complete piece recvd, post piece recvd+1 on the alternate
 			// tag, then unpack — the next piece flies while we scatter.
 			if _, err := recvReq.Wait(); err != nil {
-				return err
+				return legWrap(src, "pipeline-ring-recv", err)
 			}
 			if recvd+1 < inPieces {
 				recvReq = c.cirecv(piece(in, recvd+1), src, chunkTag(int(recvd+1)))
@@ -164,13 +164,13 @@ func (c *Comm) ringHop(out buf.Block, dest int, in buf.Block, src int, unpack fu
 			// sent completed, so the wire term sums exactly as the
 			// serial send would.
 			if _, err := sendReq.Wait(); err != nil {
-				return err
+				return legWrap(dest, "pipeline-ring-send", err)
 			}
 			sent++
 			if sent < outPieces {
 				var err error
 				if sendReq, err = c.cisend(piece(out, sent), dest, chunkTag(int(sent))); err != nil {
-					return err
+					return legWrap(dest, "pipeline-ring-send", err)
 				}
 			}
 		}

@@ -357,6 +357,52 @@ func (c *Comm) sendTyped(b buf.Block, count int, ty *datatype.Type, dest, tag in
 	// software-pipelined slot ring. Under faults each retransmission
 	// re-packs through a fresh packer.
 	nCopy := minInt64(n, int64(match.Dst.Len()))
+	if plan := packer.Plan(); c.faultsOn() && !c.retry.WholeReplay && m.Ack != nil && plan != nil {
+		chunkSz := p.InternalChunk()
+		if schunks := int((nCopy + chunkSz - 1) / chunkSz); schunks > 1 {
+			// Selective chunk retransmission: per-chunk checksums, a
+			// bitmap NACK, and replays that re-pack only the damaged
+			// stream ranges through the compiled plan.
+			x := &chunkedXfer{
+				covered: nCopy, chunkSize: chunkSz, chunks: schunks,
+				drainAll: func() error {
+					var drainErr error
+					if pipelined {
+						drainErr = c.drainPipelined(plan, b, match.Dst, n)
+					} else {
+						drainErr = c.drainPacker(packer, match.Dst, n)
+					}
+					if drainErr != nil {
+						return drainErr
+					}
+					c.clock.Advance(vclock.FromSeconds(transferSpan))
+					if end := ctsAt + dur(wire); c.clock.Now() < end {
+						c.clock.AdvanceTo(end)
+					}
+					return nil
+				},
+				resend: func(lo, hi int64) error {
+					if err := plan.PackRange(b, match.Dst.Slice(int(lo), int(hi-lo)), lo, hi); err != nil {
+						return err
+					}
+					c.clock.Advance(vclock.FromSeconds((packWork + wire) * float64(hi-lo) / float64(n)))
+					return nil
+				},
+				sum: func(lo, hi int64) (uint64, bool) {
+					if b.IsVirtual() || match.Dst.IsVirtual() || hi <= lo {
+						return 0, false
+					}
+					var cs buf.Checksum
+					plan.ChecksumRange(b, lo, hi, &cs)
+					return cs.Sum64(), true
+				},
+				damage: func(f simnet.Fault, lo, hi int64) bool {
+					return damageContigRange(match.Dst, lo, hi, f)
+				},
+			}
+			return c.rdvSendSelective(m, dest, tag, n, x)
+		}
+	}
 	first := true
 	return c.rdvSendLoop(m, dest, tag, n, func(f simnet.Fault) (uint64, bool, bool, error) {
 		pk := packer
@@ -580,13 +626,13 @@ func (c *Comm) completeRecvContig(b buf.Block, m *simnet.Message, post vclock.Ti
 	case simnet.KindRendezvous:
 		m.NoteWake()
 		m.Match <- simnet.RdvMatch{MatchTime: maxTime(m.Arrival, post), Dst: b}
-		done, err := c.rdvRecvVerify(m, c.localRank(m.Src), m.Tag, func(done simnet.RdvDone) (uint64, bool) {
-			nv := minInt64(done.Bytes, int64(b.Len()))
-			if b.IsVirtual() || nv <= 0 {
+		done, err := c.rdvRecvVerify(m, c.localRank(m.Src), m.Tag, func(lo, hi int64) (uint64, bool) {
+			hi = minInt64(hi, int64(b.Len()))
+			if b.IsVirtual() || hi <= lo {
 				return 0, false
 			}
 			var cs buf.Checksum
-			cs.Write(b.Bytes()[:nv])
+			cs.Write(b.Bytes()[lo:hi])
 			return cs.Sum64(), true
 		})
 		if err != nil {
@@ -665,13 +711,13 @@ func (c *Comm) recvTyped(b buf.Block, count int, ty *datatype.Type, src, tag int
 				// and this rank never allocates staging or unpacks.
 				m.NoteWake()
 				m.Match <- simnet.RdvMatch{MatchTime: maxTime(m.Arrival, post), Dst: b, FusedDst: fd}
-				done, err := c.rdvRecvVerify(m, c.localRank(m.Src), m.Tag, func(done simnet.RdvDone) (uint64, bool) {
-					nv := minInt64(done.Bytes, need)
-					if b.IsVirtual() || nv <= 0 {
+				done, err := c.rdvRecvVerify(m, c.localRank(m.Src), m.Tag, func(lo, hi int64) (uint64, bool) {
+					hi = minInt64(hi, need)
+					if b.IsVirtual() || hi <= lo {
 						return 0, false
 					}
 					var cs buf.Checksum
-					fd.plan.ChecksumRange(b, 0, nv, &cs)
+					fd.plan.ChecksumRange(b, lo, hi, &cs)
 					return cs.Sum64(), true
 				})
 				if err != nil {
@@ -695,13 +741,13 @@ func (c *Comm) recvTyped(b buf.Block, count int, ty *datatype.Type, src, tag int
 		staging := c.transitAlloc(b, minInt64(m.Bytes, need))
 		m.NoteWake()
 		m.Match <- simnet.RdvMatch{MatchTime: maxTime(m.Arrival, post), Dst: staging}
-		done, err := c.rdvRecvVerify(m, c.localRank(m.Src), m.Tag, func(done simnet.RdvDone) (uint64, bool) {
-			nv := minInt64(done.Bytes, int64(staging.Len()))
-			if staging.IsVirtual() || nv <= 0 {
+		done, err := c.rdvRecvVerify(m, c.localRank(m.Src), m.Tag, func(lo, hi int64) (uint64, bool) {
+			hi = minInt64(hi, int64(staging.Len()))
+			if staging.IsVirtual() || hi <= lo {
 				return 0, false
 			}
 			var cs buf.Checksum
-			cs.Write(staging.Bytes()[:nv])
+			cs.Write(staging.Bytes()[lo:hi])
 			return cs.Sum64(), true
 		})
 		if err != nil {

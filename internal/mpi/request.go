@@ -183,13 +183,27 @@ func (c *Comm) startAsyncRecv(op func(*Comm) (Status, error)) *Request {
 // Options.DetectDeadlock); untracked runs only detach from it.
 func (r *Request) SetDeadline(d vclock.Duration) { r.deadline = d }
 
+// misuse builds the typed error of an operation against an
+// already-completed request: a RequestStateError matching
+// ErrRequestInactive that still carries the error the request
+// originally finished with, so a double Wait after a fabric abort
+// does not swallow the abort reason.
+func (r *Request) misuse(op string) error {
+	state := "finished"
+	if r.err != nil && chanClosed(r.owner.fabric.AbortChan()) {
+		state = "aborted"
+	}
+	return &RequestStateError{Op: op, Rank: r.owner.rank, ID: r.id, State: state, Cause: ErrRequestInactive, Prior: r.err}
+}
+
 // Wait blocks until the operation completes and folds its virtual time
 // into the caller, like MPI_Wait. Waiting twice on the same request is
-// request misuse and returns a typed ErrRequestInactive error. When a
-// deadline is set (SetDeadline) the wait is bounded by it.
+// request misuse and returns a typed RequestStateError matching
+// ErrRequestInactive. When a deadline is set (SetDeadline) the wait is
+// bounded by it.
 func (r *Request) Wait() (Status, error) {
 	if r.finished {
-		return Status{}, fmt.Errorf("%w: request #%d waited twice", ErrRequestInactive, r.id)
+		return Status{}, r.misuse("wait")
 	}
 	if r.deadline > 0 {
 		return r.WaitTimeout(r.deadline)
@@ -235,7 +249,7 @@ func (r *Request) finish() (Status, error) {
 // the teardown race reports its own result instead.
 func (r *Request) WaitTimeout(d vclock.Duration) (Status, error) {
 	if r.finished {
-		return Status{}, fmt.Errorf("%w: request #%d waited twice", ErrRequestInactive, r.id)
+		return Status{}, r.misuse("wait")
 	}
 	if d <= 0 {
 		r.await()
@@ -312,7 +326,7 @@ loop:
 // like double Wait.
 func (r *Request) Test() (bool, Status, error) {
 	if r.finished {
-		return true, Status{}, fmt.Errorf("%w: request #%d tested after completion", ErrRequestInactive, r.id)
+		return true, Status{}, r.misuse("test")
 	}
 	select {
 	case <-r.done:

@@ -117,6 +117,24 @@ type RdvDone struct {
 	// Final marks the sender's last attempt under its retry budget:
 	// a NACK now becomes a permanent integrity error on both sides.
 	Final bool
+
+	// Selective-retransmission descriptor, present when Chunks > 0:
+	// the packed stream's first Covered bytes were cut into Chunks
+	// pieces of ChunkSize bytes (last one short). Sent marks the
+	// chunks this attempt carried (all of them on the first attempt,
+	// only the replayed ones afterwards); ChunkSums holds the
+	// sender-side checksum per chunk (indexed by chunk, valid for
+	// Sent chunks when HasSum); PoisonedChunks marks sent chunks the
+	// sender knows arrived damaged but could not mechanically damage;
+	// Dup marks sent chunks the fabric redelivered (the receiver must
+	// suppress the duplicate if it already accepted the chunk).
+	Chunks         int
+	ChunkSize      int64
+	Covered        int64
+	Sent           ChunkBitmap
+	PoisonedChunks ChunkBitmap
+	Dup            ChunkBitmap
+	ChunkSums      []uint64
 }
 
 // Message is one envelope in a mailbox.
@@ -262,6 +280,13 @@ type Counters struct {
 	Delays           int64
 	Retries          int64
 	IntegrityRejects int64
+
+	// Selective-retransmission attribution: chunk replays and their
+	// bytes count against the sender; suppressed duplicate chunk
+	// deliveries count against the receiver that discarded them.
+	ChunkRetransmits    int64
+	RetransmitBytes     int64
+	DupChunksSuppressed int64
 }
 
 // rankCounters is the hot-path mirror of Counters: one cache-line-
@@ -284,7 +309,11 @@ type rankCounters struct {
 	retries          atomic.Int64
 	integrityRejects atomic.Int64
 
-	_ [16]byte // 14×8 B of counters + 16 B pad = two full 64 B lines
+	chunkRetransmits    atomic.Int64
+	retransmitBytes     atomic.Int64
+	dupChunksSuppressed atomic.Int64
+
+	_ [56]byte // 17×8 B of counters + 56 B pad = three full 64 B lines
 }
 
 // snapshot loads a consistent-enough copy for reporting.
@@ -305,6 +334,10 @@ func (c *rankCounters) snapshot() Counters {
 		Delays:           c.delays.Load(),
 		Retries:          c.retries.Load(),
 		IntegrityRejects: c.integrityRejects.Load(),
+
+		ChunkRetransmits:    c.chunkRetransmits.Load(),
+		RetransmitBytes:     c.retransmitBytes.Load(),
+		DupChunksSuppressed: c.dupChunksSuppressed.Load(),
 	}
 }
 
